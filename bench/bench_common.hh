@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses. Each
+ * binary regenerates one table or figure of the paper (see DESIGN.md's
+ * per-experiment index) and prints the corresponding rows/series.
+ *
+ * Pass --quick (or set BESPOKE_QUICK=1) to trade coverage for speed
+ * (fewer inputs/samples); the default settings regenerate the full
+ * experiment.
+ */
+
+#ifndef BESPOKE_BENCH_BENCH_COMMON_HH
+#define BESPOKE_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/util/logging.hh"
+#include "src/util/table.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+
+/** True if --quick was passed or BESPOKE_QUICK is set. */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    }
+    const char *env = std::getenv("BESPOKE_QUICK");
+    return env && env[0] == '1';
+}
+
+/** Percentage reduction of `value` relative to `base`. */
+inline double
+savingsPct(double base, double value)
+{
+    return 100.0 * (base - value) / base;
+}
+
+/** Standard banner so bench output is self-describing. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("(reproduces %s of 'Bespoke Processors', ISCA 2017)\n",
+                paper_ref.c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace bespoke
+
+#endif // BESPOKE_BENCH_BENCH_COMMON_HH

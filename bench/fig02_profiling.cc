@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 2: fraction of gates NOT toggled when each application runs
+ * with many different concrete input sets (profiling). The bar is the
+ * intersection across inputs (gates untoggled for every profiled
+ * input); the interval is the per-input range. Shows why profiling
+ * alone cannot drive gate removal: coverage varies with inputs.
+ */
+
+#include <memory>
+
+#include "bench/bench_common.hh"
+#include "src/cpu/bsp430.hh"
+#include "src/verify/runner.hh"
+
+using namespace bespoke;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool quick = quickMode(argc, argv);
+    int num_inputs = quick ? 3 : 8;
+
+    banner("Profiled unused gates per application across input sets",
+           "Figure 2");
+
+    Netlist nl = buildBsp430();
+    double total = static_cast<double>(nl.numCells());
+
+    Table table({"benchmark", "inputs", "unused % (all inputs)",
+                 "unused % min", "unused % max", "input variation %"});
+
+    for (const Workload &w : workloads()) {
+        AsmProgram prog = w.assembleProgram();
+        Rng rng(42);
+
+        // Union of toggled gates across inputs; its untoggled count is
+        // the intersection of per-input unused sets (the paper's bar).
+        std::unique_ptr<ActivityTracker> union_toggles;
+        double min_pct = 100.0, max_pct = 0.0;
+        for (int i = 0; i < num_inputs; i++) {
+            WorkloadInput in = w.genInput(rng);
+            ActivityTracker single(nl);
+            GateRun run = runWorkloadGate(nl, w, prog, in, nullptr,
+                                          &single);
+            if (!run.halted)
+                bespoke_warn(w.name, " did not halt while profiling");
+            double pct = 100.0 *
+                         static_cast<double>(
+                             single.untoggledCellCount()) /
+                         total;
+            min_pct = std::min(min_pct, pct);
+            max_pct = std::max(max_pct, pct);
+            if (!union_toggles) {
+                union_toggles =
+                    std::make_unique<ActivityTracker>(single);
+            } else {
+                union_toggles->mergeFrom(single);
+            }
+        }
+        double all_pct = 100.0 *
+                         static_cast<double>(
+                             union_toggles->untoggledCellCount()) /
+                         total;
+        table.row()
+            .add(w.name)
+            .add(num_inputs)
+            .add(all_pct, 1)
+            .add(min_pct, 1)
+            .add(max_pct, 1)
+            .add(max_pct - min_pct, 1);
+    }
+    table.print("Gates untoggled under profiling (paper: 30-60%, with "
+                "up to 13% variation across inputs)");
+    std::printf("Profiling cannot guarantee a gate is unusable: the "
+                "unused set varies with inputs,\nmotivating the "
+                "input-independent analysis of Fig. 10.\n");
+    return 0;
+}

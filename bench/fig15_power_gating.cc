@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 15: power savings of ORACULAR module-level power gating
+ * (zero overhead, instant wake, per-module domains) compared against
+ * bespoke tailoring. The paper shows gating saves <13% while bespoke
+ * processors save at least 37% for the same applications.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/bespoke/flow.hh"
+#include "src/gating/power_gating.hh"
+
+using namespace bespoke;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool quick = quickMode(argc, argv);
+    int inputs = quick ? 1 : 2;
+
+    banner("Oracle module-level power gating vs. bespoke design",
+           "Figure 15");
+
+    FlowOptions opts;
+    opts.powerInputsPerWorkload = inputs;
+    BespokeFlow flow(opts);
+
+    Table table({"benchmark", "oracle gating savings %",
+                 "bespoke power savings %", "bespoke advantage (x)"});
+    for (const Workload &w : workloads()) {
+        GatingResult g = evaluateOracleGating(
+            flow.baseline(), w, inputs, 77, opts.power, opts.timing);
+        DesignMetrics base = flow.measureBaseline({&w});
+        BespokeDesign d = flow.tailor(w);
+        double bespoke_save =
+            savingsPct(base.powerNominal.totalUW(),
+                       d.metrics.powerNominal.totalUW());
+        table.row()
+            .add(w.name)
+            .add(g.savingsPercent(), 1)
+            .add(bespoke_save, 1)
+            .add(bespoke_save / std::max(g.savingsPercent(), 0.01), 1);
+    }
+    table.print("Oracular (zero-overhead, instant-wake) module power "
+                "gating.\nPaper: gating saves <13% on every "
+                "application; the minimum bespoke power\nreduction "
+                "(37%) beats the maximum gating reduction.");
+    return 0;
+}

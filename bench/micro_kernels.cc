@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Infrastructure microbenchmarks (google-benchmark): throughput of the
+ * levelized three-valued simulator, the symbolic activity analysis,
+ * STA, and cutting & stitching on the bsp430 core. These are not paper
+ * results; they quantify the cost of the methodology itself (paper
+ * Sec. 3.2 footnote: "complete analysis of our most complex benchmark
+ * takes 3 hours" on the authors' infrastructure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/activity_analysis.hh"
+#include "src/bespoke/flow.hh"
+#include "src/cpu/bsp430.hh"
+#include "src/verify/runner.hh"
+
+namespace
+{
+
+using namespace bespoke;
+
+const Netlist &
+core()
+{
+    static Netlist nl = buildBsp430();
+    return nl;
+}
+
+void
+BM_GateSimCycle(benchmark::State &state)
+{
+    const Workload &w = workloadByName("intFilt");
+    AsmProgram prog = w.assembleProgram();
+    Soc soc(core(), prog, false);
+    Rng rng(1);
+    WorkloadInput in = w.genInput(rng);
+    for (size_t i = 0; i < in.ramWords.size(); i++) {
+        soc.pokeRamWord(static_cast<uint16_t>(kInputBase + 2 * i),
+                        SWord::of(in.ramWords[i]));
+    }
+    soc.setGpioIn(SWord::of(0));
+    soc.setIrqExt(Logic::Zero);
+    for (auto _ : state)
+        soc.cycle();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(core().size()));
+}
+BENCHMARK(BM_GateSimCycle);
+
+void
+BM_ActivityAnalysis(benchmark::State &state)
+{
+    const Workload &w = workloadByName("div");
+    AsmProgram prog = w.assembleProgram();
+    for (auto _ : state) {
+        AnalysisResult r = analyzeActivity(core(), prog);
+        benchmark::DoNotOptimize(r.untoggledCells());
+    }
+}
+BENCHMARK(BM_ActivityAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_CutAndStitch(benchmark::State &state)
+{
+    const Workload &w = workloadByName("binSearch");
+    AsmProgram prog = w.assembleProgram();
+    AnalysisResult r = analyzeActivity(core(), prog);
+    for (auto _ : state) {
+        Netlist out = cutAndStitch(core(), *r.activity);
+        benchmark::DoNotOptimize(out.numCells());
+    }
+}
+BENCHMARK(BM_CutAndStitch)->Unit(benchmark::kMillisecond);
+
+void
+BM_StaticTiming(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TimingReport rep = analyzeTiming(core());
+        benchmark::DoNotOptimize(rep.criticalPathPs);
+    }
+}
+BENCHMARK(BM_StaticTiming)->Unit(benchmark::kMillisecond);
+
+void
+BM_Levelize(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto order = core().levelize();
+        benchmark::DoNotOptimize(order.size());
+    }
+}
+BENCHMARK(BM_Levelize)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildCore(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Netlist nl = buildBsp430();
+        benchmark::DoNotOptimize(nl.numCells());
+    }
+}
+BENCHMARK(BM_BuildCore)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Symbolic equivalence check between the original and a bespoke
+ * processor (paper Sec. 5.1, first verification method).
+ *
+ * Both netlists are driven through the same input-independent symbolic
+ * execution tree (same X inputs, same forced decisions at forks); every
+ * cycle, all primary outputs are compared, and at the end of every path
+ * the data memories are compared. A mismatch is any net/location where
+ * both designs hold *known* values that differ — an X in the original
+ * is an over-approximation and cannot witness inequivalence.
+ *
+ * Note that industrial equivalence checkers cannot perform this check:
+ * the designs are only equivalent *for this application*, not in
+ * general (paper footnote 3).
+ */
+
+#ifndef BESPOKE_BESPOKE_EQUIV_CHECK_HH
+#define BESPOKE_BESPOKE_EQUIV_CHECK_HH
+
+#include "src/analysis/activity_analysis.hh"
+
+namespace bespoke
+{
+
+struct EquivResult
+{
+    bool equivalent = true;
+    bool completed = true;  ///< exploration finished under the caps
+    uint64_t cyclesChecked = 0;
+    uint64_t pathsExplored = 0;
+    uint64_t outputsCompared = 0;
+    std::string firstMismatch;
+};
+
+/**
+ * Check that `bespoke_nl` is output-equivalent to `original` for every
+ * possible execution of the program.
+ */
+EquivResult checkSymbolicEquivalence(const Netlist &original,
+                                     const Netlist &bespoke_nl,
+                                     const AsmProgram &prog,
+                                     const AnalysisOptions &opts = {});
+
+} // namespace bespoke
+
+#endif // BESPOKE_BESPOKE_EQUIV_CHECK_HH

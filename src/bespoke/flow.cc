@@ -1,0 +1,140 @@
+#include "src/bespoke/flow.hh"
+
+#include "src/cpu/bsp430.hh"
+#include "src/util/table.hh"
+#include "src/util/logging.hh"
+#include "src/verify/runner.hh"
+
+namespace bespoke
+{
+
+BespokeFlow::BespokeFlow(FlowOptions opts)
+    : opts_(std::move(opts)), baseline_(buildBsp430())
+{
+    sizeForLoads(baseline_, opts_.timing);
+    TimingReport rep = analyzeTiming(baseline_, opts_.timing);
+    // The baseline is "optimized to minimize area and power for
+    // operation at" its achievable frequency (paper Sec. 4.2): hold
+    // every design to the baseline's critical path plus a small margin.
+    clockPeriodPs_ = rep.criticalPathPs * 1.02;
+    bespoke_inform("baseline: ", baseline_.numCells(), " cells, ",
+                   formatFixed(rep.criticalPathPs, 0), " ps critical (",
+                   formatFixed(1e6 / clockPeriodPs_, 1), " MHz)");
+}
+
+DesignMetrics
+BespokeFlow::measure(const Netlist &netlist,
+                     const std::vector<const Workload *> &apps)
+{
+    DesignMetrics m;
+    NetlistStats stats = netlist.stats();
+    m.gates = stats.numCells;
+    m.flops = stats.numSequential;
+    m.areaUm2 = stats.area;
+
+    TimingReport rep = analyzeTiming(netlist, opts_.timing);
+    m.criticalPathPs = rep.criticalPathPs;
+    m.slackFraction =
+        (clockPeriodPs_ - rep.criticalPathPs) / clockPeriodPs_;
+
+    // Switching activity from concrete representative runs.
+    ToggleCounter toggles(netlist);
+    Rng rng(opts_.powerSeed);
+    for (const Workload *w : apps) {
+        AsmProgram prog = w->assembleProgram();
+        for (int i = 0; i < opts_.powerInputsPerWorkload; i++) {
+            WorkloadInput in = w->genInput(rng);
+            GateRun run =
+                runWorkloadGate(netlist, *w, prog, in, &toggles);
+            if (!run.halted) {
+                bespoke_warn("power run of ", w->name,
+                             " did not halt within its cycle budget");
+            }
+        }
+    }
+    m.powerNominal =
+        computePower(netlist, toggles, opts_.power, opts_.timing);
+    m.vmin = vminForPeriod(rep.criticalPathPs, clockPeriodPs_,
+                           opts_.timing);
+    m.powerAtVmin =
+        scaleToVoltage(m.powerNominal, m.vmin, opts_.power);
+    return m;
+}
+
+DesignMetrics
+BespokeFlow::measureBaseline(const std::vector<const Workload *> &apps)
+{
+    return measure(baseline_, apps);
+}
+
+AnalysisResult
+BespokeFlow::analyze(const Workload &app)
+{
+    AsmProgram prog = app.assembleProgram();
+    return analyzeActivity(baseline_, prog, opts_.analysis);
+}
+
+BespokeDesign
+BespokeFlow::finishDesign(Netlist netlist, CutStats cut,
+                          AnalysisResult analysis,
+                          const std::vector<const Workload *> &apps)
+{
+    // Re-size for the (smaller) loads: the paper's slack-driven
+    // replacement with smaller cells falls out of re-running sizing.
+    sizeForLoads(netlist, opts_.timing);
+    BespokeDesign d{std::move(netlist), cut, {}, std::move(analysis)};
+    d.metrics = measure(d.netlist, apps);
+    return d;
+}
+
+BespokeDesign
+BespokeFlow::tailor(const Workload &app)
+{
+    AnalysisResult analysis = analyze(app);
+    bespoke_assert(analysis.completed,
+                   "analysis hit caps for ", app.name);
+    CutStats cut;
+    Netlist bespoke_nl =
+        cutAndStitch(baseline_, *analysis.activity, &cut);
+    return finishDesign(std::move(bespoke_nl), cut, std::move(analysis),
+                        {&app});
+}
+
+BespokeDesign
+BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
+{
+    bespoke_assert(!apps.empty());
+    ActivityTracker merged(baseline_);
+    AnalysisResult last;
+    for (const Workload *w : apps) {
+        AnalysisResult r = analyze(*w);
+        bespoke_assert(r.completed, "analysis hit caps for ", w->name);
+        if (!merged.initialCaptured()) {
+            merged = std::move(*r.activity);
+        } else {
+            merged.mergeFrom(*r.activity);
+        }
+        last = std::move(r);
+    }
+    CutStats cut;
+    Netlist bespoke_nl = cutAndStitch(baseline_, merged, &cut);
+    // Keep the merged tracker with the result for callers that need it.
+    last.activity = std::make_unique<ActivityTracker>(std::move(merged));
+    return finishDesign(std::move(bespoke_nl), cut, std::move(last),
+                        apps);
+}
+
+BespokeDesign
+BespokeFlow::tailorCoarse(const Workload &app)
+{
+    AnalysisResult analysis = analyze(app);
+    bespoke_assert(analysis.completed,
+                   "analysis hit caps for ", app.name);
+    CutStats cut;
+    Netlist coarse =
+        cutWholeModules(baseline_, *analysis.activity, &cut);
+    return finishDesign(std::move(coarse), cut, std::move(analysis),
+                        {&app});
+}
+
+} // namespace bespoke

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-end bespoke-processor flow (paper Figs. 5 and 8).
+ *
+ * The flow owns the baseline general-purpose core (built, drive-sized,
+ * and timed once: the baseline clock period is the sized design's
+ * achievable period, mirroring the paper's area-optimized 100 MHz
+ * operating point). tailor() then produces a bespoke design for one
+ * application: activity analysis -> cutting & stitching -> re-synthesis
+ * -> re-sizing (downsizing, now that fanouts shrank) -> STA -> power.
+ * tailorMulti() unions the toggleable-gate sets of several applications
+ * before cutting (Fig. 8).
+ */
+
+#ifndef BESPOKE_BESPOKE_FLOW_HH
+#define BESPOKE_BESPOKE_FLOW_HH
+
+#include <memory>
+
+#include "src/analysis/activity_analysis.hh"
+#include "src/power/power_model.hh"
+#include "src/transform/bespoke_transform.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+
+/** Area/power/timing summary of one design under one workload set. */
+struct DesignMetrics
+{
+    size_t gates = 0;
+    size_t flops = 0;
+    double areaUm2 = 0.0;
+    double criticalPathPs = 0.0;
+    double slackFraction = 0.0;  ///< (period - critical) / period
+    PowerReport powerNominal;
+    double vmin = 1.0;
+    PowerReport powerAtVmin;
+};
+
+/** A tailored design plus how it was derived. */
+struct BespokeDesign
+{
+    Netlist netlist;
+    CutStats cut;
+    DesignMetrics metrics;
+    AnalysisResult analysis;  ///< analysis of the *last* application
+};
+
+struct FlowOptions
+{
+    AnalysisOptions analysis;
+    /** Concrete runs per workload when measuring switching activity. */
+    int powerInputsPerWorkload = 2;
+    uint64_t powerSeed = 2024;
+    TimingParams timing;
+    PowerParams power;
+};
+
+class BespokeFlow
+{
+  public:
+    explicit BespokeFlow(FlowOptions opts = {});
+
+    const Netlist &baseline() const { return baseline_; }
+    /** Clock period (ps) all designs are held to. */
+    double clockPeriodPs() const { return clockPeriodPs_; }
+
+    /** Metrics of the baseline core running the given workloads. */
+    DesignMetrics measureBaseline(
+        const std::vector<const Workload *> &apps);
+
+    /** Tailor to a single application. */
+    BespokeDesign tailor(const Workload &app);
+
+    /** Tailor to several applications (union of toggleable gates). */
+    BespokeDesign tailorMulti(const std::vector<const Workload *> &apps);
+
+    /** Module-level coarse-grained baseline (paper Fig. 12). */
+    BespokeDesign tailorCoarse(const Workload &app);
+
+    /** Activity analysis only (used by Fig. 10 and Fig. 13 sweeps). */
+    AnalysisResult analyze(const Workload &app);
+
+    /**
+     * Measure any netlist (already sized) against a workload set:
+     * STA + Vmin + activity-based power.
+     */
+    DesignMetrics measure(const Netlist &netlist,
+                          const std::vector<const Workload *> &apps);
+
+    const FlowOptions &options() const { return opts_; }
+
+  private:
+    BespokeDesign finishDesign(Netlist netlist, CutStats cut,
+                               AnalysisResult analysis,
+                               const std::vector<const Workload *> &apps);
+
+    FlowOptions opts_;
+    Netlist baseline_;
+    double clockPeriodPs_ = 0.0;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_BESPOKE_FLOW_HH

@@ -1,0 +1,848 @@
+#include "src/isa/assembler.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r\n");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r\n");
+    return s.substr(a, b - a + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Split on commas that are not inside parentheses. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> parts;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '(')
+            depth++;
+        if (c == ')')
+            depth--;
+        if (c == ',' && depth == 0) {
+            parts.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Simple expression grammar: term (('+'|'-') term)*, term = num|sym. */
+class ExprEval
+{
+  public:
+    ExprEval(const std::map<std::string, uint16_t> &symbols, bool strict)
+        : symbols_(symbols), strict_(strict)
+    {}
+
+    /** Returns false if an unresolved symbol was seen (non-strict). */
+    bool
+    eval(const std::string &text, int line, int32_t &out)
+    {
+        pos_ = 0;
+        text_ = trim(text);
+        line_ = line;
+        ok_ = true;
+        int32_t v = parseSum();
+        skipWs();
+        if (pos_ != text_.size())
+            bespoke_fatal("line ", line_, ": bad expression '", text_, "'");
+        out = v;
+        return ok_;
+    }
+
+    /** True if the expression contains no symbols at all. */
+    static bool
+    isLiteral(const std::string &text)
+    {
+        for (size_t i = 0; i < text.size(); i++) {
+            char c = text[i];
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                // 0x... hex digits are fine.
+                if (i >= 1 && (text[i - 1] == 'x' || text[i - 1] == 'X') &&
+                    i >= 2 && text[i - 2] == '0') {
+                    continue;
+                }
+                if ((c == 'x' || c == 'X') && i >= 1 && text[i - 1] == '0')
+                    continue;
+                if (std::isxdigit(static_cast<unsigned char>(c)) && i >= 2) {
+                    // inside a hex literal
+                    size_t j = i;
+                    while (j > 0 && std::isxdigit(
+                               static_cast<unsigned char>(text[j - 1]))) {
+                        j--;
+                    }
+                    if (j >= 2 && (text[j - 1] == 'x' || text[j - 1] == 'X')
+                        && text[j - 2] == '0') {
+                        continue;
+                    }
+                }
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() && std::isspace(
+                   static_cast<unsigned char>(text_[pos_]))) {
+            pos_++;
+        }
+    }
+
+    int32_t
+    parseSum()
+    {
+        int32_t v = parseTerm();
+        while (true) {
+            skipWs();
+            if (pos_ < text_.size() && (text_[pos_] == '+' ||
+                                        text_[pos_] == '-')) {
+                char op = text_[pos_++];
+                int32_t t = parseTerm();
+                v = op == '+' ? v + t : v - t;
+            } else {
+                break;
+            }
+        }
+        return v;
+    }
+
+    int32_t
+    parseTerm()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            bespoke_fatal("line ", line_, ": truncated expression '",
+                          text_, "'");
+        if (text_[pos_] == '-') {
+            pos_++;
+            return -parseTerm();
+        }
+        char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t end;
+            int32_t v;
+            std::string rest = text_.substr(pos_);
+            if (rest.size() > 2 && rest[0] == '0' &&
+                (rest[1] == 'x' || rest[1] == 'X')) {
+                v = static_cast<int32_t>(std::stoul(rest, &end, 16));
+            } else {
+                v = static_cast<int32_t>(std::stol(rest, &end, 10));
+            }
+            pos_ += end;
+            return v;
+        }
+        if (isIdentChar(c)) {
+            size_t start = pos_;
+            while (pos_ < text_.size() && isIdentChar(text_[pos_]))
+                pos_++;
+            std::string name = text_.substr(start, pos_ - start);
+            auto it = symbols_.find(name);
+            if (it == symbols_.end()) {
+                if (strict_) {
+                    bespoke_fatal("line ", line_, ": undefined symbol '",
+                                  name, "'");
+                }
+                ok_ = false;
+                return 0;
+            }
+            return it->second;
+        }
+        bespoke_fatal("line ", line_, ": bad expression '", text_, "'");
+    }
+
+    const std::map<std::string, uint16_t> &symbols_;
+    bool strict_;
+    std::string text_;
+    size_t pos_ = 0;
+    int line_ = 0;
+    bool ok_ = true;
+};
+
+/** Parsed operand before encoding. */
+struct Operand
+{
+    enum class Kind
+    {
+        Reg,
+        Imm,
+        Abs,
+        Indexed,
+        Indirect,
+        IndirectInc,
+    };
+    Kind kind = Kind::Reg;
+    int reg = 0;
+    std::string expr;  ///< for Imm/Abs/Indexed
+};
+
+int
+parseRegName(const std::string &text)
+{
+    std::string t = lower(trim(text));
+    if (t == "pc")
+        return kRegPC;
+    if (t == "sp")
+        return kRegSP;
+    if (t == "sr")
+        return kRegSR;
+    if (t == "cg")
+        return kRegCG;
+    if (t.size() >= 2 && t[0] == 'r') {
+        bool digits = true;
+        for (size_t i = 1; i < t.size(); i++) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                digits = false;
+        }
+        if (digits) {
+            int n = std::stoi(t.substr(1));
+            if (n >= 0 && n <= 15)
+                return n;
+        }
+    }
+    return -1;
+}
+
+Operand
+parseOperand(const std::string &text, int line)
+{
+    Operand op;
+    std::string t = trim(text);
+    bespoke_assert(!t.empty(), "line ", line, ": empty operand");
+
+    int reg = parseRegName(t);
+    if (reg >= 0) {
+        op.kind = Operand::Kind::Reg;
+        op.reg = reg;
+        return op;
+    }
+    if (t[0] == '#') {
+        op.kind = Operand::Kind::Imm;
+        op.expr = trim(t.substr(1));
+        return op;
+    }
+    if (t[0] == '&') {
+        op.kind = Operand::Kind::Abs;
+        op.expr = trim(t.substr(1));
+        return op;
+    }
+    if (t[0] == '@') {
+        std::string r = trim(t.substr(1));
+        op.kind = Operand::Kind::Indirect;
+        if (!r.empty() && r.back() == '+') {
+            op.kind = Operand::Kind::IndirectInc;
+            r = trim(r.substr(0, r.size() - 1));
+        }
+        op.reg = parseRegName(r);
+        if (op.reg < 0)
+            bespoke_fatal("line ", line, ": bad register in '", t, "'");
+        return op;
+    }
+    // X(Rn) indexed?
+    size_t open = t.rfind('(');
+    if (open != std::string::npos && t.back() == ')') {
+        op.kind = Operand::Kind::Indexed;
+        op.expr = trim(t.substr(0, open));
+        op.reg = parseRegName(t.substr(open + 1,
+                                       t.size() - open - 2));
+        if (op.reg < 0)
+            bespoke_fatal("line ", line, ": bad register in '", t, "'");
+        if (op.expr.empty())
+            bespoke_fatal("line ", line, ": missing index in '", t, "'");
+        return op;
+    }
+    // Bare expression: absolute addressing.
+    op.kind = Operand::Kind::Abs;
+    op.expr = t;
+    return op;
+}
+
+/** Constant-generator encoding for an immediate literal, if any. */
+bool
+constGenFor(int32_t value, int &reg, AddrMode &mode)
+{
+    uint16_t v = static_cast<uint16_t>(value);
+    switch (v) {
+      case 0:
+        reg = kRegCG; mode = AddrMode::Register; return true;
+      case 1:
+        reg = kRegCG; mode = AddrMode::Indexed; return true;
+      case 2:
+        reg = kRegCG; mode = AddrMode::Indirect; return true;
+      case 0xffff:
+        reg = kRegCG; mode = AddrMode::IndirectInc; return true;
+      case 4:
+        reg = kRegSR; mode = AddrMode::Indirect; return true;
+      case 8:
+        reg = kRegSR; mode = AddrMode::IndirectInc; return true;
+      default:
+        return false;
+    }
+}
+
+/** Source-operand encoding decision (must be identical in both passes). */
+struct SrcEnc
+{
+    int reg;
+    AddrMode mode;
+    bool hasExt;
+    std::string extExpr;  ///< expression for the extension word
+};
+
+SrcEnc
+encodeSrc(const Operand &op, int line)
+{
+    SrcEnc e{0, AddrMode::Register, false, ""};
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        e.reg = op.reg;
+        e.mode = AddrMode::Register;
+        return e;
+      case Operand::Kind::Indirect:
+        e.reg = op.reg;
+        e.mode = AddrMode::Indirect;
+        return e;
+      case Operand::Kind::IndirectInc:
+        e.reg = op.reg;
+        e.mode = AddrMode::IndirectInc;
+        return e;
+      case Operand::Kind::Imm: {
+        // Constant generator only for pure literals, so that
+        // instruction sizes agree between passes.
+        if (ExprEval::isLiteral(op.expr)) {
+            std::map<std::string, uint16_t> empty;
+            ExprEval ev(empty, true);
+            int32_t v;
+            ev.eval(op.expr, line, v);
+            int reg;
+            AddrMode mode;
+            if (constGenFor(v, reg, mode)) {
+                e.reg = reg;
+                e.mode = mode;
+                return e;
+            }
+        }
+        e.reg = kRegPC;
+        e.mode = AddrMode::IndirectInc;
+        e.hasExt = true;
+        e.extExpr = op.expr;
+        return e;
+      }
+      case Operand::Kind::Abs:
+        e.reg = kRegSR;
+        e.mode = AddrMode::Indexed;
+        e.hasExt = true;
+        e.extExpr = op.expr;
+        return e;
+      case Operand::Kind::Indexed:
+        e.reg = op.reg;
+        e.mode = AddrMode::Indexed;
+        e.hasExt = true;
+        e.extExpr = op.expr;
+        return e;
+    }
+    bespoke_fatal("line ", line, ": bad source operand");
+}
+
+struct DstEnc
+{
+    int reg;
+    AddrMode mode;
+    bool hasExt;
+    std::string extExpr;
+};
+
+DstEnc
+encodeDst(const Operand &op, int line)
+{
+    DstEnc e{0, AddrMode::Register, false, ""};
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        e.reg = op.reg;
+        e.mode = AddrMode::Register;
+        return e;
+      case Operand::Kind::Abs:
+        e.reg = kRegSR;
+        e.mode = AddrMode::Indexed;
+        e.hasExt = true;
+        e.extExpr = op.expr;
+        return e;
+      case Operand::Kind::Indexed:
+        e.reg = op.reg;
+        e.mode = AddrMode::Indexed;
+        e.hasExt = true;
+        e.extExpr = op.expr;
+        return e;
+      default:
+        bespoke_fatal("line ", line,
+                      ": destination must be reg, &abs or X(Rn)");
+    }
+}
+
+/** A pseudo-instruction rewrite: mnemonic + operand strings. */
+struct Rewrite
+{
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+/**
+ * Expand pseudo-instructions to core ones. byte_suffix carries ".b"
+ * through for pseudos that support it.
+ */
+bool
+expandPseudo(const std::string &mnemonic,
+             const std::vector<std::string> &ops, Rewrite &out, int line)
+{
+    std::string base = mnemonic;
+    std::string suffix;
+    if (base.size() > 2 && base.substr(base.size() - 2) == ".b") {
+        suffix = ".b";
+        base = base.substr(0, base.size() - 2);
+    }
+    auto need = [&](size_t n) {
+        if (ops.size() != n) {
+            bespoke_fatal("line ", line, ": '", mnemonic, "' takes ", n,
+                          " operand(s)");
+        }
+    };
+    if (base == "nop") {
+        need(0);
+        out = {"mov", {"r3", "r3"}};
+        return true;
+    }
+    if (base == "ret") {
+        need(0);
+        out = {"mov", {"@sp+", "pc"}};
+        return true;
+    }
+    if (base == "pop") {
+        need(1);
+        out = {"mov" + suffix, {"@sp+", ops[0]}};
+        return true;
+    }
+    if (base == "br") {
+        need(1);
+        out = {"mov", {ops[0], "pc"}};
+        return true;
+    }
+    if (base == "clr") {
+        need(1);
+        out = {"mov" + suffix, {"#0", ops[0]}};
+        return true;
+    }
+    if (base == "inc") {
+        need(1);
+        out = {"add" + suffix, {"#1", ops[0]}};
+        return true;
+    }
+    if (base == "incd") {
+        need(1);
+        out = {"add" + suffix, {"#2", ops[0]}};
+        return true;
+    }
+    if (base == "dec") {
+        need(1);
+        out = {"sub" + suffix, {"#1", ops[0]}};
+        return true;
+    }
+    if (base == "decd") {
+        need(1);
+        out = {"sub" + suffix, {"#2", ops[0]}};
+        return true;
+    }
+    if (base == "inv") {
+        need(1);
+        out = {"xor" + suffix, {"#-1", ops[0]}};
+        return true;
+    }
+    if (base == "rla") {
+        need(1);
+        out = {"add" + suffix, {ops[0], ops[0]}};
+        return true;
+    }
+    if (base == "rlc") {
+        need(1);
+        out = {"addc" + suffix, {ops[0], ops[0]}};
+        return true;
+    }
+    if (base == "adc") {
+        need(1);
+        out = {"addc" + suffix, {"#0", ops[0]}};
+        return true;
+    }
+    if (base == "sbc") {
+        need(1);
+        out = {"subc" + suffix, {"#0", ops[0]}};
+        return true;
+    }
+    if (base == "tst") {
+        need(1);
+        out = {"cmp" + suffix, {"#0", ops[0]}};
+        return true;
+    }
+    if (base == "clrc") {
+        need(0);
+        out = {"bic", {"#1", "sr"}};
+        return true;
+    }
+    if (base == "setc") {
+        need(0);
+        out = {"bis", {"#1", "sr"}};
+        return true;
+    }
+    if (base == "clrz") {
+        need(0);
+        out = {"bic", {"#2", "sr"}};
+        return true;
+    }
+    if (base == "setz") {
+        need(0);
+        out = {"bis", {"#2", "sr"}};
+        return true;
+    }
+    if (base == "clrn") {
+        need(0);
+        out = {"bic", {"#4", "sr"}};
+        return true;
+    }
+    if (base == "setn") {
+        need(0);
+        out = {"bis", {"#4", "sr"}};
+        return true;
+    }
+    if (base == "dint") {
+        need(0);
+        out = {"bic", {"#8", "sr"}};
+        return true;
+    }
+    if (base == "eint") {
+        need(0);
+        out = {"bis", {"#8", "sr"}};
+        return true;
+    }
+    return false;
+}
+
+/** Assembler implementation (shared by both passes). */
+class AsmPass
+{
+  public:
+    AsmPass(AsmProgram &prog, std::map<std::string, uint16_t> &symbols,
+            bool final_pass, const std::string &name)
+        : prog_(prog), symbols_(symbols), finalPass_(final_pass),
+          name_(name)
+    {}
+
+    void
+    run(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int line_no = 0;
+        pc_ = kRomBase;
+        while (std::getline(in, raw)) {
+            line_no++;
+            processLine(raw, line_no);
+        }
+    }
+
+  private:
+    void
+    emitWord(uint16_t value, int line, bool is_instr_head = false,
+             bool is_cond_branch = false)
+    {
+        if (pc_ < kRomBase || pc_ > 0xfffe) {
+            bespoke_fatal(name_, " line ", line,
+                          ": emission outside ROM at 0x", std::hex, pc_);
+        }
+        if (finalPass_) {
+            prog_.rom[pc_ - kRomBase] = static_cast<uint8_t>(value & 0xff);
+            prog_.rom[pc_ - kRomBase + 1] =
+                static_cast<uint8_t>(value >> 8);
+            if (is_instr_head) {
+                prog_.addrToLine[pc_] = line;
+                if (is_cond_branch)
+                    prog_.condBranchAddrs.push_back(pc_);
+            }
+        }
+        pc_ = static_cast<uint16_t>(pc_ + 2);
+    }
+
+    void
+    defineSymbol(const std::string &name, uint16_t value, int line)
+    {
+        if (!finalPass_) {
+            if (symbols_.count(name)) {
+                bespoke_fatal(name_, " line ", line,
+                              ": duplicate symbol '", name, "'");
+            }
+            symbols_[name] = value;
+        }
+    }
+
+    int32_t
+    evalOrZero(const std::string &expr, int line)
+    {
+        ExprEval ev(symbols_, finalPass_);
+        int32_t v = 0;
+        ev.eval(expr, line, v);
+        return v;
+    }
+
+    void
+    processLine(const std::string &raw, int line)
+    {
+        std::string text = raw;
+        size_t sc = text.find(';');
+        if (sc != std::string::npos)
+            text = text.substr(0, sc);
+        text = trim(text);
+        if (text.empty())
+            return;
+
+        // Labels (possibly several) at line start.
+        while (true) {
+            size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string head = trim(text.substr(0, colon));
+            bool ident = !head.empty();
+            for (char c : head) {
+                if (!isIdentChar(c))
+                    ident = false;
+            }
+            if (!ident)
+                break;
+            defineSymbol(head, pc_, line);
+            text = trim(text.substr(colon + 1));
+        }
+        if (text.empty())
+            return;
+
+        // Split "mnemonic rest".
+        size_t sp = text.find_first_of(" \t");
+        std::string mnemonic = lower(sp == std::string::npos
+                                         ? text
+                                         : text.substr(0, sp));
+        std::string rest = sp == std::string::npos
+                               ? ""
+                               : trim(text.substr(sp + 1));
+
+        if (mnemonic[0] == '.') {
+            processDirective(mnemonic, rest, line);
+            return;
+        }
+
+        std::vector<std::string> ops = splitOperands(rest);
+
+        Rewrite rw;
+        if (expandPseudo(mnemonic, ops, rw, line)) {
+            mnemonic = rw.mnemonic;
+            ops = rw.operands;
+        }
+
+        auto mn = parseMnemonic(mnemonic);
+        if (!mn) {
+            bespoke_fatal(name_, " line ", line, ": unknown mnemonic '",
+                          mnemonic, "'");
+        }
+        if (!finalPass_)
+            prog_.codeLines++;
+
+        switch (mn->format) {
+          case Format::DoubleOp:
+            assembleDoubleOp(*mn, ops, line);
+            break;
+          case Format::SingleOp:
+            assembleSingleOp(*mn, ops, line);
+            break;
+          case Format::Jump:
+            assembleJump(*mn, ops, line);
+            break;
+          default:
+            bespoke_fatal(name_, " line ", line, ": bad format");
+        }
+    }
+
+    void
+    processDirective(const std::string &dir, const std::string &rest,
+                     int line)
+    {
+        if (dir == ".org") {
+            pc_ = static_cast<uint16_t>(evalOrZero(rest, line));
+            return;
+        }
+        if (dir == ".word") {
+            for (const std::string &e : splitOperands(rest)) {
+                emitWord(static_cast<uint16_t>(evalOrZero(e, line)), line);
+            }
+            return;
+        }
+        if (dir == ".space") {
+            int32_t n = evalOrZero(rest, line);
+            bespoke_assert(n >= 0 && n % 2 == 0,
+                           "line ", line, ": .space must be even");
+            for (int i = 0; i < n / 2; i++)
+                emitWord(0, line);
+            return;
+        }
+        if (dir == ".equ") {
+            std::vector<std::string> parts = splitOperands(rest);
+            if (parts.size() != 2) {
+                bespoke_fatal(name_, " line ", line,
+                              ": .equ NAME, expr");
+            }
+            defineSymbol(parts[0],
+                         static_cast<uint16_t>(evalOrZero(parts[1], line)),
+                         line);
+            return;
+        }
+        bespoke_fatal(name_, " line ", line, ": unknown directive '", dir,
+                      "'");
+    }
+
+    void
+    assembleDoubleOp(const Mnemonic &mn, const std::vector<std::string> &ops,
+                     int line)
+    {
+        if (ops.size() != 2) {
+            bespoke_fatal(name_, " line ", line,
+                          ": two operands required");
+        }
+        Operand src = parseOperand(ops[0], line);
+        Operand dst = parseOperand(ops[1], line);
+        SrcEnc se = encodeSrc(src, line);
+        DstEnc de = encodeDst(dst, line);
+        emitWord(encodeDoubleOp(mn.op1, se.reg, se.mode, de.reg, de.mode,
+                                mn.byteMode),
+                 line, true);
+        if (se.hasExt)
+            emitWord(static_cast<uint16_t>(evalOrZero(se.extExpr, line)),
+                     line);
+        if (de.hasExt)
+            emitWord(static_cast<uint16_t>(evalOrZero(de.extExpr, line)),
+                     line);
+    }
+
+    void
+    assembleSingleOp(const Mnemonic &mn, const std::vector<std::string> &ops,
+                     int line)
+    {
+        if (mn.op2 == Op2::RETI) {
+            if (!ops.empty())
+                bespoke_fatal(name_, " line ", line, ": reti is nullary");
+            emitWord(encodeSingleOp(Op2::RETI, 0, AddrMode::Register,
+                                    false),
+                     line, true);
+            return;
+        }
+        if (ops.size() != 1) {
+            bespoke_fatal(name_, " line ", line,
+                          ": one operand required");
+        }
+        Operand op = parseOperand(ops[0], line);
+        SrcEnc se = encodeSrc(op, line);
+        emitWord(encodeSingleOp(mn.op2, se.reg, se.mode, mn.byteMode),
+                 line, true);
+        if (se.hasExt)
+            emitWord(static_cast<uint16_t>(evalOrZero(se.extExpr, line)),
+                     line);
+    }
+
+    void
+    assembleJump(const Mnemonic &mn, const std::vector<std::string> &ops,
+                 int line)
+    {
+        if (ops.size() != 1) {
+            bespoke_fatal(name_, " line ", line,
+                          ": jump target required");
+        }
+        int32_t target = evalOrZero(ops[0], line);
+        int16_t word_off = 0;
+        if (finalPass_) {
+            int32_t delta = target - (pc_ + 2);
+            if (delta % 2 != 0) {
+                bespoke_fatal(name_, " line ", line,
+                              ": odd jump target");
+            }
+            delta /= 2;
+            if (delta < -512 || delta > 511) {
+                bespoke_fatal(name_, " line ", line,
+                              ": jump out of range (", delta, " words)");
+            }
+            word_off = static_cast<int16_t>(delta);
+        }
+        emitWord(encodeJump(mn.cond, word_off), line, true,
+                 mn.cond != JumpCond::JMP);
+    }
+
+    AsmProgram &prog_;
+    std::map<std::string, uint16_t> &symbols_;
+    bool finalPass_;
+    std::string name_;
+    uint16_t pc_ = kRomBase;
+};
+
+} // namespace
+
+uint16_t
+AsmProgram::romWord(uint16_t byte_addr) const
+{
+    bespoke_assert(byte_addr >= kRomBase);
+    size_t off = byte_addr - kRomBase;
+    bespoke_assert(off + 1 < rom.size());
+    return static_cast<uint16_t>(rom[off] | (rom[off + 1] << 8));
+}
+
+AsmProgram
+assemble(const std::string &source, const std::string &name)
+{
+    AsmProgram prog;
+    std::map<std::string, uint16_t> symbols;
+    AsmPass pass1(prog, symbols, false, name);
+    pass1.run(source);
+    AsmPass pass2(prog, symbols, true, name);
+    pass2.run(source);
+    prog.symbols = symbols;
+    return prog;
+}
+
+} // namespace bespoke

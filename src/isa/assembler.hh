@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-pass assembler for the BSP430 ISA.
+ *
+ * Syntax (MSP430 style):
+ *
+ *     ; comment
+ *     .equ  NAME, expr          ; define a constant
+ *     .org  0xF000              ; set location counter (ROM region only)
+ *     label:
+ *         mov   #0x0280, sp     ; immediates use the constant generator
+ *         mov.b &0x0000, r5     ; absolute addressing
+ *         add   2(r4), r5       ; indexed
+ *         mov   @r4+, r6        ; post-increment
+ *         jnz   label
+ *     .word expr [, expr ...]
+ *     .space N
+ *
+ * Pseudo-instructions (expanded to core encodings): nop, ret, pop, br,
+ * clr, inc, incd, dec, decd, inv, rla, rlc, adc, sbc, tst, clrc, setc,
+ * clrz, setz, clrn, dint, eint.
+ *
+ * The assembler records, per emitted instruction, its source line and
+ * whether it is a conditional branch; the verification harness (paper
+ * Table 3) uses these for line/branch coverage metrics.
+ */
+
+#ifndef BESPOKE_ISA_ASSEMBLER_HH
+#define BESPOKE_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.hh"
+
+namespace bespoke
+{
+
+/** One assembled program: a ROM image plus metadata. */
+struct AsmProgram
+{
+    /** ROM contents, kRomSize bytes starting at kRomBase. */
+    std::vector<uint8_t> rom = std::vector<uint8_t>(kRomSize, 0xff);
+
+    /** Label/equ symbol table. */
+    std::map<std::string, uint16_t> symbols;
+
+    /** Byte address of each emitted instruction -> 1-based source line. */
+    std::map<uint16_t, int> addrToLine;
+
+    /** Addresses of conditional branches (format III, cond != JMP). */
+    std::vector<uint16_t> condBranchAddrs;
+
+    /** Number of source lines that emitted code (for coverage %). */
+    int codeLines = 0;
+
+    /** Read a 16-bit little-endian word from the ROM image. */
+    uint16_t romWord(uint16_t byte_addr) const;
+
+    /** Reset-vector entry point. */
+    uint16_t entry() const { return romWord(kVecReset); }
+};
+
+/**
+ * Assemble BSP430 source. Errors are fatal (this is an offline tool
+ * flow; a bad benchmark source is a build bug). The @p name is used in
+ * diagnostics only.
+ */
+AsmProgram assemble(const std::string &source,
+                    const std::string &name = "<asm>");
+
+} // namespace bespoke
+
+#endif // BESPOKE_ISA_ASSEMBLER_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * BSP430 instruction-set definitions.
+ *
+ * BSP430 is the MSP430 core instruction set (minus DADD, which traps as
+ * illegal): 12 format-I double-operand instructions, 7 format-II single
+ * operand instructions, 8 conditional jumps, full addressing modes, the
+ * R2/R3 constant generator, and byte/word operation sizes. This header
+ * owns encodings and decode; execution semantics live in src/iss (golden
+ * model) and src/cpu (gate level).
+ */
+
+#ifndef BESPOKE_ISA_ISA_HH
+#define BESPOKE_ISA_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bespoke
+{
+
+/** Register aliases. */
+constexpr int kRegPC = 0;
+constexpr int kRegSP = 1;
+constexpr int kRegSR = 2;  ///< status register / constant generator 1
+constexpr int kRegCG = 3;  ///< constant generator 2
+
+/** Status-register flag bit positions (MSP430 layout). */
+constexpr uint16_t kFlagC = 1u << 0;
+constexpr uint16_t kFlagZ = 1u << 1;
+constexpr uint16_t kFlagN = 1u << 2;
+constexpr uint16_t kFlagGIE = 1u << 3;
+constexpr uint16_t kFlagV = 1u << 8;
+
+/** Format-I (double operand) opcodes, value = bits [15:12]. */
+enum class Op1 : uint8_t
+{
+    MOV = 0x4,
+    ADD = 0x5,
+    ADDC = 0x6,
+    SUBC = 0x7,
+    SUB = 0x8,
+    CMP = 0x9,
+    DADD = 0xa,  ///< unimplemented; traps
+    BIT = 0xb,
+    BIC = 0xc,
+    BIS = 0xd,
+    XOR = 0xe,
+    AND = 0xf,
+};
+
+/** Format-II (single operand) opcodes, value = bits [9:7]. */
+enum class Op2 : uint8_t
+{
+    RRC = 0,
+    SWPB = 1,
+    RRA = 2,
+    SXT = 3,
+    PUSH = 4,
+    CALL = 5,
+    RETI = 6,
+};
+
+/** Jump conditions, value = bits [12:10]. */
+enum class JumpCond : uint8_t
+{
+    JNE = 0,  ///< Z == 0
+    JEQ = 1,  ///< Z == 1
+    JNC = 2,  ///< C == 0
+    JC = 3,   ///< C == 1
+    JN = 4,   ///< N == 1
+    JGE = 5,  ///< N ^ V == 0
+    JL = 6,   ///< N ^ V == 1
+    JMP = 7,  ///< always
+};
+
+/** Source addressing mode (As field). */
+enum class AddrMode : uint8_t
+{
+    Register = 0,      ///< Rn
+    Indexed = 1,       ///< X(Rn); &abs with R2; symbolic with R0
+    Indirect = 2,      ///< @Rn
+    IndirectInc = 3,   ///< @Rn+; #imm with R0
+};
+
+/** Instruction class. */
+enum class Format : uint8_t
+{
+    DoubleOp,
+    SingleOp,
+    Jump,
+    Illegal,
+};
+
+/** Decoded instruction. */
+struct Instr
+{
+    Format format = Format::Illegal;
+    uint16_t raw = 0;
+
+    // Format I / II
+    Op1 op1 = Op1::MOV;
+    Op2 op2 = Op2::RRC;
+    bool byteMode = false;
+    int srcReg = 0;
+    AddrMode srcMode = AddrMode::Register;
+    int dstReg = 0;
+    AddrMode dstMode = AddrMode::Register;  ///< Register or Indexed only
+
+    // Format III
+    JumpCond cond = JumpCond::JMP;
+    int16_t offset = 0;  ///< word offset, sign-extended
+
+    /** Does the source addressing use the constant generator? */
+    bool usesConstGen() const;
+    /** Constant produced by the constant generator (valid when above). */
+    uint16_t constGenValue() const;
+    /** Does the source consume an extension word? */
+    bool srcNeedsExt() const;
+    /** Does the destination consume an extension word? */
+    bool dstNeedsExt() const;
+
+    std::string toString() const;
+};
+
+/** Decode one instruction word (extension words fetched separately). */
+Instr decode(uint16_t word);
+
+/** @name Encoding helpers (used by the assembler and tests) */
+/// @{
+uint16_t encodeDoubleOp(Op1 op, int src_reg, AddrMode src_mode, int dst_reg,
+                        AddrMode dst_mode, bool byte_mode);
+uint16_t encodeSingleOp(Op2 op, int reg, AddrMode mode, bool byte_mode);
+uint16_t encodeJump(JumpCond cond, int16_t word_offset);
+/// @}
+
+/** Parse an opcode mnemonic ("mov", "add.b", "jnz", ...). */
+struct Mnemonic
+{
+    Format format;
+    Op1 op1;
+    Op2 op2;
+    JumpCond cond;
+    bool byteMode;
+};
+std::optional<Mnemonic> parseMnemonic(const std::string &text);
+
+/** @name Memory map (byte addresses) */
+/// @{
+constexpr uint16_t kAddrP1IN = 0x0000;    ///< GPIO input port (read only)
+constexpr uint16_t kAddrP1OUT = 0x0002;   ///< GPIO output port
+constexpr uint16_t kAddrIE = 0x0004;      ///< interrupt enable
+constexpr uint16_t kAddrIFG = 0x0006;     ///< interrupt flags
+constexpr uint16_t kAddrWDTCTL = 0x0010;  ///< watchdog control/counter ctl
+constexpr uint16_t kAddrCLKCTL = 0x0020;  ///< clock module control
+constexpr uint16_t kAddrDBGCTL = 0x0030;  ///< debug unit control
+constexpr uint16_t kAddrDBGADDR = 0x0032; ///< debug unit address register
+constexpr uint16_t kAddrDBGDATA = 0x0034; ///< debug unit data register
+constexpr uint16_t kAddrTACTL = 0x0040;   ///< timer control (ext. core)
+constexpr uint16_t kAddrTACNT = 0x0042;   ///< timer counter (read only)
+constexpr uint16_t kAddrTACCR = 0x0044;   ///< timer compare register
+constexpr uint16_t kAddrUCTL = 0x0050;    ///< UART control/status
+constexpr uint16_t kAddrUTXBUF = 0x0052;  ///< UART transmit buffer
+constexpr uint16_t kAddrMPY = 0x0130;     ///< multiplier op1, unsigned
+constexpr uint16_t kAddrMPYS = 0x0132;    ///< multiplier op1, signed
+constexpr uint16_t kAddrOP2 = 0x0134;     ///< multiplier op2 (triggers)
+constexpr uint16_t kAddrRESLO = 0x0136;   ///< product low
+constexpr uint16_t kAddrRESHI = 0x0138;   ///< product high
+
+constexpr uint16_t kPeriphEnd = 0x0200;   ///< peripherals live below this
+
+constexpr uint16_t kRamBase = 0x0200;
+constexpr uint16_t kRamSize = 0x0800;     ///< 2 KiB
+constexpr uint16_t kRomBase = 0xf000;
+constexpr uint16_t kRomSize = 0x1000;     ///< 4 KiB
+constexpr uint16_t kVecIRQ0 = 0xfff8;     ///< external (GPIO) interrupt
+constexpr uint16_t kVecIRQ1 = 0xfffa;     ///< watchdog interrupt
+constexpr uint16_t kVecNMI = 0xfffc;      ///< unused, reserved
+constexpr uint16_t kVecReset = 0xfffe;
+/// @}
+
+/** True if a byte address falls in the peripheral/SFR region. */
+inline bool
+isPeriphAddr(uint16_t addr)
+{
+    return addr < kPeriphEnd;
+}
+
+inline bool
+isRamAddr(uint16_t addr)
+{
+    return addr >= kRamBase && addr < kRamBase + kRamSize;
+}
+
+inline bool
+isRomAddr(uint16_t addr)
+{
+    return addr >= kRomBase;
+}
+
+} // namespace bespoke
+
+#endif // BESPOKE_ISA_ISA_HH

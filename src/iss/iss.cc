@@ -1,0 +1,670 @@
+#include "src/iss/iss.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+Iss::Iss(const AsmProgram &prog)
+    : prog_(prog)
+{
+    reset();
+}
+
+void
+Iss::reset()
+{
+    regs_.fill(0);
+    ram_.fill(0);
+    gpioOut_ = 0;
+    ie_ = ifg_ = 0;
+    wdtctl_ = clkctl_ = 0;
+    dbgctl_ = dbgaddr_ = dbgdata_ = dbgcount_ = 0;
+    tactl_ = taccr_ = uctl_ = utxbuf_ = 0;
+    mpyOp1_ = mpyOp2_ = 0;
+    mpySigned_ = false;
+    resLo_ = resHi_ = 0;
+    trace_.clear();
+    retired_ = 0;
+    executedPCs_.clear();
+    branchDirs_.clear();
+    regs_[kRegPC] = prog_.entry();
+}
+
+uint16_t
+Iss::reg(int n) const
+{
+    bespoke_assert(n >= 0 && n < 16);
+    if (n == kRegCG)
+        return 0;
+    return regs_[n];
+}
+
+void
+Iss::setReg(int n, uint16_t v)
+{
+    bespoke_assert(n >= 0 && n < 16);
+    if (n == kRegCG)
+        return;  // CG2 is not a real register
+    regs_[n] = v;
+}
+
+void
+Iss::raiseExternalIrq()
+{
+    ifg_ |= 1;
+}
+
+uint8_t
+Iss::readByte(uint16_t addr) const
+{
+    if (isRamAddr(addr))
+        return ram_[addr - kRamBase];
+    if (isRomAddr(addr))
+        return prog_.rom[addr - kRomBase];
+    // Peripheral space: defined for word reads only; give low/high byte.
+    uint16_t w = const_cast<Iss *>(this)->periphRead(addr & ~1u);
+    return (addr & 1) ? static_cast<uint8_t>(w >> 8)
+                      : static_cast<uint8_t>(w & 0xff);
+}
+
+uint16_t
+Iss::readWord(uint16_t addr) const
+{
+    return static_cast<uint16_t>(readByte(addr) |
+                                 (readByte(addr + 1) << 8));
+}
+
+void
+Iss::pokeWord(uint16_t addr, uint16_t value)
+{
+    bespoke_assert(isRamAddr(addr) && (addr & 1) == 0);
+    ram_[addr - kRamBase] = static_cast<uint8_t>(value & 0xff);
+    ram_[addr - kRamBase + 1] = static_cast<uint8_t>(value >> 8);
+}
+
+uint16_t
+Iss::busReadWord(uint16_t addr)
+{
+    bespoke_assert((addr & 1) == 0, "unaligned word read at 0x",
+                   std::hex, addr);
+    if (isPeriphAddr(addr))
+        return periphRead(addr);
+    if (isRamAddr(addr)) {
+        if (dbgctl_ & 1) {
+            if (addr == dbgaddr_) {
+                dbgcount_ = static_cast<uint16_t>((dbgcount_ + 1) & 0xff);
+                dbgdata_ = static_cast<uint16_t>(
+                    ram_[addr - kRamBase] |
+                    (ram_[addr - kRamBase + 1] << 8));
+            }
+        }
+        return static_cast<uint16_t>(ram_[addr - kRamBase] |
+                                     (ram_[addr - kRamBase + 1] << 8));
+    }
+    if (isRomAddr(addr))
+        return prog_.romWord(addr);
+    bespoke_fatal("read from unmapped address 0x", std::hex, addr);
+}
+
+uint8_t
+Iss::busReadByte(uint16_t addr)
+{
+    bespoke_assert(!isPeriphAddr(addr),
+                   "byte access to peripheral space at 0x", std::hex, addr);
+    if (isRamAddr(addr)) {
+        if ((dbgctl_ & 1) && (addr & ~1u) == dbgaddr_) {
+            dbgcount_ = static_cast<uint16_t>((dbgcount_ + 1) & 0xff);
+            dbgdata_ = static_cast<uint16_t>(
+                ram_[(addr & ~1u) - kRamBase] |
+                (ram_[(addr & ~1u) - kRamBase + 1] << 8));
+        }
+        return ram_[addr - kRamBase];
+    }
+    if (isRomAddr(addr))
+        return prog_.rom[addr - kRomBase];
+    bespoke_fatal("read from unmapped address 0x", std::hex, addr);
+}
+
+void
+Iss::busWriteWord(uint16_t addr, uint16_t value)
+{
+    bespoke_assert((addr & 1) == 0, "unaligned word write at 0x",
+                   std::hex, addr);
+    if (isPeriphAddr(addr)) {
+        periphWrite(addr, value, 0xffff);
+        return;
+    }
+    if (isRamAddr(addr)) {
+        if ((dbgctl_ & 1) && addr == dbgaddr_) {
+            dbgcount_ = static_cast<uint16_t>((dbgcount_ + 1) & 0xff);
+            dbgdata_ = value;
+        }
+        ram_[addr - kRamBase] = static_cast<uint8_t>(value & 0xff);
+        ram_[addr - kRamBase + 1] = static_cast<uint8_t>(value >> 8);
+        return;
+    }
+    bespoke_fatal("write to non-RAM address 0x", std::hex, addr);
+}
+
+void
+Iss::busWriteByte(uint16_t addr, uint8_t value)
+{
+    bespoke_assert(!isPeriphAddr(addr),
+                   "byte access to peripheral space at 0x", std::hex, addr);
+    if (isRamAddr(addr)) {
+        if ((dbgctl_ & 1) && (addr & ~1u) == dbgaddr_) {
+            dbgcount_ = static_cast<uint16_t>((dbgcount_ + 1) & 0xff);
+            uint16_t lo = (addr & 1) ? ram_[(addr & ~1u) - kRamBase]
+                                     : value;
+            uint16_t hi = (addr & 1)
+                              ? value
+                              : ram_[(addr | 1u) - kRamBase];
+            dbgdata_ = static_cast<uint16_t>(lo | (hi << 8));
+        }
+        ram_[addr - kRamBase] = value;
+        return;
+    }
+    bespoke_fatal("write to non-RAM address 0x", std::hex, addr);
+}
+
+uint16_t
+Iss::periphRead(uint16_t addr)
+{
+    switch (addr) {
+      case kAddrP1IN:
+        return gpioIn_;
+      case kAddrP1OUT:
+        return gpioOut_;
+      case kAddrIE:
+        return ie_;
+      case kAddrIFG:
+        return ifg_;
+      case kAddrWDTCTL:
+        return wdtctl_;
+      case kAddrCLKCTL:
+        return clkctl_;
+      case kAddrDBGCTL:
+        return static_cast<uint16_t>((dbgctl_ & 0xff) | (dbgcount_ << 8));
+      case kAddrDBGADDR:
+        return dbgaddr_;
+      case kAddrDBGDATA:
+        return dbgdata_;
+      // Extended-core peripherals. The ISS models their registers
+      // but not their cycle behavior: TACNT reads 0 and the UART is
+      // always ready (busy == 0); workloads using them must be
+      // insensitive to those (poll loops terminate immediately).
+      case kAddrTACTL:
+        return tactl_;
+      case kAddrTACNT:
+        return 0;
+      case kAddrTACCR:
+        return taccr_;
+      case kAddrUCTL:
+        return uctl_;
+      case kAddrUTXBUF:
+        return utxbuf_;
+      case kAddrMPY:
+      case kAddrMPYS:
+        return mpyOp1_;
+      case kAddrOP2:
+        return mpyOp2_;
+      case kAddrRESLO:
+        return resLo_;
+      case kAddrRESHI:
+        return resHi_;
+      default:
+        bespoke_fatal("read from unmapped peripheral 0x", std::hex, addr);
+    }
+}
+
+void
+Iss::periphWrite(uint16_t addr, uint16_t value, uint16_t byte_mask)
+{
+    bespoke_assert(byte_mask == 0xffff,
+                   "peripheral registers are word-access only");
+    switch (addr) {
+      case kAddrP1IN:
+        return;  // read-only; writes ignored
+      case kAddrP1OUT:
+        if (gpioOut_ != value)
+            trace_.push_back({kAddrP1OUT, value});
+        gpioOut_ = value;
+        return;
+      case kAddrIE:
+        ie_ = value & 0x3;
+        return;
+      case kAddrIFG:
+        ifg_ = value & 0x3;
+        return;
+      case kAddrWDTCTL:
+        wdtctl_ = value & 0xff;  // 8-bit control register
+        return;
+      case kAddrCLKCTL:
+        clkctl_ = value & 0xff;
+        return;
+      case kAddrDBGCTL:
+        dbgctl_ = value & 0xff;
+        if (value & 0x2)
+            dbgcount_ = 0;  // bit1: clear event counter
+        return;
+      case kAddrDBGADDR:
+        dbgaddr_ = value;
+        return;
+      case kAddrDBGDATA:
+        dbgdata_ = value;
+        return;
+      case kAddrTACTL:
+        tactl_ = value & 0x3;  // clear/flag-clear bits are momentary
+        return;
+      case kAddrTACCR:
+        taccr_ = value;
+        return;
+      case kAddrUCTL:
+        uctl_ = value & 0x1;
+        return;
+      case kAddrUTXBUF:
+        utxbuf_ = value & 0xff;
+        return;
+      case kAddrMPY:
+        mpyOp1_ = value;
+        mpySigned_ = false;
+        return;
+      case kAddrMPYS:
+        mpyOp1_ = value;
+        mpySigned_ = true;
+        return;
+      case kAddrOP2: {
+        mpyOp2_ = value;
+        uint32_t product;
+        if (mpySigned_) {
+            int32_t p = static_cast<int32_t>(static_cast<int16_t>(mpyOp1_))
+                        * static_cast<int16_t>(mpyOp2_);
+            product = static_cast<uint32_t>(p);
+        } else {
+            product = static_cast<uint32_t>(mpyOp1_) * mpyOp2_;
+        }
+        resLo_ = static_cast<uint16_t>(product & 0xffff);
+        resHi_ = static_cast<uint16_t>(product >> 16);
+        return;
+      }
+      case kAddrRESLO:
+        resLo_ = value;
+        return;
+      case kAddrRESHI:
+        resHi_ = value;
+        return;
+      default:
+        bespoke_fatal("write to unmapped peripheral 0x", std::hex, addr);
+    }
+}
+
+uint16_t
+Iss::fetchWord()
+{
+    uint16_t w = busReadWord(regs_[kRegPC]);
+    regs_[kRegPC] = static_cast<uint16_t>(regs_[kRegPC] + 2);
+    return w;
+}
+
+void
+Iss::setFlag(uint16_t flag, bool v)
+{
+    if (v)
+        regs_[kRegSR] |= flag;
+    else
+        regs_[kRegSR] = static_cast<uint16_t>(regs_[kRegSR] & ~flag);
+}
+
+void
+Iss::setFlagsLogic(uint16_t result, bool byte_mode)
+{
+    uint16_t mask = byte_mode ? 0xff : 0xffff;
+    uint16_t sign = byte_mode ? 0x80 : 0x8000;
+    bool z = (result & mask) == 0;
+    setFlag(kFlagZ, z);
+    setFlag(kFlagN, (result & sign) != 0);
+    setFlag(kFlagC, !z);
+    setFlag(kFlagV, false);
+}
+
+bool
+Iss::condTaken(JumpCond cond) const
+{
+    bool c = getFlag(kFlagC), z = getFlag(kFlagZ);
+    bool n = getFlag(kFlagN), v = getFlag(kFlagV);
+    switch (cond) {
+      case JumpCond::JNE:
+        return !z;
+      case JumpCond::JEQ:
+        return z;
+      case JumpCond::JNC:
+        return !c;
+      case JumpCond::JC:
+        return c;
+      case JumpCond::JN:
+        return n;
+      case JumpCond::JGE:
+        return n == v;
+      case JumpCond::JL:
+        return n != v;
+      case JumpCond::JMP:
+        return true;
+    }
+    return false;
+}
+
+void
+Iss::serviceIrqIfPending()
+{
+    if (!getFlag(kFlagGIE))
+        return;
+    uint16_t pending = static_cast<uint16_t>(ie_ & ifg_ & 0x3);
+    if (!pending)
+        return;
+    int irq = (pending & 1) ? 0 : 1;
+    uint16_t vector = irq == 0 ? kVecIRQ0 : kVecIRQ1;
+    // Push PC, push SR, clear SR (including GIE), clear the IFG bit.
+    regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] - 2);
+    busWriteWord(regs_[kRegSP], regs_[kRegPC]);
+    regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] - 2);
+    busWriteWord(regs_[kRegSP], regs_[kRegSR]);
+    regs_[kRegSR] = 0;
+    ifg_ = static_cast<uint16_t>(ifg_ & ~(1u << irq));
+    regs_[kRegPC] = busReadWord(vector);
+}
+
+uint16_t
+Iss::readSrc(const Instr &ins, bool &is_mem, uint16_t &mem_addr)
+{
+    is_mem = false;
+    mem_addr = 0;
+    if (ins.usesConstGen()) {
+        uint16_t v = ins.constGenValue();
+        return ins.byteMode ? static_cast<uint16_t>(v & 0xff) : v;
+    }
+    switch (ins.srcMode) {
+      case AddrMode::Register: {
+        uint16_t v = reg(ins.srcReg);
+        return ins.byteMode ? static_cast<uint16_t>(v & 0xff) : v;
+      }
+      case AddrMode::Indexed: {
+        uint16_t ext = fetchWord();
+        uint16_t base = ins.srcReg == kRegSR ? 0 : reg(ins.srcReg);
+        mem_addr = static_cast<uint16_t>(base + ext);
+        is_mem = true;
+        return ins.byteMode ? busReadByte(mem_addr)
+                            : busReadWord(mem_addr);
+      }
+      case AddrMode::Indirect: {
+        mem_addr = reg(ins.srcReg);
+        is_mem = true;
+        return ins.byteMode ? busReadByte(mem_addr)
+                            : busReadWord(mem_addr);
+      }
+      case AddrMode::IndirectInc: {
+        if (ins.srcReg == kRegPC) {
+            // #immediate
+            uint16_t v = fetchWord();
+            return ins.byteMode ? static_cast<uint16_t>(v & 0xff) : v;
+        }
+        mem_addr = reg(ins.srcReg);
+        is_mem = true;
+        uint16_t v = ins.byteMode ? busReadByte(mem_addr)
+                                  : busReadWord(mem_addr);
+        int inc = ins.byteMode && ins.srcReg != kRegSP ? 1 : 2;
+        setReg(ins.srcReg,
+               static_cast<uint16_t>(reg(ins.srcReg) + inc));
+        return v;
+      }
+    }
+    bespoke_fatal("bad source mode");
+}
+
+uint16_t
+Iss::resolveDstAddr(const Instr &ins)
+{
+    bespoke_assert(ins.dstMode == AddrMode::Indexed);
+    uint16_t ext = fetchWord();
+    uint16_t base = ins.dstReg == kRegSR ? 0 : reg(ins.dstReg);
+    return static_cast<uint16_t>(base + ext);
+}
+
+StepResult
+Iss::step()
+{
+    serviceIrqIfPending();
+
+    uint16_t pc_before = regs_[kRegPC];
+    executedPCs_.insert(pc_before);
+    uint16_t word = fetchWord();
+    Instr ins = decode(word);
+    retired_++;
+
+    if (ins.format == Format::Jump) {
+        bool taken = condTaken(ins.cond);
+        if (ins.cond != JumpCond::JMP) {
+            auto &dirs = branchDirs_[pc_before];
+            (taken ? dirs.first : dirs.second) = true;
+        }
+        if (taken) {
+            uint16_t target = static_cast<uint16_t>(
+                pc_before + 2 + 2 * ins.offset);
+            regs_[kRegPC] = target;
+            if (ins.cond == JumpCond::JMP && ins.offset == -1)
+                return StepResult::Halted;
+        }
+        return StepResult::Ok;
+    }
+
+    if (ins.format == Format::Illegal)
+        return StepResult::Illegal;
+
+    return execute(ins);
+}
+
+StepResult
+Iss::execute(const Instr &ins)
+{
+    const bool bm = ins.byteMode;
+    const uint16_t mask = bm ? 0xff : 0xffff;
+    const uint16_t sign = bm ? 0x80 : 0x8000;
+
+    if (ins.format == Format::SingleOp) {
+        if (ins.op2 == Op2::RETI) {
+            regs_[kRegSR] = busReadWord(regs_[kRegSP]);
+            regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] + 2);
+            regs_[kRegPC] = busReadWord(regs_[kRegSP]);
+            regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] + 2);
+            return StepResult::Ok;
+        }
+
+        bool is_mem;
+        uint16_t addr;
+        uint16_t v = readSrc(ins, is_mem, addr);
+        uint16_t result = 0;
+        bool write_back = true;
+
+        switch (ins.op2) {
+          case Op2::RRC: {
+            uint16_t cin = getFlag(kFlagC) ? sign : 0;
+            setFlag(kFlagC, v & 1);
+            result = static_cast<uint16_t>(((v & mask) >> 1) | cin);
+            setFlag(kFlagZ, (result & mask) == 0);
+            setFlag(kFlagN, (result & sign) != 0);
+            setFlag(kFlagV, false);
+            break;
+          }
+          case Op2::RRA: {
+            setFlag(kFlagC, v & 1);
+            result = static_cast<uint16_t>(
+                ((v & mask) >> 1) | (v & sign));
+            setFlag(kFlagZ, (result & mask) == 0);
+            setFlag(kFlagN, (result & sign) != 0);
+            setFlag(kFlagV, false);
+            break;
+          }
+          case Op2::SWPB:
+            result = static_cast<uint16_t>((v << 8) | (v >> 8));
+            break;
+          case Op2::SXT:
+            result = static_cast<uint16_t>(
+                (v & 0x80) ? (v | 0xff00) : (v & 0x00ff));
+            setFlag(kFlagZ, result == 0);
+            setFlag(kFlagN, (result & 0x8000) != 0);
+            setFlag(kFlagC, result != 0);
+            setFlag(kFlagV, false);
+            break;
+          case Op2::PUSH: {
+            regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] - 2);
+            busWriteWord(regs_[kRegSP],
+                         static_cast<uint16_t>(v & mask));
+            write_back = false;
+            break;
+          }
+          case Op2::CALL: {
+            regs_[kRegSP] = static_cast<uint16_t>(regs_[kRegSP] - 2);
+            busWriteWord(regs_[kRegSP], regs_[kRegPC]);
+            regs_[kRegPC] = v;
+            write_back = false;
+            break;
+          }
+          default:
+            return StepResult::Illegal;
+        }
+
+        if (write_back) {
+            if (is_mem) {
+                if (bm) {
+                    busWriteByte(addr, static_cast<uint8_t>(result));
+                } else {
+                    busWriteWord(addr, result);
+                }
+            } else {
+                setReg(ins.srcReg, static_cast<uint16_t>(result & mask));
+            }
+        }
+        return StepResult::Ok;
+    }
+
+    // Format I (double operand).
+    bool src_is_mem;
+    uint16_t src_addr;
+    uint16_t src = readSrc(ins, src_is_mem, src_addr);
+    src &= mask;
+
+    bool dst_is_mem = ins.dstMode == AddrMode::Indexed;
+    uint16_t dst_addr = 0;
+    uint16_t dst = 0;
+    if (dst_is_mem) {
+        dst_addr = resolveDstAddr(ins);
+        // MOV does not read its destination.
+        if (ins.op1 != Op1::MOV)
+            dst = bm ? busReadByte(dst_addr) : busReadWord(dst_addr);
+    } else {
+        dst = reg(ins.dstReg);
+    }
+    dst &= mask;
+
+    uint16_t result = 0;
+    bool write_back = true;
+    bool flags_from_arith = false;
+    uint32_t wide = 0;
+
+    auto arith = [&](uint16_t a_src, bool carry_in) {
+        // dst + src + cin, where subtraction passes ~src.
+        wide = static_cast<uint32_t>(dst) + a_src + (carry_in ? 1 : 0);
+        result = static_cast<uint16_t>(wide & mask);
+        flags_from_arith = true;
+    };
+
+    bool sub_like = false;
+    switch (ins.op1) {
+      case Op1::MOV:
+        result = src;
+        write_back = true;
+        break;
+      case Op1::ADD:
+        arith(src, false);
+        break;
+      case Op1::ADDC:
+        arith(src, getFlag(kFlagC));
+        break;
+      case Op1::SUB:
+        arith(static_cast<uint16_t>(~src & mask), true);
+        sub_like = true;
+        break;
+      case Op1::SUBC:
+        arith(static_cast<uint16_t>(~src & mask), getFlag(kFlagC));
+        sub_like = true;
+        break;
+      case Op1::CMP:
+        arith(static_cast<uint16_t>(~src & mask), true);
+        sub_like = true;
+        write_back = false;
+        break;
+      case Op1::BIT:
+        result = static_cast<uint16_t>(src & dst);
+        setFlagsLogic(result, bm);
+        write_back = false;
+        break;
+      case Op1::AND:
+        result = static_cast<uint16_t>(src & dst);
+        setFlagsLogic(result, bm);
+        break;
+      case Op1::XOR:
+        result = static_cast<uint16_t>(src ^ dst);
+        setFlag(kFlagZ, (result & mask) == 0);
+        setFlag(kFlagN, (result & sign) != 0);
+        setFlag(kFlagC, (result & mask) != 0);
+        setFlag(kFlagV, (src & sign) && (dst & sign));
+        break;
+      case Op1::BIC:
+        result = static_cast<uint16_t>(dst & ~src);
+        break;
+      case Op1::BIS:
+        result = static_cast<uint16_t>(dst | src);
+        break;
+      default:
+        return StepResult::Illegal;
+    }
+
+    if (flags_from_arith) {
+        // For sub-like ops the V computation uses the original operand.
+        uint16_t eff_src = sub_like ? static_cast<uint16_t>(~src & mask)
+                                    : src;
+        setFlag(kFlagC, (wide >> (bm ? 8 : 16)) & 1);
+        setFlag(kFlagZ, (result & mask) == 0);
+        setFlag(kFlagN, (result & sign) != 0);
+        bool v = ((eff_src & sign) == (dst & sign)) &&
+                 ((result & sign) != (dst & sign));
+        setFlag(kFlagV, v);
+    }
+
+    if (write_back) {
+        if (dst_is_mem) {
+            if (bm) {
+                busWriteByte(dst_addr, static_cast<uint8_t>(result));
+            } else {
+                busWriteWord(dst_addr, result);
+            }
+        } else {
+            // Byte ops on registers clear the upper byte.
+            setReg(ins.dstReg, static_cast<uint16_t>(result & mask));
+        }
+    }
+    return StepResult::Ok;
+}
+
+StepResult
+Iss::run(uint64_t max_steps)
+{
+    for (uint64_t i = 0; i < max_steps; i++) {
+        StepResult r = step();
+        if (r != StepResult::Ok)
+            return r;
+    }
+    return StepResult::Ok;
+}
+
+} // namespace bespoke

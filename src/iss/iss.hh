@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Golden-model instruction-set simulator for BSP430.
+ *
+ * The ISS defines the architectural semantics the gate-level bsp430 core
+ * must match; the test suite runs both in lock-step and compares
+ * architectural state after every retired instruction. It also powers the
+ * input-based verification harness (paper Table 3), recording line and
+ * branch-direction coverage per run.
+ *
+ * Termination convention: a `jmp .` (offset -1 self-jump) is the halt
+ * idiom used by every workload; step() reports it as Halted.
+ */
+
+#ifndef BESPOKE_ISS_ISS_HH
+#define BESPOKE_ISS_ISS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/isa/assembler.hh"
+#include "src/isa/isa.hh"
+
+namespace bespoke
+{
+
+/** Result of executing one instruction. */
+enum class StepResult
+{
+    Ok,
+    Halted,       ///< executed the `jmp .` halt idiom
+    Illegal,      ///< illegal opcode reached
+};
+
+/** One observable output event (change on an output port). */
+struct OutputEvent
+{
+    uint16_t addr;   ///< peripheral register written (e.g. kAddrP1OUT)
+    uint16_t value;
+    bool operator==(const OutputEvent &) const = default;
+};
+
+/**
+ * Architectural + peripheral state of the behavioral machine. The
+ * gate-level testbench compares against regs/ram and the output trace.
+ */
+class Iss
+{
+  public:
+    explicit Iss(const AsmProgram &prog);
+
+    void reset();
+
+    /** Execute one instruction (servicing a pending IRQ first). */
+    StepResult step();
+
+    /** Run until halt/illegal or max_steps; returns last result. */
+    StepResult run(uint64_t max_steps = 2'000'000);
+
+    /** @name Architectural state access */
+    /// @{
+    uint16_t reg(int n) const;
+    void setReg(int n, uint16_t v);
+    uint16_t pc() const { return regs_[kRegPC]; }
+    uint16_t sr() const { return regs_[kRegSR]; }
+    /** Byte read anywhere in the address space (RAM/ROM/periph). */
+    uint8_t readByte(uint16_t addr) const;
+    uint16_t readWord(uint16_t addr) const;
+    /** Direct RAM poke for test setup. */
+    void pokeWord(uint16_t addr, uint16_t value);
+    const std::array<uint8_t, kRamSize> &ram() const { return ram_; }
+    /// @}
+
+    /** @name Environment */
+    /// @{
+    /** Drive the GPIO input port (application input). */
+    void setGpioIn(uint16_t value) { gpioIn_ = value; }
+    /** Assert the external IRQ line (latched into IFG bit 0). */
+    void raiseExternalIrq();
+    uint16_t gpioOut() const { return gpioOut_; }
+    const std::vector<OutputEvent> &outputTrace() const { return trace_; }
+    /// @}
+
+    /** @name Statistics & coverage */
+    /// @{
+    uint64_t instructionsRetired() const { return retired_; }
+    const std::set<uint16_t> &executedPCs() const { return executedPCs_; }
+    /** For each conditional branch address: (seen taken, seen fall). */
+    const std::map<uint16_t, std::pair<bool, bool>> &
+    branchDirections() const
+    {
+        return branchDirs_;
+    }
+    /// @}
+
+  private:
+    uint16_t fetchWord();
+    StepResult execute(const Instr &ins);
+    void serviceIrqIfPending();
+
+    /** Resolve the source operand; may consume an extension word. */
+    uint16_t readSrc(const Instr &ins, bool &is_mem, uint16_t &mem_addr);
+    /** Resolve the destination address (for non-register dst). */
+    uint16_t resolveDstAddr(const Instr &ins);
+
+    uint16_t busReadWord(uint16_t addr);
+    uint8_t busReadByte(uint16_t addr);
+    void busWriteWord(uint16_t addr, uint16_t value);
+    void busWriteByte(uint16_t addr, uint8_t value);
+
+    uint16_t periphRead(uint16_t addr);
+    void periphWrite(uint16_t addr, uint16_t value, uint16_t byte_mask);
+
+    void setFlagsLogic(uint16_t result, bool byte_mode);
+    void setFlag(uint16_t flag, bool v);
+    bool getFlag(uint16_t flag) const { return regs_[kRegSR] & flag; }
+    bool condTaken(JumpCond cond) const;
+
+    const AsmProgram &prog_;
+    std::array<uint16_t, 16> regs_ = {};
+    std::array<uint8_t, kRamSize> ram_ = {};
+
+    // Peripheral state.
+    uint16_t gpioIn_ = 0;
+    uint16_t gpioOut_ = 0;
+    uint16_t ie_ = 0;
+    uint16_t ifg_ = 0;
+    uint16_t wdtctl_ = 0;
+    uint16_t clkctl_ = 0;
+    uint16_t dbgctl_ = 0;
+    uint16_t dbgaddr_ = 0;
+    uint16_t dbgdata_ = 0;
+    uint16_t dbgcount_ = 0;
+    uint16_t tactl_ = 0;
+    uint16_t taccr_ = 0;
+    uint16_t uctl_ = 0;
+    uint16_t utxbuf_ = 0;
+    uint16_t mpyOp1_ = 0;
+    uint16_t mpyOp2_ = 0;
+    bool mpySigned_ = false;
+    uint16_t resLo_ = 0;
+    uint16_t resHi_ = 0;
+
+    std::vector<OutputEvent> trace_;
+    uint64_t retired_ = 0;
+    std::set<uint16_t> executedPCs_;
+    std::map<uint16_t, std::pair<bool, bool>> branchDirs_;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_ISS_ISS_HH

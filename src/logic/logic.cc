@@ -1,0 +1,83 @@
+#include "src/logic/logic.hh"
+
+namespace bespoke
+{
+
+Logic
+logicNot(Logic a)
+{
+    if (a == Logic::X)
+        return Logic::X;
+    return a == Logic::One ? Logic::Zero : Logic::One;
+}
+
+Logic
+logicAnd(Logic a, Logic b)
+{
+    if (a == Logic::Zero || b == Logic::Zero)
+        return Logic::Zero;
+    if (a == Logic::One && b == Logic::One)
+        return Logic::One;
+    return Logic::X;
+}
+
+Logic
+logicOr(Logic a, Logic b)
+{
+    if (a == Logic::One || b == Logic::One)
+        return Logic::One;
+    if (a == Logic::Zero && b == Logic::Zero)
+        return Logic::Zero;
+    return Logic::X;
+}
+
+Logic
+logicXor(Logic a, Logic b)
+{
+    if (a == Logic::X || b == Logic::X)
+        return Logic::X;
+    return logicOf(a != b);
+}
+
+Logic
+logicMux(Logic sel, Logic a0, Logic a1)
+{
+    if (sel == Logic::Zero)
+        return a0;
+    if (sel == Logic::One)
+        return a1;
+    // Unknown select: result known only if both data inputs agree.
+    if (a0 == a1 && a0 != Logic::X)
+        return a0;
+    return Logic::X;
+}
+
+char
+logicChar(Logic v)
+{
+    switch (v) {
+      case Logic::Zero:
+        return '0';
+      case Logic::One:
+        return '1';
+      default:
+        return 'X';
+    }
+}
+
+std::string
+logicString(Logic v)
+{
+    return std::string(1, logicChar(v));
+}
+
+std::string
+SWord::toString() const
+{
+    std::string s;
+    for (int i = 15; i >= 0; i--)
+        s += logicChar(bit(i));
+    return s;
+}
+
+} // namespace bespoke

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Three-valued (Kleene) logic used throughout the symbolic simulator.
+ *
+ * A signal is 0, 1, or X (unknown). X models an input-dependent value
+ * during input-independent gate activity analysis: any gate whose output
+ * can become X may toggle for some input assignment and must be retained
+ * in a bespoke design (paper Section 3.1).
+ */
+
+#ifndef BESPOKE_LOGIC_LOGIC_HH
+#define BESPOKE_LOGIC_LOGIC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bespoke
+{
+
+/** One three-valued signal. Encoding chosen so 0/1 match their values. */
+enum class Logic : uint8_t
+{
+    Zero = 0,
+    One = 1,
+    X = 2,
+};
+
+/** Make a Logic from a bool. */
+inline Logic
+logicOf(bool b)
+{
+    return b ? Logic::One : Logic::Zero;
+}
+
+inline bool isKnown(Logic v) { return v != Logic::X; }
+
+/** Value of a known signal; caller must ensure isKnown(). */
+inline bool
+knownValue(Logic v)
+{
+    return v == Logic::One;
+}
+
+Logic logicNot(Logic a);
+Logic logicAnd(Logic a, Logic b);
+Logic logicOr(Logic a, Logic b);
+Logic logicXor(Logic a, Logic b);
+
+/** 2:1 multiplexer with X-aware select: sel==X yields a==b ? a : X. */
+Logic logicMux(Logic sel, Logic a0, Logic a1);
+
+char logicChar(Logic v);
+std::string logicString(Logic v);
+
+/**
+ * A 16-bit word of three-valued signals, packed as (val, known) bit
+ * planes: bit i is X iff known bit i is 0; when known, its value is the
+ * val bit. Used by behavioral memory and peripheral models and by the
+ * symbolic machine state.
+ */
+struct SWord
+{
+    uint16_t val = 0;
+    uint16_t known = 0;
+
+    SWord() = default;
+    SWord(uint16_t value, uint16_t known_mask)
+        : val(static_cast<uint16_t>(value & known_mask)), known(known_mask)
+    {}
+
+    /** A fully known word. */
+    static SWord of(uint16_t value) { return SWord(value, 0xffff); }
+
+    /** A fully unknown word. */
+    static SWord allX() { return SWord(0, 0); }
+
+    bool fullyKnown() const { return known == 0xffff; }
+    bool anyX() const { return known != 0xffff; }
+
+    Logic
+    bit(int i) const
+    {
+        uint16_t m = static_cast<uint16_t>(1u << i);
+        if (!(known & m))
+            return Logic::X;
+        return (val & m) ? Logic::One : Logic::Zero;
+    }
+
+    void
+    setBit(int i, Logic v)
+    {
+        uint16_t m = static_cast<uint16_t>(1u << i);
+        if (v == Logic::X) {
+            known = static_cast<uint16_t>(known & ~m);
+            val = static_cast<uint16_t>(val & ~m);
+        } else {
+            known = static_cast<uint16_t>(known | m);
+            val = static_cast<uint16_t>(v == Logic::One ? (val | m)
+                                                        : (val & ~m));
+        }
+    }
+
+    /** Low byte as an 8-bit symbolic quantity (upper byte known zero). */
+    SWord
+    lowByte() const
+    {
+        return SWord(val & 0xff,
+                     static_cast<uint16_t>((known & 0xff) | 0xff00));
+    }
+
+    bool operator==(const SWord &o) const = default;
+
+    /**
+     * Widen toward the most conservative common state: bits that differ
+     * in value or knownness become X (paper Algorithm 1 superstate).
+     */
+    static SWord
+    merge(SWord a, SWord b)
+    {
+        uint16_t both_known = a.known & b.known;
+        uint16_t agree = static_cast<uint16_t>(~(a.val ^ b.val));
+        uint16_t k = both_known & agree;
+        return SWord(a.val & k, k);
+    }
+
+    /**
+     * True if this state is covered by (is a substate of) the
+     * conservative state c: wherever c is known, this must be known and
+     * equal.
+     */
+    bool
+    substateOf(const SWord &c) const
+    {
+        if ((c.known & known) != c.known)
+            return false;
+        return ((val ^ c.val) & c.known) == 0;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_LOGIC_LOGIC_HH

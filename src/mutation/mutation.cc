@@ -1,0 +1,251 @@
+#include "src/mutation/mutation.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+const char *
+mutantTypeName(MutantType t)
+{
+    switch (t) {
+      case MutantType::TypeI:
+        return "Type I";
+      case MutantType::TypeII:
+        return "Type II";
+      default:
+        return "Type III";
+    }
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r\n");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r\n");
+    return s.substr(a, b - a + 1);
+}
+
+/** Complementary condition per mnemonic. */
+const std::map<std::string, std::string> kComplement = {
+    {"jeq", "jne"}, {"jne", "jeq"}, {"jz", "jnz"},   {"jnz", "jz"},
+    {"jc", "jnc"},  {"jnc", "jc"},  {"jhs", "jlo"},  {"jlo", "jhs"},
+    {"jge", "jl"},  {"jl", "jge"},  {"jn", "jge"},
+};
+
+/** Adjacent-relation substitution for loop conditions (i<n -> i!=n). */
+const std::map<std::string, std::string> kAdjacent = {
+    {"jl", "jne"},  {"jge", "jeq"}, {"jne", "jl"},
+    {"jnz", "jge"}, {"jlo", "jne"}, {"jc", "jeq"},
+};
+
+/** Computation-operator substitutions. */
+const std::map<std::string, std::string> kComputation = {
+    {"add", "sub"},   {"sub", "add"},  {"addc", "subc"},
+    {"subc", "addc"}, {"and", "bis"},  {"bis", "and"},
+    {"xor", "bis"},   {"inc", "dec"},  {"dec", "inc"},
+    {"incd", "decd"}, {"decd", "incd"}, {"rla", "rra"},
+    {"rra", "rla"},
+};
+
+struct LineInfo
+{
+    int lineNo;           ///< 1-based
+    std::string mnemonic; ///< lower-case, with .b suffix stripped
+    std::string suffix;   ///< ".b" or ""
+    std::string operands;
+    size_t mnemonicPos;   ///< position of the mnemonic in the line
+};
+
+/** Extract the instruction (if any) on a source line. */
+bool
+parseLine(const std::string &line, LineInfo &info)
+{
+    std::string text = line;
+    size_t sc = text.find(';');
+    if (sc != std::string::npos)
+        text = text.substr(0, sc);
+
+    // Skip labels.
+    size_t start = 0;
+    while (true) {
+        size_t colon = text.find(':', start);
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    std::string body = trim(text.substr(start));
+    if (body.empty() || body[0] == '.')
+        return false;
+
+    size_t sp = body.find_first_of(" \t");
+    std::string mn = sp == std::string::npos ? body : body.substr(0, sp);
+    for (char &c : mn)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    info.mnemonic = mn;
+    info.suffix = "";
+    if (mn.size() > 2 && mn.substr(mn.size() - 2) == ".b") {
+        info.suffix = ".b";
+        info.mnemonic = mn.substr(0, mn.size() - 2);
+    }
+    info.operands =
+        sp == std::string::npos ? "" : trim(body.substr(sp + 1));
+    info.mnemonicPos = text.find(body.substr(0, sp == std::string::npos
+                                                     ? body.size()
+                                                     : sp),
+                                 start);
+    return true;
+}
+
+/** Replace the mnemonic on one line of the source. */
+std::string
+mutateSource(const std::string &source, int line_no,
+             const std::string &from, const std::string &to)
+{
+    std::istringstream in(source);
+    std::ostringstream out;
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+        n++;
+        if (n == line_no) {
+            LineInfo info;
+            bespoke_assert(parseLine(line, info));
+            size_t pos = info.mnemonicPos;
+            line = line.substr(0, pos) + to + line.substr(pos +
+                                                          from.size());
+        }
+        out << line << "\n";
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::vector<Mutant>
+generateMutants(const Workload &w)
+{
+    // Need label addresses to classify branches as forward/backward.
+    AsmProgram prog = w.assembleProgram();
+
+    // Map source line -> instruction address (first word emitted).
+    std::map<int, uint16_t> line_to_addr;
+    for (const auto &[addr, line] : prog.addrToLine) {
+        if (!line_to_addr.count(line))
+            line_to_addr[line] = addr;
+    }
+
+    // Loop regions: [target, jump] spans of backward jumps. A branch
+    // inside any loop body is a loop conditional (Type III), matching
+    // Milu's C-level classification of loop-condition operators.
+    std::vector<std::pair<uint16_t, uint16_t>> loop_regions;
+    {
+        std::istringstream scan(w.source);
+        std::string l;
+        int ln = 0;
+        while (std::getline(scan, l)) {
+            ln++;
+            LineInfo info;
+            if (!parseLine(l, info))
+                continue;
+            bool is_jump = info.mnemonic == "jmp" ||
+                           kComplement.count(info.mnemonic);
+            if (!is_jump)
+                continue;
+            auto it = line_to_addr.find(ln);
+            auto sym = prog.symbols.find(trim(info.operands));
+            if (it == line_to_addr.end() || sym == prog.symbols.end())
+                continue;
+            if (sym->second <= it->second)
+                loop_regions.push_back({sym->second, it->second});
+        }
+    }
+    auto in_loop = [&](uint16_t addr) {
+        for (auto [lo, hi] : loop_regions) {
+            if (addr >= lo && addr <= hi)
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<Mutant> mutants;
+    std::istringstream in(w.source);
+    std::string line;
+    int line_no = 0;
+
+    auto add_mutant = [&](MutantType type, int ln,
+                          const std::string &from_mn,
+                          const std::string &to_mn,
+                          const std::string &from_text,
+                          const std::string &to_text) {
+        Mutant m{type, ln, from_mn, to_mn, w};
+        m.workload.name =
+            w.name + "-mut" + std::to_string(mutants.size()) + "-" +
+            from_mn + "2" + to_mn;
+        m.workload.source = mutateSource(w.source, ln, from_text,
+                                         to_text);
+        mutants.push_back(std::move(m));
+    };
+
+    while (std::getline(in, line)) {
+        line_no++;
+        LineInfo info;
+        if (!parseLine(line, info))
+            continue;
+
+        const std::string &mn = info.mnemonic;
+        bool is_cond_jump = kComplement.count(mn) != 0;
+        if (is_cond_jump) {
+            bool loop_cond = false;
+            auto it = line_to_addr.find(line_no);
+            if (it != line_to_addr.end())
+                loop_cond = in_loop(it->second);
+            MutantType type =
+                loop_cond ? MutantType::TypeIII : MutantType::TypeI;
+            add_mutant(type, line_no, mn, kComplement.at(mn), mn,
+                       kComplement.at(mn));
+            if (loop_cond) {
+                auto adj = kAdjacent.find(mn);
+                if (adj != kAdjacent.end()) {
+                    add_mutant(MutantType::TypeIII, line_no, mn,
+                               adj->second, mn, adj->second);
+                }
+            }
+            continue;
+        }
+
+        auto comp = kComputation.find(mn);
+        if (comp != kComputation.end()) {
+            add_mutant(MutantType::TypeII, line_no, mn, comp->second,
+                       mn + info.suffix, comp->second + info.suffix);
+        }
+    }
+    return mutants;
+}
+
+bool
+mutantSupported(const ActivityTracker &design_activity,
+                const ActivityTracker &mutant_activity)
+{
+    const Netlist &nl = design_activity.netlist();
+    bespoke_assert(&nl == &mutant_activity.netlist(),
+                   "activities from different netlists");
+    for (GateId i = 0; i < nl.size(); i++) {
+        if (cellPseudo(nl.gate(i).type))
+            continue;
+        if (mutant_activity.toggled(i) && !design_activity.toggled(i))
+            return false;
+    }
+    return true;
+}
+
+} // namespace bespoke

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mutation engine for the in-field-update study (paper Sec. 5.3,
+ * Tables 4/5, Fig. 14). Substitutes for the Milu mutation tool, which
+ * operates on C; ours mutates the BSP430 assembly directly with the
+ * same three mutant classes:
+ *
+ *  - Type I: logical conditional-operator mutants — the condition of a
+ *    *forward* conditional branch is complemented (if/else logic);
+ *  - Type II: computation-operator mutants — an arithmetic/logic
+ *    instruction is replaced by a sibling (add->sub, and->bis, ...);
+ *  - Type III: loop conditional-operator mutants — the condition of a
+ *    *backward* conditional branch is complemented or replaced with an
+ *    adjacent relation (i < n -> i != n).
+ *
+ * A mutant (an emulated in-field bug fix) is "supported" by a bespoke
+ * processor iff the gates it can toggle are a subset of the gates the
+ * original application can toggle (paper Sec. 3.5).
+ */
+
+#ifndef BESPOKE_MUTATION_MUTATION_HH
+#define BESPOKE_MUTATION_MUTATION_HH
+
+#include "src/analysis/activity_analysis.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+
+enum class MutantType
+{
+    TypeI,    ///< conditional-operator (forward branch)
+    TypeII,   ///< computation-operator
+    TypeIII,  ///< loop conditional-operator (backward branch)
+};
+
+const char *mutantTypeName(MutantType t);
+
+struct Mutant
+{
+    MutantType type;
+    int sourceLine;       ///< 1-based line in the workload source
+    std::string from;     ///< original mnemonic
+    std::string to;       ///< replacement mnemonic
+    Workload workload;    ///< the mutated program (same input model)
+};
+
+/** Generate all mutants of a workload's program. */
+std::vector<Mutant> generateMutants(const Workload &w);
+
+/**
+ * True iff every gate the mutant can toggle is toggleable by the
+ * application set the bespoke design was built for.
+ */
+bool mutantSupported(const ActivityTracker &design_activity,
+                     const ActivityTracker &mutant_activity);
+
+} // namespace bespoke
+
+#endif // BESPOKE_MUTATION_MUTATION_HH

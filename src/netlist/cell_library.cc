@@ -1,0 +1,168 @@
+#include "src/netlist/cell_library.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+// Synthetic but representative 65 nm GP library (see header comment).
+//                         name      in  area  leak  cap  d0    R    seq
+const CellParams kParams[kNumCellTypes] = {
+    /* INPUT  */ {"INPUT",   0, 0.00,  0.0, 0.0,   0.0, 0.0, false},
+    /* OUTPUT */ {"OUTPUT",  1, 0.00,  0.0, 0.5,   0.0, 0.0, false},
+    /* TIE0   */ {"TIE0",    0, 0.72,  0.9, 0.0,   0.0, 0.0, false},
+    /* TIE1   */ {"TIE1",    0, 0.72,  0.9, 0.0,   0.0, 0.0, false},
+    /* BUF    */ {"BUF",     1, 1.44,  2.5, 1.5,  25.0, 5.5, false},
+    /* INV    */ {"INV",     1, 1.08,  2.1, 1.6,  12.0, 6.0, false},
+    /* AND2   */ {"AND2",    2, 1.80,  3.3, 1.7,  28.0, 6.0, false},
+    /* AND3   */ {"AND3",    3, 2.16,  4.1, 1.8,  32.0, 6.5, false},
+    /* OR2    */ {"OR2",     2, 1.80,  3.1, 1.7,  30.0, 6.0, false},
+    /* OR3    */ {"OR3",     3, 2.16,  3.9, 1.8,  34.0, 6.5, false},
+    /* NAND2  */ {"NAND2",   2, 1.44,  2.9, 1.8,  16.0, 7.0, false},
+    /* NAND3  */ {"NAND3",   3, 1.80,  3.8, 1.9,  21.0, 9.0, false},
+    /* NOR2   */ {"NOR2",    2, 1.44,  2.7, 1.8,  19.0, 8.0, false},
+    /* NOR3   */ {"NOR3",    3, 1.80,  3.6, 1.9,  26.0, 10.0, false},
+    /* XOR2   */ {"XOR2",    2, 2.88,  5.2, 2.4,  35.0, 9.0, false},
+    /* XNOR2  */ {"XNOR2",   2, 2.88,  5.2, 2.4,  35.0, 9.0, false},
+    /* MUX2   */ {"MUX2",    3, 2.52,  4.6, 2.0,  33.0, 8.0, false},
+    /* AOI21  */ {"AOI21",   3, 1.80,  3.4, 1.9,  22.0, 9.0, false},
+    /* OAI21  */ {"OAI21",   3, 1.80,  3.4, 1.9,  22.0, 9.0, false},
+    /* DFF    */ {"DFF",     1, 4.68,  9.5, 2.2, 120.0, 7.0, true},
+    /* DFFE   */ {"DFFE",    2, 5.40, 11.0, 2.2, 120.0, 7.0, true},
+};
+
+// Scaling of X1 parameters per drive strength.
+struct DriveScale
+{
+    double area, leak, cap, d0, res;
+};
+
+const DriveScale kDriveScale[3] = {
+    /* X1 */ {1.0, 1.0, 1.0, 1.00, 1.0},
+    /* X2 */ {1.5, 1.9, 1.9, 0.95, 0.5},
+    /* X4 */ {2.4, 3.6, 3.6, 0.90, 0.25},
+};
+
+const DriveScale &
+scale(Drive d)
+{
+    return kDriveScale[static_cast<int>(d)];
+}
+
+const char *kDriveSuffix[3] = {"_X1", "_X2", "_X4"};
+
+} // namespace
+
+const CellParams &
+cellParams(CellType type)
+{
+    bespoke_assert(type < CellType::NumTypes);
+    return kParams[static_cast<int>(type)];
+}
+
+int
+cellNumInputs(CellType type)
+{
+    return cellParams(type).numInputs;
+}
+
+std::string
+cellName(CellType type, Drive drive)
+{
+    const CellParams &p = cellParams(type);
+    if (cellPseudo(type) || type == CellType::TIE0 || type == CellType::TIE1)
+        return p.name;
+    return std::string(p.name) + kDriveSuffix[static_cast<int>(drive)];
+}
+
+double
+cellArea(CellType type, Drive drive)
+{
+    return cellParams(type).area * scale(drive).area;
+}
+
+double
+cellLeakage(CellType type, Drive drive)
+{
+    return cellParams(type).leakage * scale(drive).leak;
+}
+
+double
+cellInputCap(CellType type, Drive drive)
+{
+    return cellParams(type).inputCap * scale(drive).cap;
+}
+
+double
+cellIntrinsicDelay(CellType type, Drive drive)
+{
+    return cellParams(type).intrinsicDelay * scale(drive).d0;
+}
+
+double
+cellDriveRes(CellType type, Drive drive)
+{
+    return cellParams(type).driveRes * scale(drive).res;
+}
+
+bool
+cellSequential(CellType type)
+{
+    return cellParams(type).sequential;
+}
+
+bool
+cellPseudo(CellType type)
+{
+    return type == CellType::INPUT || type == CellType::OUTPUT;
+}
+
+Logic
+evalCell(CellType type, const Logic *in)
+{
+    switch (type) {
+      case CellType::TIE0:
+        return Logic::Zero;
+      case CellType::TIE1:
+        return Logic::One;
+      case CellType::BUF:
+      case CellType::OUTPUT:
+        return in[0];
+      case CellType::INV:
+        return logicNot(in[0]);
+      case CellType::AND2:
+        return logicAnd(in[0], in[1]);
+      case CellType::AND3:
+        return logicAnd(logicAnd(in[0], in[1]), in[2]);
+      case CellType::OR2:
+        return logicOr(in[0], in[1]);
+      case CellType::OR3:
+        return logicOr(logicOr(in[0], in[1]), in[2]);
+      case CellType::NAND2:
+        return logicNot(logicAnd(in[0], in[1]));
+      case CellType::NAND3:
+        return logicNot(logicAnd(logicAnd(in[0], in[1]), in[2]));
+      case CellType::NOR2:
+        return logicNot(logicOr(in[0], in[1]));
+      case CellType::NOR3:
+        return logicNot(logicOr(logicOr(in[0], in[1]), in[2]));
+      case CellType::XOR2:
+        return logicXor(in[0], in[1]);
+      case CellType::XNOR2:
+        return logicNot(logicXor(in[0], in[1]));
+      case CellType::MUX2:
+        return logicMux(in[2], in[0], in[1]);
+      case CellType::AOI21:
+        return logicNot(logicOr(logicAnd(in[0], in[1]), in[2]));
+      case CellType::OAI21:
+        return logicNot(logicAnd(logicOr(in[0], in[1]), in[2]));
+      default:
+        bespoke_panic("evalCell on non-combinational cell type ",
+                      static_cast<int>(type));
+    }
+}
+
+} // namespace bespoke

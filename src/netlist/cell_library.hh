@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Standard-cell library: the cell types a netlist may instantiate plus
+ * per-cell area / leakage / capacitance / delay models.
+ *
+ * The parameters are a synthetic but representative 65 nm general-purpose
+ * library (the paper uses TSMC 65GP, which cannot be redistributed). All
+ * results in this repository are relative (bespoke vs. baseline on the
+ * same library), so only consistency and realistic ratios matter.
+ */
+
+#ifndef BESPOKE_NETLIST_CELL_LIBRARY_HH
+#define BESPOKE_NETLIST_CELL_LIBRARY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/logic/logic.hh"
+
+namespace bespoke
+{
+
+/** All cell types. INPUT/OUTPUT are zero-area netlist pseudo-cells. */
+enum class CellType : uint8_t
+{
+    INPUT,   ///< primary input pseudo-cell (no fanin)
+    OUTPUT,  ///< primary output pseudo-cell (one fanin)
+    TIE0,    ///< constant-0 driver cell
+    TIE1,    ///< constant-1 driver cell
+    BUF,
+    INV,
+    AND2,
+    AND3,
+    OR2,
+    OR3,
+    NAND2,
+    NAND3,
+    NOR2,
+    NOR3,
+    XOR2,
+    XNOR2,
+    MUX2,    ///< in0 = a0, in1 = a1, in2 = sel; out = sel ? a1 : a0
+    AOI21,   ///< out = !((in0 & in1) | in2)
+    OAI21,   ///< out = !((in0 | in1) & in2)
+    DFF,     ///< in0 = D; clocked implicitly by the single global clock
+    DFFE,    ///< in0 = D, in1 = EN (enable low holds state)
+    NumTypes,
+};
+
+constexpr int kNumCellTypes = static_cast<int>(CellType::NumTypes);
+
+/** Drive strength variants used by the slack-driven downsizing pass. */
+enum class Drive : uint8_t
+{
+    X1 = 0,
+    X2 = 1,
+    X4 = 2,
+};
+
+/** Electrical and physical parameters of one cell type at drive X1. */
+struct CellParams
+{
+    const char *name;       ///< library cell name
+    int numInputs;          ///< fanin count (0 for INPUT/TIE)
+    double area;            ///< µm²
+    double leakage;         ///< nW at 1.0 V, 25 C
+    double inputCap;        ///< fF per input pin
+    double intrinsicDelay;  ///< ps, unloaded
+    double driveRes;        ///< ps per fF of load
+    bool sequential;        ///< true for DFF/DFFE
+};
+
+/** Parameters of a cell type at drive X1. */
+const CellParams &cellParams(CellType type);
+
+/** Number of fanin pins for a cell type. */
+int cellNumInputs(CellType type);
+
+/** Library cell name, including drive suffix, e.g. "NAND2_X2". */
+std::string cellName(CellType type, Drive drive);
+
+/** Area in µm² at the given drive strength. */
+double cellArea(CellType type, Drive drive);
+
+/** Leakage in nW at 1.0 V at the given drive strength. */
+double cellLeakage(CellType type, Drive drive);
+
+/** Input pin capacitance in fF at the given drive strength. */
+double cellInputCap(CellType type, Drive drive);
+
+/** Unloaded delay in ps at the given drive strength. */
+double cellIntrinsicDelay(CellType type, Drive drive);
+
+/** Output resistance in ps/fF at the given drive strength. */
+double cellDriveRes(CellType type, Drive drive);
+
+/** True for DFF/DFFE. */
+bool cellSequential(CellType type);
+
+/** True for INPUT/OUTPUT pseudo-cells (not silicon). */
+bool cellPseudo(CellType type);
+
+/**
+ * Evaluate the combinational function of a cell over three-valued
+ * inputs. Only valid for combinational cell types (not DFF/DFFE/INPUT).
+ * For TIE0/TIE1 returns the constant; for OUTPUT/BUF returns in0.
+ */
+Logic evalCell(CellType type, const Logic *in);
+
+} // namespace bespoke
+
+#endif // BESPOKE_NETLIST_CELL_LIBRARY_HH

@@ -1,0 +1,316 @@
+#include "src/netlist/netlist.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+const char *
+moduleName(Module m)
+{
+    switch (m) {
+      case Module::Frontend:
+        return "frontend";
+      case Module::Exec:
+        return "execution_unit";
+      case Module::Alu:
+        return "alu";
+      case Module::RF:
+        return "register_file";
+      case Module::Mult:
+        return "multiplier";
+      case Module::MemBB:
+        return "mem_backbone";
+      case Module::Sfr:
+        return "sfr";
+      case Module::Wdg:
+        return "watchdog";
+      case Module::Clock:
+        return "clock_module";
+      case Module::Dbg:
+        return "dbg";
+      case Module::Timer:
+        return "timer";
+      case Module::Uart:
+        return "uart";
+      case Module::Glue:
+        return "glue";
+      default:
+        return "?";
+    }
+}
+
+GateId
+Netlist::addGate(CellType type, Module module, GateId in0, GateId in1,
+                 GateId in2)
+{
+    Gate g;
+    g.type = type;
+    g.module = module;
+    g.in = {in0, in1, in2};
+    int n = cellNumInputs(type);
+    for (int i = 0; i < n; i++) {
+        bespoke_assert(g.in[i] != kNoGate,
+                       "unconnected pin ", i, " on new ",
+                       cellParams(type).name);
+    }
+    gates_.push_back(g);
+    return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId
+Netlist::addInput(const std::string &name, Module module)
+{
+    GateId id = addGate(CellType::INPUT, module);
+    bespoke_assert(!ports_.count(name), "duplicate port ", name);
+    ports_[name] = id;
+    names_[id] = name;
+    return id;
+}
+
+GateId
+Netlist::addOutput(const std::string &name, GateId src, Module module)
+{
+    GateId id = addGate(CellType::OUTPUT, module, src);
+    bespoke_assert(!ports_.count(name), "duplicate port ", name);
+    ports_[name] = id;
+    names_[id] = name;
+    return id;
+}
+
+GateId
+Netlist::tie(bool value, Module module)
+{
+    uint32_t key = (static_cast<uint32_t>(module) << 1) | (value ? 1 : 0);
+    auto it = tieCache_.find(key);
+    if (it != tieCache_.end())
+        return it->second;
+    GateId id = addGate(value ? CellType::TIE1 : CellType::TIE0, module);
+    tieCache_[key] = id;
+    return id;
+}
+
+void
+Netlist::setResetValue(GateId id, bool value)
+{
+    bespoke_assert(cellSequential(gates_[id].type));
+    gates_[id].resetValue = value;
+}
+
+void
+Netlist::setName(GateId id, const std::string &name)
+{
+    names_[id] = name;
+}
+
+void
+Netlist::setFanin(GateId id, int pin, GateId src)
+{
+    bespoke_assert(pin >= 0 && pin < gates_[id].numInputs());
+    gates_[id].in[pin] = src;
+}
+
+void
+Netlist::registerPort(const std::string &name, GateId id)
+{
+    bespoke_assert(!ports_.count(name), "duplicate port ", name);
+    ports_[name] = id;
+    names_[id] = name;
+}
+
+const std::string &
+Netlist::name(GateId id) const
+{
+    static const std::string empty;
+    auto it = names_.find(id);
+    return it == names_.end() ? empty : it->second;
+}
+
+GateId
+Netlist::port(const std::string &name) const
+{
+    auto it = ports_.find(name);
+    if (it == ports_.end())
+        bespoke_fatal("no port named '", name, "'");
+    return it->second;
+}
+
+bool
+Netlist::hasPort(const std::string &name) const
+{
+    return ports_.count(name) != 0;
+}
+
+std::vector<GateId>
+Netlist::bus(const std::string &prefix, int width) const
+{
+    std::vector<GateId> ids(width);
+    for (int i = 0; i < width; i++)
+        ids[i] = port(prefix + "[" + std::to_string(i) + "]");
+    return ids;
+}
+
+std::vector<GateId>
+Netlist::inputIds() const
+{
+    std::vector<GateId> ids;
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (gates_[i].type == CellType::INPUT)
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+std::vector<GateId>
+Netlist::outputIds() const
+{
+    std::vector<GateId> ids;
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (gates_[i].type == CellType::OUTPUT)
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+std::vector<GateId>
+Netlist::sequentialIds() const
+{
+    std::vector<GateId> ids;
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (cellSequential(gates_[i].type))
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+std::vector<GateId>
+Netlist::levelize() const
+{
+    // Kahn's algorithm over combinational edges only. Sources (INPUT,
+    // TIE, DFF, DFFE) have their values available at the start of a
+    // cycle and never appear in the order.
+    auto is_source = [&](GateId id) {
+        const Gate &g = gates_[id];
+        return g.type == CellType::INPUT || g.type == CellType::TIE0 ||
+               g.type == CellType::TIE1 || cellSequential(g.type);
+    };
+
+    std::vector<int> pending(gates_.size(), 0);
+    std::vector<GateId> ready;
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (is_source(i))
+            continue;
+        const Gate &g = gates_[i];
+        int n = g.numInputs();
+        int deps = 0;
+        for (int p = 0; p < n; p++) {
+            if (!is_source(g.in[p]))
+                deps++;
+        }
+        pending[i] = deps;
+        if (deps == 0)
+            ready.push_back(i);
+    }
+
+    // Combinational fanout lists (edges into non-source gates only).
+    std::vector<std::vector<GateId>> comb_fanout(gates_.size());
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (is_source(i))
+            continue;
+        const Gate &g = gates_[i];
+        for (int p = 0; p < g.numInputs(); p++) {
+            if (!is_source(g.in[p]))
+                comb_fanout[g.in[p]].push_back(i);
+        }
+    }
+
+    std::vector<GateId> order;
+    order.reserve(gates_.size());
+    size_t head = 0;
+    while (head < ready.size()) {
+        GateId id = ready[head++];
+        order.push_back(id);
+        for (GateId out : comb_fanout[id]) {
+            if (--pending[out] == 0)
+                ready.push_back(out);
+        }
+    }
+
+    size_t comb_total = 0;
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (!is_source(i))
+            comb_total++;
+    }
+    if (order.size() != comb_total)
+        bespoke_panic("combinational loop: levelized ", order.size(),
+                      " of ", comb_total, " combinational gates");
+    return order;
+}
+
+std::vector<std::vector<GateId>>
+Netlist::fanouts() const
+{
+    std::vector<std::vector<GateId>> fo(gates_.size());
+    for (GateId i = 0; i < gates_.size(); i++) {
+        const Gate &g = gates_[i];
+        for (int p = 0; p < g.numInputs(); p++)
+            fo[g.in[p]].push_back(i);
+    }
+    return fo;
+}
+
+void
+Netlist::validate() const
+{
+    for (GateId i = 0; i < gates_.size(); i++) {
+        const Gate &g = gates_[i];
+        int n = g.numInputs();
+        for (int p = 0; p < n; p++) {
+            bespoke_assert(g.in[p] != kNoGate, "gate ", i,
+                           " has unconnected pin ", p);
+            bespoke_assert(g.in[p] < gates_.size(), "gate ", i,
+                           " pin ", p, " out of range");
+        }
+        for (int p = n; p < 3; p++) {
+            bespoke_assert(g.in[p] == kNoGate, "gate ", i,
+                           " has extra connection on pin ", p);
+        }
+    }
+    levelize(); // panics on combinational loops
+}
+
+NetlistStats
+Netlist::stats() const
+{
+    NetlistStats s;
+    for (const Gate &g : gates_) {
+        if (cellPseudo(g.type))
+            continue;
+        s.numCells++;
+        if (cellSequential(g.type))
+            s.numSequential++;
+        s.area += cellArea(g.type, g.drive);
+        s.leakage += cellLeakage(g.type, g.drive);
+    }
+    return s;
+}
+
+NetlistStats
+Netlist::moduleStats(Module m) const
+{
+    NetlistStats s;
+    for (const Gate &g : gates_) {
+        if (cellPseudo(g.type) || g.module != m)
+            continue;
+        s.numCells++;
+        if (cellSequential(g.type))
+            s.numSequential++;
+        s.area += cellArea(g.type, g.drive);
+        s.leakage += cellLeakage(g.type, g.drive);
+    }
+    return s;
+}
+
+} // namespace bespoke

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural Verilog export.
+ *
+ * Writes any netlist (baseline or bespoke) as a synthesizable gate-
+ * level Verilog module over a small companion cell library, which is
+ * what a licensee would hand to their physical-design flow after
+ * tailoring (paper Fig. 6: the bespoke netlist proceeds to place &
+ * route). `writeCellLibrary()` emits behavioral models of every cell
+ * so the output is also directly simulable with any Verilog simulator.
+ */
+
+#ifndef BESPOKE_NETLIST_VERILOG_EXPORT_HH
+#define BESPOKE_NETLIST_VERILOG_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+/**
+ * Emit the netlist as one structural Verilog module.
+ *
+ * Ports: every named INPUT/OUTPUT pseudo-gate, plus `clk` and `rst_n`.
+ * Flops are instantiated as DFF/DFFE cells with their reset values
+ * encoded in the RVAL parameter.
+ */
+void exportVerilog(const Netlist &netlist, const std::string &module_name,
+                   std::ostream &os);
+
+/** Emit behavioral Verilog models for the full cell library. */
+void writeCellLibrary(std::ostream &os);
+
+} // namespace bespoke
+
+#endif // BESPOKE_NETLIST_VERILOG_EXPORT_HH

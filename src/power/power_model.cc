@@ -1,0 +1,64 @@
+#include "src/power/power_model.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+PowerReport
+computePower(const Netlist &nl, const ToggleCounter &toggles,
+             const PowerParams &p, const TimingParams &tp)
+{
+    bespoke_assert(toggles.cycles() > 0, "no cycles observed");
+
+    // Output load per gate (same model as STA).
+    std::vector<double> load(nl.size(), 0.0);
+    for (GateId i = 0; i < nl.size(); i++) {
+        const Gate &g = nl.gate(i);
+        if (g.type == CellType::OUTPUT) {
+            load[g.in[0]] += tp.outputPortCap;
+            continue;
+        }
+        int n = g.numInputs();
+        for (int pin = 0; pin < n; pin++) {
+            load[g.in[pin]] +=
+                cellInputCap(g.type, g.drive) + tp.wireCapPerFanout;
+        }
+    }
+
+    PowerReport rep;
+    double cycles = static_cast<double>(toggles.cycles());
+    double v2 = p.voltage * p.voltage;
+    double f_hz = p.frequencyMHz * 1e6;
+    size_t flops = 0;
+
+    for (GateId i = 0; i < nl.size(); i++) {
+        const Gate &g = nl.gate(i);
+        if (cellPseudo(g.type))
+            continue;
+        rep.leakageUW += cellLeakage(g.type, g.drive) * 1e-3 * v2;
+        if (cellSequential(g.type))
+            flops++;
+        double alpha = static_cast<double>(toggles.count(i)) / cycles;
+        // 0.5 * alpha * C * V^2 * f; C in fF -> W x 1e-15 -> uW x 1e-9.
+        rep.switchingUW +=
+            0.5 * alpha * load[i] * v2 * f_hz * 1e-9;
+    }
+
+    rep.clockUW = 0.5 * 2.0 * p.clockPinCap * p.clockTreeFactor *
+                  static_cast<double>(flops) * v2 * f_hz * 1e-9;
+    return rep;
+}
+
+PowerReport
+scaleToVoltage(const PowerReport &nominal, double v, const PowerParams &p)
+{
+    double s = (v * v) / (p.voltage * p.voltage);
+    PowerReport r;
+    r.switchingUW = nominal.switchingUW * s;
+    r.clockUW = nominal.clockUW * s;
+    r.leakageUW = nominal.leakageUW * s;
+    return r;
+}
+
+} // namespace bespoke

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Activity-based power model (replaces Synopsys PrimeTime in the
+ * paper's flow).
+ *
+ * Total power = dynamic switching power + clock-network power +
+ * leakage:
+ *  - switching: 0.5 x alpha_g x C_load(g) x V^2 x f per gate, where
+ *    alpha_g is the per-cycle output toggle rate measured by a concrete
+ *    representative run (ToggleCounter);
+ *  - clock: every flop's clock pin sees two transitions per cycle,
+ *    C_clk per flop (the clock tree scales with flop count, so removing
+ *    flops in a bespoke design saves clock power);
+ *  - leakage: summed from the cell library.
+ *
+ * Voltage scaling (Table 2): switching and clock power scale with V^2;
+ * leakage is modeled as scaling with V^2 as well (DIBL-dominated
+ * approximation; only relative numbers are reported).
+ */
+
+#ifndef BESPOKE_POWER_POWER_MODEL_HH
+#define BESPOKE_POWER_POWER_MODEL_HH
+
+#include "src/sim/gate_sim.hh"
+#include "src/timing/sta.hh"
+
+namespace bespoke
+{
+
+struct PowerParams
+{
+    double frequencyMHz = 100.0;
+    double voltage = 1.0;
+    double clockPinCap = 1.2;    ///< fF per flop clock pin
+    double clockTreeFactor = 1.35;  ///< wire + buffer overhead
+};
+
+struct PowerReport
+{
+    double switchingUW = 0.0;  ///< combinational + data-pin switching
+    double clockUW = 0.0;
+    double leakageUW = 0.0;
+    double totalUW() const { return switchingUW + clockUW + leakageUW; }
+};
+
+/**
+ * Compute power for a netlist given measured toggle activity. The
+ * counter must come from a run on this same netlist.
+ */
+PowerReport computePower(const Netlist &netlist,
+                         const ToggleCounter &toggles,
+                         const PowerParams &params = {},
+                         const TimingParams &timing = {});
+
+/** Rescale a nominal-voltage report to a different supply voltage. */
+PowerReport scaleToVoltage(const PowerReport &nominal, double v,
+                           const PowerParams &params = {});
+
+} // namespace bespoke
+
+#endif // BESPOKE_POWER_POWER_MODEL_HH

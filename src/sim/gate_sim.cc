@@ -1,0 +1,214 @@
+#include "src/sim/gate_sim.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+GateSim::GateSim(const Netlist &netlist)
+    : nl_(netlist), order_(netlist.levelize()),
+      seqIds_(netlist.sequentialIds()),
+      val_(netlist.size(), static_cast<uint8_t>(Logic::X))
+{
+}
+
+void
+GateSim::reset()
+{
+    for (GateId i = 0; i < nl_.size(); i++) {
+        switch (nl_.gate(i).type) {
+          case CellType::TIE0:
+            val_[i] = static_cast<uint8_t>(Logic::Zero);
+            break;
+          case CellType::TIE1:
+            val_[i] = static_cast<uint8_t>(Logic::One);
+            break;
+          default:
+            val_[i] = static_cast<uint8_t>(Logic::X);
+        }
+    }
+    for (GateId id : seqIds_) {
+        val_[id] = static_cast<uint8_t>(
+            logicOf(nl_.gate(id).resetValue));
+    }
+    clearForces();
+}
+
+void
+GateSim::setInput(GateId id, Logic v)
+{
+    bespoke_assert(nl_.gate(id).type == CellType::INPUT,
+                   "setInput on non-input gate ", id);
+    val_[id] = static_cast<uint8_t>(v);
+}
+
+void
+GateSim::setInputWord(const std::vector<GateId> &bus_ids, SWord w)
+{
+    bespoke_assert(bus_ids.size() <= 16);
+    for (size_t i = 0; i < bus_ids.size(); i++)
+        setInput(bus_ids[i], w.bit(static_cast<int>(i)));
+}
+
+SWord
+GateSim::busWord(const std::vector<GateId> &bus_ids) const
+{
+    bespoke_assert(bus_ids.size() <= 16);
+    SWord w;
+    for (size_t i = 0; i < bus_ids.size(); i++)
+        w.setBit(static_cast<int>(i), value(bus_ids[i]));
+    return w;
+}
+
+void
+GateSim::evalComb()
+{
+    const std::vector<Gate> &gates = nl_.gates();
+    Logic in[3];
+    for (GateId id : order_) {
+        const Gate &g = gates[id];
+        int n = g.numInputs();
+        for (int p = 0; p < n; p++)
+            in[p] = static_cast<Logic>(val_[g.in[p]]);
+        Logic out = evalCell(g.type, in);
+        if (anyForce_ && forced_[id])
+            out = static_cast<Logic>(forced_[id] - 1);
+        val_[id] = static_cast<uint8_t>(out);
+    }
+}
+
+void
+GateSim::latchSequential()
+{
+    const std::vector<Gate> &gates = nl_.gates();
+    // Two passes so all D inputs are read before any Q changes; D nets
+    // can be other flops' Q only through combinational gates, but a
+    // direct Q->D wire is legal and must see the pre-edge value.
+    std::vector<uint8_t> next(seqIds_.size());
+    for (size_t i = 0; i < seqIds_.size(); i++) {
+        GateId id = seqIds_[i];
+        const Gate &g = gates[id];
+        Logic d = static_cast<Logic>(val_[g.in[0]]);
+        Logic q = static_cast<Logic>(val_[id]);
+        Logic out;
+        if (g.type == CellType::DFF) {
+            out = d;
+        } else {
+            Logic en = static_cast<Logic>(val_[g.in[1]]);
+            out = logicMux(en, q, d);
+        }
+        next[i] = static_cast<uint8_t>(out);
+    }
+    for (size_t i = 0; i < seqIds_.size(); i++)
+        val_[seqIds_[i]] = next[i];
+}
+
+void
+GateSim::force(GateId id, Logic v)
+{
+    bespoke_assert(v != Logic::X, "cannot force X");
+    if (forced_.empty())
+        forced_.resize(nl_.size(), 0);
+    forced_[id] = static_cast<uint8_t>(v) + 1;
+    anyForce_ = true;
+}
+
+void
+GateSim::clearForces()
+{
+    if (anyForce_)
+        std::fill(forced_.begin(), forced_.end(), 0);
+    anyForce_ = false;
+}
+
+SeqState
+GateSim::seqState() const
+{
+    SeqState s(seqIds_.size());
+    for (size_t i = 0; i < seqIds_.size(); i++)
+        s[i] = val_[seqIds_[i]];
+    return s;
+}
+
+void
+GateSim::restoreSeqState(const SeqState &s)
+{
+    bespoke_assert(s.size() == seqIds_.size());
+    for (size_t i = 0; i < seqIds_.size(); i++)
+        val_[seqIds_[i]] = s[i];
+}
+
+ActivityTracker::ActivityTracker(const Netlist &netlist)
+    : nl_(&netlist), initial_(netlist.size(),
+                             static_cast<uint8_t>(Logic::X)),
+      toggled_(netlist.size(), 0)
+{
+}
+
+void
+ActivityTracker::captureInitial(const GateSim &sim)
+{
+    bespoke_assert(!initialCaptured_, "initial state captured twice");
+    initial_ = sim.values();
+    // A gate whose reset-time value is already X has no proven constant
+    // value and must be treated as toggleable.
+    for (size_t i = 0; i < initial_.size(); i++) {
+        if (initial_[i] == static_cast<uint8_t>(Logic::X))
+            toggled_[i] = 1;
+    }
+    initialCaptured_ = true;
+}
+
+void
+ActivityTracker::observe(const GateSim &sim)
+{
+    bespoke_assert(initialCaptured_);
+    const std::vector<uint8_t> &v = sim.values();
+    for (size_t i = 0; i < v.size(); i++)
+        toggled_[i] |= (v[i] != initial_[i]);
+}
+
+size_t
+ActivityTracker::untoggledCellCount() const
+{
+    size_t n = 0;
+    for (GateId i = 0; i < nl_->size(); i++) {
+        if (!cellPseudo(nl_->gate(i).type) && !toggled_[i])
+            n++;
+    }
+    return n;
+}
+
+void
+ActivityTracker::mergeFrom(const ActivityTracker &other)
+{
+    bespoke_assert(other.nl_ == nl_ &&
+                   other.toggled_.size() == toggled_.size(),
+                   "merging trackers from different netlists");
+    for (size_t i = 0; i < toggled_.size(); i++)
+        toggled_[i] |= other.toggled_[i];
+}
+
+ToggleCounter::ToggleCounter(const Netlist &netlist)
+    : last_(netlist.size(), 0), counts_(netlist.size(), 0)
+{
+}
+
+void
+ToggleCounter::observe(const GateSim &sim)
+{
+    const std::vector<uint8_t> &v = sim.values();
+    if (first_) {
+        last_ = v;
+        first_ = false;
+        cycles_++;
+        return;
+    }
+    for (size_t i = 0; i < v.size(); i++) {
+        counts_[i] += (v[i] != last_[i]);
+        last_[i] = v[i];
+    }
+    cycles_++;
+}
+
+} // namespace bespoke

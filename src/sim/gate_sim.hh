@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Levelized three-valued gate-level simulator.
+ *
+ * Evaluation model: one implicit global clock. Each cycle,
+ *   1. the environment drives primary inputs (setInput),
+ *   2. evalComb() evaluates all combinational gates in topological order,
+ *   3. the environment samples outputs (memory models, trackers),
+ *   4. latchSequential() updates every DFF/DFFE from its D/EN values.
+ *
+ * Values are Kleene 0/1/X. The simulator supports *forcing* a net to a
+ * concrete value for one evaluation, which the activity analysis uses to
+ * fork the execution tree when a control decision is X (paper Sec. 3.1).
+ *
+ * Toggle semantics follow the paper: a gate "toggles" if its stable
+ * per-cycle output ever differs from its reset-time value or ever
+ * becomes X (an X output means some input assignment toggles it).
+ */
+
+#ifndef BESPOKE_SIM_GATE_SIM_HH
+#define BESPOKE_SIM_GATE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/logic/logic.hh"
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+/** Snapshot of all sequential state (one byte-coded Logic per flop). */
+using SeqState = std::vector<uint8_t>;
+
+class GateSim
+{
+  public:
+    explicit GateSim(const Netlist &netlist);
+
+    const Netlist &netlist() const { return nl_; }
+
+    /** Reset all flops to their reset values and all inputs to X. */
+    void reset();
+
+    /** @name Value access */
+    /// @{
+    void setInput(GateId id, Logic v);
+    /** Drive a 16-wide input bus from a symbolic word. */
+    void setInputWord(const std::vector<GateId> &bus_ids, SWord w);
+    Logic value(GateId id) const
+    {
+        return static_cast<Logic>(val_[id]);
+    }
+    /** Collect a bus into a symbolic word (LSB-first ids). */
+    SWord busWord(const std::vector<GateId> &bus_ids) const;
+    /// @}
+
+    /** @name Cycle phases */
+    /// @{
+    void evalComb();
+    void latchSequential();
+    /// @}
+
+    /** @name Forcing (execution-tree forks) */
+    /// @{
+    /** Override a net's value; takes effect on the next evalComb(). */
+    void force(GateId id, Logic v);
+    void clearForces();
+    /// @}
+
+    /** @name Sequential state snapshot / restore */
+    /// @{
+    SeqState seqState() const;
+    void restoreSeqState(const SeqState &s);
+    /** Ids of flops, in SeqState order. */
+    const std::vector<GateId> &seqIds() const { return seqIds_; }
+    /// @}
+
+    /** Raw value array (one Logic per gate), for trackers. */
+    const std::vector<uint8_t> &values() const { return val_; }
+
+  private:
+    const Netlist &nl_;
+    std::vector<GateId> order_;    ///< combinational topological order
+    std::vector<GateId> seqIds_;
+    std::vector<uint8_t> val_;     ///< Logic per gate output
+    std::vector<uint8_t> forced_;  ///< 0 = none, else Logic value + 1
+    bool anyForce_ = false;
+};
+
+/**
+ * Tracks which gates have toggled relative to their reset-time values,
+ * across an arbitrary set of simulated execution paths (observations
+ * accumulate; they are never reset by state restores). Result feeds the
+ * cutting & stitching transform.
+ */
+class ActivityTracker
+{
+  public:
+    explicit ActivityTracker(const Netlist &netlist);
+
+    /** Record reset-time values; called once after reset + first eval. */
+    void captureInitial(const GateSim &sim);
+
+    /** Accumulate toggles from the sim's current values. */
+    void observe(const GateSim &sim);
+
+    bool initialCaptured() const { return initialCaptured_; }
+    bool toggled(GateId id) const { return toggled_[id] != 0; }
+    /** Reset-time value (the proven constant for untoggled gates). */
+    Logic initialValue(GateId id) const
+    {
+        return static_cast<Logic>(initial_[id]);
+    }
+    /** Number of real cells that never toggled. */
+    size_t untoggledCellCount() const;
+    /** Merge another tracker's observations (multi-app designs). */
+    void mergeFrom(const ActivityTracker &other);
+
+    const Netlist &netlist() const { return *nl_; }
+
+  private:
+    const Netlist *nl_;
+    std::vector<uint8_t> initial_;
+    std::vector<uint8_t> toggled_;
+    bool initialCaptured_ = false;
+};
+
+/**
+ * Counts per-gate output transitions during concrete simulation; the
+ * dynamic-power model consumes these (toggles x net capacitance).
+ */
+class ToggleCounter
+{
+  public:
+    explicit ToggleCounter(const Netlist &netlist);
+
+    /** Call once per cycle after evalComb+latch; diffs against last. */
+    void observe(const GateSim &sim);
+
+    uint64_t count(GateId id) const { return counts_[id]; }
+    uint64_t cycles() const { return cycles_; }
+
+  private:
+    std::vector<uint8_t> last_;
+    std::vector<uint64_t> counts_;
+    uint64_t cycles_ = 0;
+    bool first_ = true;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_SIM_GATE_SIM_HH

@@ -1,0 +1,241 @@
+#include "src/sim/soc.hh"
+
+#include "src/isa/isa.hh"
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+EnvState
+EnvState::merge(const EnvState &a, const EnvState &b)
+{
+    bespoke_assert(a.ram.size() == b.ram.size());
+    EnvState m;
+    m.ram.resize(a.ram.size());
+    for (size_t i = 0; i < a.ram.size(); i++)
+        m.ram[i] = SWord::merge(a.ram[i], b.ram[i]);
+    m.rdata = SWord::merge(a.rdata, b.rdata);
+    return m;
+}
+
+bool
+EnvState::substateOf(const EnvState &c) const
+{
+    if (ram.size() != c.ram.size())
+        return false;
+    if (!rdata.substateOf(c.rdata))
+        return false;
+    for (size_t i = 0; i < ram.size(); i++) {
+        if (!ram[i].substateOf(c.ram[i]))
+            return false;
+    }
+    return true;
+}
+
+Soc::Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown)
+    : nl_(netlist), prog_(prog), sim_(netlist), ramUnknown_(ram_unknown)
+{
+    pMemRdata_ = nl_.bus("mem_rdata", 16);
+    pGpioIn_ = nl_.bus("gpio_in", 16);
+    pMemAddr_ = nl_.bus("mem_addr", 16);
+    pMemWdata_ = nl_.bus("mem_wdata", 16);
+    pPcOut_ = nl_.bus("pc_out", 16);
+    pGpioOut_ = nl_.bus("gpio_out", 16);
+    pIrqExt_ = nl_.port("irq_ext");
+    pMemEn_ = nl_.port("mem_en");
+    pMemWen0_ = nl_.port("mem_wen[0]");
+    pMemWen1_ = nl_.port("mem_wen[1]");
+    pStFetch_ = nl_.port("st_fetch");
+    pCtlXfer_ = nl_.port("ctl_xfer");
+    pDecBranch_ = nl_.port("dec_branch");
+    pDecIrq0_ = nl_.port("dec_irq0");
+    pDecIrq1_ = nl_.port("dec_irq1");
+    decBranchSrc_ = nl_.gate(pDecBranch_).in[0];
+    decIrq0Src_ = nl_.gate(pDecIrq0_).in[0];
+    decIrq1Src_ = nl_.gate(pDecIrq1_).in[0];
+    reset();
+}
+
+void
+Soc::reset()
+{
+    sim_.reset();
+    env_.ram.assign(kRamSize / 2,
+                    ramUnknown_ ? SWord::allX() : SWord::of(0));
+    env_.rdata = SWord::allX();
+    cycles_ = 0;
+    driveInputs();
+    sim_.evalComb();
+}
+
+void
+Soc::driveInputs()
+{
+    sim_.setInputWord(pMemRdata_, env_.rdata);
+    sim_.setInputWord(pGpioIn_, gpioIn_);
+    sim_.setInput(pIrqExt_, irqExt_);
+}
+
+void
+Soc::sampleMemoryRequest()
+{
+    Logic en = sim_.value(pMemEn_);
+    Logic wen0 = sim_.value(pMemWen0_);
+    Logic wen1 = sim_.value(pMemWen1_);
+    if (en == Logic::Zero && wen0 == Logic::Zero && wen1 == Logic::Zero)
+        return;
+
+    SWord addr = sim_.busWord(pMemAddr_);
+    SWord wdata = sim_.busWord(pMemWdata_);
+
+    // --- Writes (byte lanes) ---
+    auto lane_write = [&](SWord &word, Logic wen, int lane) {
+        if (wen == Logic::Zero)
+            return;
+        SWord neww = word;
+        for (int b = 0; b < 8; b++) {
+            int bit = lane * 8 + b;
+            neww.setBit(bit, wdata.bit(bit));
+        }
+        if (wen == Logic::One) {
+            word = neww;
+        } else {
+            word = SWord::merge(word, neww);  // may or may not write
+        }
+    };
+
+    bool any_write = wen0 != Logic::Zero || wen1 != Logic::Zero;
+    if (any_write && en != Logic::Zero) {
+        if (addr.anyX()) {
+            // Unknown destination: every RAM word may have been
+            // (partially) overwritten.
+            for (SWord &w : env_.ram) {
+                SWord neww0 = w, neww1 = w;
+                lane_write(neww0, Logic::X, 0);
+                lane_write(neww1, Logic::X, 1);
+                w = SWord::merge(neww0, neww1);
+            }
+        } else {
+            uint16_t a = addr.val;
+            if (isRamAddr(a)) {
+                SWord &w = env_.ram[(a - kRamBase) >> 1];
+                lane_write(w, wen0, 0);
+                lane_write(w, wen1, 1);
+            } else if (isPeriphAddr(a)) {
+                // Peripheral registers live inside the netlist.
+            } else {
+                bespoke_warn("write to ROM/unmapped address 0x",
+                             std::hex, a, " ignored");
+            }
+        }
+    }
+
+    // --- Reads (synchronous; data presented next cycle) ---
+    bool is_read = en != Logic::Zero && !(wen0 == Logic::One ||
+                                          wen1 == Logic::One);
+    if (is_read) {
+        SWord data = SWord::allX();
+        if (addr.anyX()) {
+            data = SWord::allX();
+        } else {
+            uint16_t a = static_cast<uint16_t>(addr.val & ~1u);
+            if (isRomAddr(a)) {
+                data = SWord::of(prog_.romWord(a));
+            } else if (isRamAddr(a)) {
+                data = env_.ram[(a - kRamBase) >> 1];
+            } else if (isPeriphAddr(a)) {
+                data = SWord::allX();  // routed inside the netlist
+            } else {
+                data = SWord::allX();
+            }
+        }
+        if (en == Logic::X) {
+            // Request may or may not have happened: hold vs new data.
+            env_.rdata = SWord::merge(env_.rdata, data);
+        } else {
+            env_.rdata = data;
+        }
+    }
+}
+
+void
+Soc::evalOnly()
+{
+    driveInputs();
+    sim_.evalComb();
+}
+
+void
+Soc::finishCycle()
+{
+    sampleMemoryRequest();
+    sim_.latchSequential();
+    cycles_++;
+}
+
+void
+Soc::cycle(const std::function<void()> &after_eval)
+{
+    evalOnly();
+    if (after_eval)
+        after_eval();
+    finishCycle();
+}
+
+SWord
+Soc::gpioOut() const
+{
+    return sim_.busWord(pGpioOut_);
+}
+
+SWord
+Soc::pc() const
+{
+    return sim_.busWord(pPcOut_);
+}
+
+Logic
+Soc::stFetch() const
+{
+    return sim_.value(pStFetch_);
+}
+
+Logic
+Soc::ctlXfer() const
+{
+    return sim_.value(pCtlXfer_);
+}
+
+Logic
+Soc::decBranch() const
+{
+    return sim_.value(pDecBranch_);
+}
+
+Logic
+Soc::decIrq0() const
+{
+    return sim_.value(pDecIrq0_);
+}
+
+Logic
+Soc::decIrq1() const
+{
+    return sim_.value(pDecIrq1_);
+}
+
+SWord
+Soc::ramWord(uint16_t byte_addr) const
+{
+    bespoke_assert(isRamAddr(byte_addr));
+    return env_.ram[(byte_addr - kRamBase) >> 1];
+}
+
+void
+Soc::pokeRamWord(uint16_t byte_addr, SWord w)
+{
+    bespoke_assert(isRamAddr(byte_addr));
+    env_.ram[(byte_addr - kRamBase) >> 1] = w;
+}
+
+} // namespace bespoke

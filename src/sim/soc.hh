@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SoC environment: the bsp430 netlist plus behavioral program ROM and
+ * data RAM, stepped cycle by cycle.
+ *
+ * The memories are synchronous with one cycle of read latency, exactly
+ * what the core's FSM expects. RAM contents are three-valued words: the
+ * symbolic activity analysis starts RAM fully unknown (paper Algorithm
+ * 1 line 2, "initialize all memory cells ... to X"), while concrete
+ * verification runs start it zeroed to match the ISS.
+ *
+ * Conservative handling of symbolic addresses:
+ *  - read with any X address bit  -> returns all-X data;
+ *  - write with any X address bit -> every RAM word is widened by
+ *    merging with the written data (the write may have landed anywhere).
+ */
+
+#ifndef BESPOKE_SIM_SOC_HH
+#define BESPOKE_SIM_SOC_HH
+
+#include <functional>
+#include <vector>
+
+#include "src/isa/assembler.hh"
+#include "src/sim/gate_sim.hh"
+
+namespace bespoke
+{
+
+/** Behavioral memory + pin state; snapshot/restore for tree forking. */
+struct EnvState
+{
+    std::vector<SWord> ram;   ///< one SWord per RAM word
+    SWord rdata;              ///< currently driven memory read data
+
+    bool operator==(const EnvState &) const = default;
+
+    /** Widen toward the most conservative common state. */
+    static EnvState merge(const EnvState &a, const EnvState &b);
+    /** True if this state is covered by the conservative state c. */
+    bool substateOf(const EnvState &c) const;
+};
+
+class Soc
+{
+  public:
+    /**
+     * @param netlist   the core (original or bespoke); looked-up ports
+     *                  must exist (see bsp430.hh)
+     * @param prog      program ROM image
+     * @param ram_unknown start RAM at X (symbolic) instead of 0
+     */
+    Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown);
+
+    GateSim &sim() { return sim_; }
+    const GateSim &sim() const { return sim_; }
+
+    /** Reset the core and environment (cycle 0 inputs driven). */
+    void reset();
+
+    /**
+     * Advance one clock cycle: drive inputs, evaluate, let the
+     * environment sample the memory request, latch flops.
+     * Observers that need post-eval values (activity trackers) can pass
+     * a callback invoked between evaluation and latching.
+     */
+    void cycle(const std::function<void()> &after_eval = nullptr);
+
+    /** Evaluate combinational logic with current inputs (no latch). */
+    void evalOnly();
+
+    /** Finish the current cycle after evalOnly(): sample and latch. */
+    void finishCycle();
+
+    /** @name Environment controls */
+    /// @{
+    void setGpioIn(SWord w) { gpioIn_ = w; }
+    void setIrqExt(Logic v) { irqExt_ = v; }
+    /// @}
+
+    /** @name Observability */
+    /// @{
+    SWord gpioOut() const;
+    SWord pc() const;
+    Logic stFetch() const;
+    Logic ctlXfer() const;
+    Logic decBranch() const;
+    Logic decIrq0() const;
+    Logic decIrq1() const;
+    /** Net driving a decision output port (target for force()). */
+    GateId decBranchNet() const { return decBranchSrc_; }
+    GateId decIrq0Net() const { return decIrq0Src_; }
+    GateId decIrq1Net() const { return decIrq1Src_; }
+    SWord ramWord(uint16_t byte_addr) const;
+    void pokeRamWord(uint16_t byte_addr, SWord w);
+    const std::vector<SWord> &ram() const { return env_.ram; }
+    uint64_t cyclesRun() const { return cycles_; }
+    /// @}
+
+    /** @name State snapshot (machine = flops + environment) */
+    /// @{
+    EnvState envState() const { return env_; }
+    void restoreEnvState(const EnvState &s) { env_ = s; }
+    /// @}
+
+  private:
+    void driveInputs();
+    void sampleMemoryRequest();
+
+    const Netlist &nl_;
+    const AsmProgram &prog_;
+    GateSim sim_;
+    bool ramUnknown_;
+
+    EnvState env_;
+    SWord gpioIn_ = SWord::allX();
+    Logic irqExt_ = Logic::X;
+    uint64_t cycles_ = 0;
+
+    // Cached port ids.
+    std::vector<GateId> pMemRdata_, pGpioIn_, pMemAddr_, pMemWdata_;
+    std::vector<GateId> pPcOut_, pGpioOut_;
+    GateId pIrqExt_, pMemEn_, pMemWen0_, pMemWen1_;
+    GateId pStFetch_, pCtlXfer_, pDecBranch_, pDecIrq0_, pDecIrq1_;
+    GateId decBranchSrc_, decIrq0Src_, decIrq1Src_;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_SIM_SOC_HH

@@ -1,0 +1,142 @@
+#include "src/sim/vcd_writer.hh"
+
+#include <map>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+/** Split "name[3]" into ("name", 3); scalars return -1. */
+std::pair<std::string, int>
+splitName(const std::string &name)
+{
+    size_t open = name.rfind('[');
+    if (open == std::string::npos || name.back() != ']')
+        return {name, -1};
+    return {name.substr(0, open),
+            std::stoi(name.substr(open + 1, name.size() - open - 2))};
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(const Netlist &netlist, std::ostream &os,
+                     const std::string &top)
+    : nl_(netlist), os_(os), top_(top)
+{
+    // Collect ports into bus signals.
+    std::map<std::string, std::map<int, GateId>> groups;
+    for (const auto &[name, id] : nl_.ports()) {
+        auto [base, idx] = splitName(name);
+        groups[base][idx < 0 ? 0 : idx] = id;
+    }
+    for (const auto &[base, bits] : groups) {
+        Signal s;
+        s.name = base;
+        int width = bits.rbegin()->first + 1;
+        s.bits.assign(static_cast<size_t>(width), kNoGate);
+        for (const auto &[idx, id] : bits)
+            s.bits[static_cast<size_t>(idx)] = id;
+        signals_.push_back(std::move(s));
+    }
+}
+
+void
+VcdWriter::watch(GateId id, const std::string &name)
+{
+    bespoke_assert(!headerWritten_, "watch() after the header");
+    Signal s;
+    s.name = name;
+    s.bits = {id};
+    signals_.push_back(std::move(s));
+}
+
+void
+VcdWriter::watchBus(const std::vector<GateId> &ids,
+                    const std::string &name)
+{
+    bespoke_assert(!headerWritten_, "watchBus() after the header");
+    Signal s;
+    s.name = name;
+    s.bits = ids;
+    signals_.push_back(std::move(s));
+}
+
+std::string
+VcdWriter::codeFor(size_t index)
+{
+    // Printable identifier codes: base-94 over '!'..'~'.
+    std::string code;
+    do {
+        code += static_cast<char>('!' + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return code;
+}
+
+char
+VcdWriter::vcdChar(Logic v)
+{
+    switch (v) {
+      case Logic::Zero:
+        return '0';
+      case Logic::One:
+        return '1';
+      default:
+        return 'x';
+    }
+}
+
+void
+VcdWriter::writeHeader()
+{
+    bespoke_assert(!headerWritten_);
+    os_ << "$date bespoke-processors simulation $end\n";
+    os_ << "$timescale 10ns $end\n";  // one tick per 100 MHz cycle
+    os_ << "$scope module " << top_ << " $end\n";
+    for (size_t i = 0; i < signals_.size(); i++) {
+        signals_[i].code = codeFor(i);
+        os_ << "$var wire " << signals_[i].bits.size() << " "
+            << signals_[i].code << " " << signals_[i].name;
+        if (signals_[i].bits.size() > 1)
+            os_ << " [" << signals_[i].bits.size() - 1 << ":0]";
+        os_ << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+    headerWritten_ = true;
+}
+
+void
+VcdWriter::sample(const GateSim &sim)
+{
+    if (!headerWritten_)
+        writeHeader();
+    bool any = false;
+    std::string out;
+    for (Signal &s : signals_) {
+        std::string value;
+        if (s.bits.size() == 1) {
+            value = std::string(1, vcdChar(sim.value(s.bits[0])));
+        } else {
+            value = "b";
+            for (size_t b = s.bits.size(); b-- > 0;)
+                value += vcdChar(sim.value(s.bits[b]));
+            value += " ";
+        }
+        if (value != s.last) {
+            out += value + s.code + "\n";
+            s.last = value;
+        }
+    }
+    if (!out.empty() || time_ == 0) {
+        os_ << "#" << time_ << "\n" << out;
+        any = true;
+    }
+    (void)any;
+    time_++;
+}
+
+} // namespace bespoke

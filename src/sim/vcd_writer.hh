@@ -1,0 +1,69 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform writer for gate-level simulations.
+ *
+ * Attach a VcdWriter to a GateSim and call sample() once per cycle:
+ * every named port (grouped into buses) plus any explicitly watched
+ * internal nets are dumped, X values included, viewable in GTKWave or
+ * any other VCD viewer. Useful for debugging workloads and bespoke
+ * designs alike.
+ */
+
+#ifndef BESPOKE_SIM_VCD_WRITER_HH
+#define BESPOKE_SIM_VCD_WRITER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/gate_sim.hh"
+
+namespace bespoke
+{
+
+class VcdWriter
+{
+  public:
+    /**
+     * @param netlist design being observed
+     * @param os      stream receiving VCD text (kept by reference)
+     * @param top     scope name in the VCD hierarchy
+     */
+    VcdWriter(const Netlist &netlist, std::ostream &os,
+              const std::string &top = "bespoke");
+
+    /** Also dump an internal net under the given display name. */
+    void watch(GateId id, const std::string &name);
+    /** Watch a whole internal bus (LSB-first ids). */
+    void watchBus(const std::vector<GateId> &ids,
+                  const std::string &name);
+
+    /** Write the header; called automatically by the first sample(). */
+    void writeHeader();
+
+    /** Record the current simulator values at the next timestamp. */
+    void sample(const GateSim &sim);
+
+  private:
+    struct Signal
+    {
+        std::string name;
+        std::vector<GateId> bits;  ///< LSB first; scalar = 1 entry
+        std::string code;          ///< VCD identifier code
+        std::string last;          ///< last emitted value string
+    };
+
+    static std::string codeFor(size_t index);
+    static char vcdChar(Logic v);
+
+    const Netlist &nl_;
+    std::ostream &os_;
+    std::string top_;
+    std::vector<Signal> signals_;
+    bool headerWritten_ = false;
+    uint64_t time_ = 0;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_SIM_VCD_WRITER_HH

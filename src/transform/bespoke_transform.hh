@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cutting & stitching and re-synthesis (paper Section 3.2).
+ *
+ * cutAndStitch() removes every gate the activity analysis proved
+ * untoggleable, ties each of its fanout pins to the proven constant
+ * value, and then re-synthesizes: constant propagation (gates with
+ * constant inputs fold or shrink to simpler cells), removal of
+ * floating-output logic (toggled gates whose outputs can no longer
+ * reach a state element or port), and fixpoint iteration of both.
+ */
+
+#ifndef BESPOKE_TRANSFORM_BESPOKE_TRANSFORM_HH
+#define BESPOKE_TRANSFORM_BESPOKE_TRANSFORM_HH
+
+#include "src/sim/gate_sim.hh"
+#include "src/transform/rewrite.hh"
+
+namespace bespoke
+{
+
+/** Statistics from one cut-and-stitch invocation. */
+struct CutStats
+{
+    size_t gatesBefore = 0;
+    size_t gatesCutDirect = 0;   ///< untoggled gates removed
+    size_t gatesAfter = 0;       ///< after full re-synthesis
+};
+
+/**
+ * Produce the bespoke netlist for the activity result. The tracker's
+ * netlist must be `src`.
+ */
+Netlist cutAndStitch(const Netlist &src, const ActivityTracker &activity,
+                     CutStats *stats = nullptr);
+
+/**
+ * Re-synthesis only: constant propagation + dead sweep + buffer strip
+ * to fixpoint. Exposed separately for tests and for the coarse-grained
+ * module-removal baseline.
+ */
+Netlist resynthesize(const Netlist &src);
+
+/**
+ * Coarse-grained module-level bespoke baseline (paper Fig. 12): remove
+ * whole modules in which *no* gate is toggleable, tying module outputs
+ * to their constants; modules with any toggleable gate are kept intact.
+ * Mirrors an Xtensa-like configuration flow.
+ */
+Netlist cutWholeModules(const Netlist &src,
+                        const ActivityTracker &activity,
+                        CutStats *stats = nullptr);
+
+} // namespace bespoke
+
+#endif // BESPOKE_TRANSFORM_BESPOKE_TRANSFORM_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Netlist rewriting: the machinery behind cutting & stitching and
+ * re-synthesis (paper Sec. 3.2).
+ *
+ * Netlist construction is append-only, so every transform builds a new
+ * netlist via a Rewriter: passes mark gates as aliased (output equals
+ * another gate's output), constant (output tied to 0/1), or dead, and
+ * compact() emits the surviving gates with pins remapped. Port pseudo-
+ * gates keep their names, so environments and analyses that look up
+ * ports by name work on transformed designs unchanged.
+ */
+
+#ifndef BESPOKE_TRANSFORM_REWRITE_HH
+#define BESPOKE_TRANSFORM_REWRITE_HH
+
+#include <vector>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+/** Result of a rewrite: the new netlist plus an old-id -> new-id map. */
+struct RewriteResult
+{
+    Netlist netlist;
+    /** kNoGate for dropped gates; constants map to shared tie cells. */
+    std::vector<GateId> map;
+
+    /** Remap an old gate id (kNoGate if it was dropped). */
+    GateId remap(GateId old_id) const { return map[old_id]; }
+};
+
+/**
+ * Accumulates rewrite marks against a source netlist, then emits the
+ * rewritten copy. Marks compose: an aliased gate may alias a constant
+ * gate; resolution follows chains.
+ */
+class Rewriter
+{
+  public:
+    explicit Rewriter(const Netlist &src);
+
+    const Netlist &source() const { return src_; }
+
+    /** Mark: this gate's output is the constant value; gate dropped. */
+    void makeConstant(GateId id, bool value);
+    /** Mark: this gate's output equals target's output; gate dropped. */
+    void makeAlias(GateId id, GateId target);
+    /** Replace the gate's cell (same output net), e.g. XOR2 -> INV. */
+    void replaceCell(GateId id, CellType type, GateId in0,
+                     GateId in1 = kNoGate, GateId in2 = kNoGate);
+    /** Mark a gate dead (no fanout use); it is simply dropped. */
+    void kill(GateId id);
+    /** Change drive strength in the output netlist. */
+    void setDrive(GateId id, Drive drive);
+
+    bool isConstant(GateId id) const;
+    /** True once replaceCell() was applied (one rewrite per round). */
+    bool hasReplacement(GateId id) const { return hasReplace_[id]; }
+    bool constantValue(GateId id) const;
+    bool isDropped(GateId id) const;
+
+    /**
+     * Resolve a gate id through alias/constant chains. Returns either a
+     * surviving source gate id (constant == false) or a constant
+     * (constant == true, value set).
+     */
+    struct Resolved
+    {
+        bool isConst;
+        bool value;
+        GateId gate;
+    };
+    Resolved resolve(GateId id) const;
+
+    /** Emit the rewritten netlist. */
+    RewriteResult compact() const;
+
+  private:
+    enum class Mark : uint8_t
+    {
+        Keep,
+        Const0,
+        Const1,
+        Alias,
+        Dead,
+    };
+
+    const Netlist &src_;
+    std::vector<Mark> marks_;
+    std::vector<GateId> aliasTarget_;
+    std::vector<Gate> replaced_;      ///< cell replacements (by id)
+    std::vector<uint8_t> hasReplace_;
+    std::vector<Drive> drives_;
+};
+
+/**
+ * Remove BUF cells by rewiring their fanouts to their inputs. Used to
+ * clean up generator scaffolding and post-optimization chains.
+ */
+RewriteResult stripBuffers(const Netlist &src);
+
+/**
+ * Remove gates with no path to any OUTPUT port or live flop; iterates
+ * until closed (a flop whose Q feeds nothing is dead, which can kill
+ * its fanin cone).
+ */
+RewriteResult sweepDead(const Netlist &src);
+
+} // namespace bespoke
+
+#endif // BESPOKE_TRANSFORM_REWRITE_HH

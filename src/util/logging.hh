@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 style.
+ *
+ * panic()  - internal invariant violated (a bug in this library); aborts.
+ * fatal()  - user error (bad input file, bad configuration); exits cleanly.
+ * warn()   - something questionable happened but execution continues.
+ * inform() - status message.
+ */
+
+#ifndef BESPOKE_UTIL_LOGGING_HH
+#define BESPOKE_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bespoke
+{
+
+namespace detail
+{
+
+/** Stream-compose the variadic arguments into one string. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity switch; benches set this to silence inform(). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace bespoke
+
+#define bespoke_panic(...)                                                   \
+    ::bespoke::detail::panicImpl(__FILE__, __LINE__,                         \
+        ::bespoke::detail::composeMessage(__VA_ARGS__))
+
+#define bespoke_fatal(...)                                                   \
+    ::bespoke::detail::fatalImpl(__FILE__, __LINE__,                         \
+        ::bespoke::detail::composeMessage(__VA_ARGS__))
+
+#define bespoke_warn(...)                                                    \
+    ::bespoke::detail::warnImpl(                                             \
+        ::bespoke::detail::composeMessage(__VA_ARGS__))
+
+#define bespoke_inform(...)                                                  \
+    ::bespoke::detail::informImpl(                                           \
+        ::bespoke::detail::composeMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define bespoke_assert(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::bespoke::detail::panicImpl(__FILE__, __LINE__,                 \
+                ::bespoke::detail::composeMessage(                           \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__));         \
+        }                                                                    \
+    } while (0)
+
+#endif // BESPOKE_UTIL_LOGGING_HH

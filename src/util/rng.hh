@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro128**).
+ *
+ * All experiments in this repository must be reproducible run-to-run, so
+ * every randomized component takes an explicit seed and uses this generator
+ * rather than std::random_device.
+ */
+
+#ifndef BESPOKE_UTIL_RNG_HH
+#define BESPOKE_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace bespoke
+{
+
+/** Small, fast, seedable PRNG used by workload input generators. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the xoshiro state.
+        uint64_t z = seed;
+        for (int i = 0; i < 4; i++) {
+            z += 0x9e3779b97f4a7c15ull;
+            uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            state[i] = static_cast<uint32_t>((t ^ (t >> 31)) >> 16) | 1u;
+        }
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint32_t result = rotl(state[1] * 5, 7) * 9;
+        uint32_t t = state[1] << 9;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 11);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + static_cast<int>(below(static_cast<uint32_t>(
+            hi - lo + 1)));
+    }
+
+    /** Uniform 16-bit value. */
+    uint16_t word() { return static_cast<uint16_t>(next()); }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint32_t num, uint32_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    static uint32_t
+    rotl(uint32_t x, int k)
+    {
+        return (x << k) | (x >> (32 - k));
+    }
+
+    uint32_t state[4];
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_UTIL_RNG_HH

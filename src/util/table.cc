@@ -1,0 +1,93 @@
+#include "src/util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    bespoke_assert(!rows_.empty(), "add() before row()");
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    return add(formatFixed(value, precision));
+}
+
+Table &
+Table::add(long value)
+{
+    return add(std::to_string(value));
+}
+
+std::string
+Table::render(const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < widths.size(); c++) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << " " << cell
+               << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < widths.size(); c++)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::fputs(render(title).c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace bespoke

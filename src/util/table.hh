@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style tables and figure data series.
+ */
+
+#ifndef BESPOKE_UTIL_TABLE_HH
+#define BESPOKE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bespoke
+{
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * ASCII table. Numeric convenience setters format with fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row; subsequent add() calls append cells to it. */
+    Table &row();
+
+    Table &add(const std::string &cell);
+    Table &add(double value, int precision = 1);
+    Table &add(long value);
+    Table &add(int value) { return add(static_cast<long>(value)); }
+    Table &add(size_t value) { return add(static_cast<long>(value)); }
+
+    /** Render the table, with a title line above it. */
+    std::string render(const std::string &title = "") const;
+
+    /** Render and write to stdout. */
+    void print(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision);
+
+} // namespace bespoke
+
+#endif // BESPOKE_UTIL_TABLE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Coverage-directed input generation (KLEE substitute, paper Table 3).
+ *
+ * The paper uses KLEE to generate inputs that exercise as many control
+ * paths as possible for input-based verification. We substitute a
+ * coverage-feedback loop over the ISS: random inputs are generated
+ * until `plateau` consecutive inputs add no new line or branch-
+ * direction coverage; inputs that added coverage are kept.
+ */
+
+#ifndef BESPOKE_VERIFY_COVERAGE_GEN_HH
+#define BESPOKE_VERIFY_COVERAGE_GEN_HH
+
+#include "src/verify/runner.hh"
+
+namespace bespoke
+{
+
+struct CoverageInputs
+{
+    std::vector<WorkloadInput> inputs;   ///< coverage-adding inputs
+    int totalGenerated = 0;              ///< inputs tried
+    double linePct = 0.0;                ///< code lines executed
+    double branchPct = 0.0;              ///< cond branches executed
+    double branchDirPct = 0.0;           ///< branch directions covered
+};
+
+CoverageInputs generateCoverageInputs(const Workload &w,
+                                      int max_inputs = 256,
+                                      int plateau = 12,
+                                      uint64_t seed = 7);
+
+} // namespace bespoke
+
+#endif // BESPOKE_VERIFY_COVERAGE_GEN_HH

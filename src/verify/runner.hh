@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload run harness: executes a workload on the ISS golden model or
+ * on a gate-level netlist (original or bespoke), with input injection,
+ * interrupt scheduling, halt detection, and result extraction. Used by
+ * the profiling study (Fig. 2), input-based verification (Table 3),
+ * the power model (toggle collection), and the example programs.
+ */
+
+#ifndef BESPOKE_VERIFY_RUNNER_HH
+#define BESPOKE_VERIFY_RUNNER_HH
+
+#include <map>
+#include <set>
+
+#include "src/iss/iss.hh"
+#include "src/sim/soc.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+
+/** Instruction addresses holding the `jmp .` halt idiom. */
+std::vector<uint16_t> haltAddresses(const AsmProgram &prog);
+
+/** Result of an ISS run. */
+struct IssRun
+{
+    StepResult result = StepResult::Ok;
+    std::vector<uint16_t> out;  ///< output-region words
+    uint16_t gpioOut = 0;
+    uint64_t instructions = 0;
+    std::set<uint16_t> executedPCs;
+    std::map<uint16_t, std::pair<bool, bool>> branchDirs;
+    std::vector<uint8_t> ram;   ///< final RAM image
+};
+
+/**
+ * Run a workload with a concrete input on the ISS. For IRQ-using
+ * workloads, one external interrupt is injected early in the run (the
+ * gate-level harness injects the equivalent pulse).
+ */
+IssRun runWorkloadIss(const Workload &w, const WorkloadInput &input,
+                      uint64_t max_steps = 2'000'000);
+
+/** Result of a gate-level run. */
+struct GateRun
+{
+    bool halted = false;
+    uint64_t cycles = 0;
+    std::vector<SWord> out;  ///< output-region words
+    SWord gpioOut;
+    std::vector<SWord> ram;  ///< final RAM contents
+};
+
+/**
+ * Run a workload with a concrete input on a netlist. Optional trackers
+ * observe every cycle (ToggleCounter for power, ActivityTracker for
+ * profiled unused gates, Fig. 2).
+ *
+ * @param prog must be the workload's assembled program (passed in so
+ *        callers can reuse one assembly across runs).
+ */
+GateRun runWorkloadGate(const Netlist &netlist, const Workload &w,
+                        const AsmProgram &prog, const WorkloadInput &input,
+                        ToggleCounter *toggles = nullptr,
+                        ActivityTracker *activity = nullptr,
+                        const std::function<void(const GateSim &)>
+                            &per_cycle = nullptr);
+
+/** Check a gate run against the ISS oracle; fatal-free, returns diff. */
+struct RunDiff
+{
+    bool ok = true;
+    std::string detail;
+};
+RunDiff compareRuns(const IssRun &iss, const GateRun &gate,
+                    const Workload &w);
+
+} // namespace bespoke
+
+#endif // BESPOKE_VERIFY_RUNNER_HH

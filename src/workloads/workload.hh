@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Benchmark workload registry (paper Table 1).
+ *
+ * Each workload is a BSP430 assembly program plus an input model.
+ * Application inputs live in a RAM region (and optionally the GPIO
+ * input port): the symbolic activity analysis starts RAM and pins at X,
+ * so "inputs" are automatically all-possible-values; concrete runs
+ * (profiling, Fig. 2; input-based verification, Table 3) generate
+ * values with the per-workload generator and poke them into RAM before
+ * releasing reset.
+ *
+ * Conventions shared by all workloads:
+ *  - inputs at 0x0300.., outputs at 0x0400.., stack top at 0x0a00
+ *  - programs terminate with the `jmp .` halt idiom
+ */
+
+#ifndef BESPOKE_WORKLOADS_WORKLOAD_HH
+#define BESPOKE_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/isa/assembler.hh"
+#include "src/util/rng.hh"
+
+namespace bespoke
+{
+
+/** RAM input base shared by the workload sources. */
+constexpr uint16_t kInputBase = 0x0300;
+/** RAM output base shared by the workload sources. */
+constexpr uint16_t kOutputBase = 0x0400;
+
+/** One concrete input assignment for a workload. */
+struct WorkloadInput
+{
+    std::vector<uint16_t> ramWords;  ///< written at kInputBase
+    uint16_t gpioIn = 0;
+    /** Additional (address, value) RAM pokes outside the input region. */
+    std::vector<std::pair<uint16_t, uint16_t>> extraRam;
+};
+
+/** Benchmark category, mirroring the paper's grouping. */
+enum class WorkloadClass
+{
+    Sensor,   ///< embedded sensor benchmarks
+    Eembc,    ///< EEMBC-style kernels
+    Unit,     ///< processor unit tests (irq, dbg)
+    Extra,    ///< methodology workloads (scrambled, subneg, OS)
+};
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string source;
+    WorkloadClass cls = WorkloadClass::Sensor;
+    /** Number of output words (at kOutputBase) checked by verification. */
+    int outputWords = 0;
+    /** Generate one concrete input assignment. */
+    std::function<WorkloadInput(Rng &)> genInput;
+    /** Cycle guard for gate-level runs. */
+    uint64_t maxCycles = 400000;
+    /** Whether the workload arms the external interrupt during runs. */
+    bool usesIrq = false;
+    /**
+     * False for workloads whose final state depends on cycle-accurate
+     * peripheral behavior the ISS does not model (e.g. timer polling);
+     * such workloads are verified at gate level only.
+     */
+    bool issComparable = true;
+
+    /** Assemble (cached per call site; assembling is cheap). */
+    AsmProgram assembleProgram() const
+    {
+        return assemble(source, name);
+    }
+};
+
+/** The paper's benchmark suite (Table 1): 15 workloads. */
+const std::vector<Workload> &workloads();
+
+/** Extra methodology workloads (scrambled-intFilt, subneg, minios). */
+const std::vector<Workload> &extraWorkloads();
+
+/** Workloads requiring the extended core (timer/UART peripherals). */
+const std::vector<Workload> &extendedWorkloads();
+
+/** Look up a workload by name across both sets; fatal if missing. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace bespoke
+
+#endif // BESPOKE_WORKLOADS_WORKLOAD_HH

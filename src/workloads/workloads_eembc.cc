@@ -1,0 +1,407 @@
+/**
+ * @file
+ * EEMBC-style kernels (paper Table 1): FFT, Viterbi, convEn, autocorr.
+ * The originals are proprietary; these are functionally equivalent
+ * fixed-point kernels written for BSP430 (see DESIGN.md substitutions).
+ */
+
+#include "src/workloads/workloads_impl.hh"
+
+namespace bespoke
+{
+
+std::vector<Workload>
+eembcWorkloads()
+{
+    std::vector<Workload> w;
+
+    // ------------------------------------------------------------------ FFT
+    // 8-point in-place radix-2 DIT FFT, Q8 twiddles, HW multiplier.
+    // XR at IN..IN+15, XI at IN+16..IN+31; butterfly schedule in ROM.
+    w.push_back({
+        "FFT",
+        "8-point fixed-point FFT (Q8, signed HW multiplier)",
+        wrapWorkload(R"(
+        ; bit-reversal swaps (1,4) and (3,6), real and imaginary
+        mov &IN+2, r10
+        mov &IN+8, r11
+        mov r11, &IN+2
+        mov r10, &IN+8
+        mov &IN+18, r10
+        mov &IN+24, r11
+        mov r11, &IN+18
+        mov r10, &IN+24
+        mov &IN+6, r10
+        mov &IN+12, r11
+        mov r11, &IN+6
+        mov r10, &IN+12
+        mov &IN+22, r10
+        mov &IN+28, r11
+        mov r11, &IN+22
+        mov r10, &IN+28
+        mov #sched, r15
+floop:  mov @r15+, r12       ; a offset
+        cmp #0xffff, r12
+        jeq fdone
+        mov @r15+, r13       ; b offset
+        mov @r15+, r14       ; twiddle offset
+        call #bfly
+        jmp floop
+fdone:  clr r4               ; copy 16 result words to OUT
+fcp:    mov r4, r5
+        rla r5
+        mov IN(r5), OUT(r5)
+        inc r4
+        cmp #16, r4
+        jnz fcp
+        jmp halt
+
+        ; butterfly: t = W * x[b]; x[b] = x[a]-t; x[a] += t
+bfly:   mov tw(r14), &0x0132     ; MPYS = wr
+        mov IN(r13), &0x0134     ; xr[b]
+        call #p16
+        mov r10, r8              ; tr = wr*xr
+        mov tw+2(r14), &0x0132   ; wi
+        mov IN+16(r13), &0x0134  ; xi[b]
+        call #p16
+        sub r10, r8              ; tr -= wi*xi
+        mov tw(r14), &0x0132
+        mov IN+16(r13), &0x0134
+        call #p16
+        mov r10, r9              ; ti = wr*xi
+        mov tw+2(r14), &0x0132
+        mov IN(r13), &0x0134
+        call #p16
+        add r10, r9              ; ti += wi*xr
+        mov IN(r12), r10
+        mov r10, r11
+        sub r8, r10
+        mov r10, IN(r13)
+        add r8, r11
+        mov r11, IN(r12)
+        mov IN+16(r12), r10
+        mov r10, r11
+        sub r9, r10
+        mov r10, IN+16(r13)
+        add r9, r11
+        mov r11, IN+16(r12)
+        ret
+
+        ; p16: r10 = (RESHI:RESLO) >> 8 (Q8 product scaling)
+p16:    mov &0x0136, r10
+        swpb r10
+        and #0x00ff, r10
+        mov &0x0138, r11
+        swpb r11
+        and #0xff00, r11
+        bis r11, r10
+        ret
+
+        ; (a, b, twiddle) byte offsets; 0xffff terminates
+sched:  .word 0, 2, 0
+        .word 4, 6, 0
+        .word 8, 10, 0
+        .word 12, 14, 0
+        .word 0, 4, 0
+        .word 2, 6, 8
+        .word 8, 12, 0
+        .word 10, 14, 8
+        .word 0, 8, 0
+        .word 2, 10, 4
+        .word 4, 12, 8
+        .word 6, 14, 12
+        .word 0xffff
+        ; W8^k, Q8: (cos, -sin) for k = 0..3
+tw:     .word 256, 0
+        .word 181, -181
+        .word 0, -256
+        .word -181, -181
+)"),
+        WorkloadClass::Eembc,
+        16,
+        [](Rng &rng) {
+            WorkloadInput in;
+            // Small signed samples keep Q8 products in range.
+            for (int i = 0; i < 16; i++) {
+                in.ramWords.push_back(static_cast<uint16_t>(
+                    static_cast<int16_t>(rng.range(-1000, 1000))));
+            }
+            return in;
+        },
+        120000,
+    });
+
+    // -------------------------------------------------------------- Viterbi
+    // Hard-decision Viterbi decoder, K=3 rate-1/2, 8 steps, 4 states.
+    // Path metrics at 0x0500/0x0510, survivors at 0x0520.
+    w.push_back({
+        "viterbi",
+        "Hard-decision Viterbi decoder (K=3, rate 1/2, 8 steps)",
+        wrapWorkload(R"(
+        .equ PM, 0x0500
+        .equ PMN, 0x0510
+        .equ SURV, 0x0520
+        ; init: PM[0]=0, others large
+        clr &PM
+        mov #100, &PM+2
+        mov #100, &PM+4
+        mov #100, &PM+6
+        clr r4               ; t
+step:   mov r4, r5
+        rla r5
+        mov IN(r5), r10
+        and #3, r10          ; received symbol
+        clr r11              ; survivor bits for this step
+        clr r5               ; ns
+nsl:    mov r5, r6
+        rra r6               ; p0 = ns >> 1
+        ; branch metric from p0
+        mov r5, r7
+        and #1, r7           ; b = ns & 1
+        mov r6, r8
+        rla r8               ; exp index = (s*2 + b) * 2 bytes
+        add r7, r8
+        rla r8
+        mov expt(r8), r9
+        xor r10, r9
+        rla r9
+        mov hamt(r9), r9     ; ham(rcv ^ exp[p0][b])
+        mov r6, r8
+        rla r8
+        add PM(r8), r9       ; m0
+        ; branch metric from p1 = p0 + 2
+        mov r6, r8
+        add #2, r8
+        rla r8               ; index (s*2+b)*2 with s = p0+2
+        add r7, r8
+        rla r8
+        mov expt(r8), r12
+        xor r10, r12
+        rla r12
+        mov hamt(r12), r12
+        mov r6, r8
+        add #2, r8
+        rla r8
+        add PM(r8), r12      ; m1
+        cmp r9, r12          ; m1 - m0
+        jge keep0            ; m1 >= m0 -> keep pred p0
+        ; survivor = 1 (pred p0+2)
+        mov r5, r8
+        rla r8
+        mov r12, PMN(r8)
+        mov #1, r12
+        mov r5, r13
+        tst r13
+        jz  sb0
+ssh:    rla r12
+        dec r13
+        jnz ssh
+sb0:    bis r12, r11
+        jmp nsnext
+keep0:  mov r5, r8
+        rla r8
+        mov r9, PMN(r8)
+nsnext: inc r5
+        cmp #4, r5
+        jnz nsl
+        ; store survivors, copy PMN -> PM
+        mov r4, r8
+        rla r8
+        mov r11, SURV(r8)
+        mov &PMN, &PM
+        mov &PMN+2, &PM+2
+        mov &PMN+4, &PM+4
+        mov &PMN+6, &PM+6
+        inc r4
+        cmp #8, r4
+        jnz step
+        ; traceback from argmin state
+        clr r5               ; best state
+        mov &PM, r6
+        mov #1, r7
+argl:   mov r7, r8
+        rla r8
+        mov PM(r8), r9
+        cmp r6, r9           ; PM[s] - best
+        jge argn
+        mov r9, r6
+        mov r7, r5
+argn:   inc r7
+        cmp #4, r7
+        jnz argl
+        clr r9               ; decoded bits
+        mov #7, r4           ; t = 7 .. 0
+tb:     mov r4, r8
+        rla r8
+        mov SURV(r8), r10
+        ; decoded bit (input at step t) = state & 1; step t carries
+        ; data bit (7 - t) (msb transmitted first)
+        mov r5, r11
+        and #1, r11
+        mov #7, r12
+        sub r4, r12
+        tst r12
+        jz  ins
+insl:   rla r11
+        dec r12
+        jnz insl
+ins:    bis r11, r9
+        ; survivor bit for current state
+        mov r5, r12
+        tst r12
+        jz  sv0
+svl:    rra r10
+        dec r12
+        jnz svl
+sv0:    and #1, r10          ; 1 -> pred = (s>>1)+2
+        mov r5, r6
+        rra r6               ; pred low bit = state >> 1
+        tst r10
+        jz  nopl
+        add #2, r6
+nopl:   mov r6, r5
+        dec r4
+        cmp #0xffff, r4
+        jnz tb
+        mov r9, &OUT
+        mov &PM, r10
+        mov r5, &OUT+2       ; initial state (should be 0)
+halt2:  jmp halt
+        ; expected encoder output per (state, bit): g0g1
+expt:   .word 0              ; s=0 b=0 -> 00
+        .word 3              ; s=0 b=1 -> 11
+        .word 2              ; s=1 b=0 -> 10  (g0=1,g1=0 -> 0b10)
+        .word 1              ; s=1 b=1
+        .word 3              ; s=2 b=0
+        .word 0              ; s=2 b=1
+        .word 1              ; s=3 b=0
+        .word 2              ; s=3 b=1
+hamt:   .word 0
+        .word 1
+        .word 1
+        .word 2
+)"),
+        WorkloadClass::Eembc,
+        2,
+        [](Rng &rng) {
+            WorkloadInput in;
+            // Encode a random byte with the K=3 (7,5) code, then
+            // optionally flip one bit (noise).
+            uint8_t data = static_cast<uint8_t>(rng.word());
+            int state = 0;
+            std::vector<uint16_t> syms;
+            for (int i = 7; i >= 0; i--) {
+                int bit = (data >> i) & 1;
+                int reg = ((state << 1) | bit) & 7;
+                int g0 = ((reg >> 2) ^ (reg >> 1) ^ reg) & 1;
+                int g1 = ((reg >> 2) ^ reg) & 1;
+                syms.push_back(static_cast<uint16_t>((g0 << 1) | g1));
+                state = reg & 3;
+            }
+            if (rng.chance(1, 3)) {
+                syms[rng.below(8)] ^= static_cast<uint16_t>(
+                    1u << rng.below(2));
+            }
+            in.ramWords = syms;
+            return in;
+        },
+        250000,
+    });
+
+    // --------------------------------------------------------------- convEn
+    w.push_back({
+        "convEn",
+        "Convolutional encoder K=3 (7,5) over 16 input bits",
+        wrapWorkload(R"(
+        mov &IN, r4          ; data word (msb first)
+        clr r5               ; encoder state
+        clr r6               ; output stream lo
+        clr r7               ; output stream hi
+        mov #16, r8
+cl:     rla r4
+        rlc r5
+        and #7, r5
+        mov r5, r9           ; g0 = b0^b1^b2
+        mov r5, r10
+        rra r10
+        xor r10, r9
+        rra r10
+        xor r10, r9
+        and #1, r9
+        mov r5, r10          ; g1 = b0^b2
+        bic #2, r10
+        mov r10, r11
+        rra r11
+        rra r11
+        xor r11, r10
+        and #1, r10
+        rla r6
+        rlc r7
+        bis r9, r6
+        rla r6
+        rlc r7
+        bis r10, r6
+        dec r8
+        jnz cl
+        mov r6, &OUT
+        mov r7, &OUT+2
+)"),
+        WorkloadClass::Eembc,
+        2,
+        [](Rng &rng) {
+            WorkloadInput in;
+            in.ramWords.push_back(rng.word());
+            return in;
+        },
+        25000,
+    });
+
+    // ------------------------------------------------------------- autocorr
+    w.push_back({
+        "autocorr",
+        "Autocorrelation of 12 signed samples, lags 0..3",
+        wrapWorkload(R"(
+        clr r4               ; k
+akl:    clr r10              ; acc lo
+        clr r11              ; acc hi
+        clr r5               ; i
+ail:    mov r5, r6
+        rla r6
+        mov IN(r6), &0x0132  ; MPYS = x[i]
+        mov r4, r7
+        add r5, r7
+        rla r7
+        mov IN(r7), &0x0134  ; OP2 = x[i+k]
+        add &0x0136, r10
+        addc &0x0138, r11
+        inc r5
+        mov #12, r8
+        sub r4, r8
+        cmp r8, r5
+        jnz ail
+        mov r4, r6
+        rla r6
+        rla r6
+        mov r10, OUT(r6)
+        mov r11, OUT+2(r6)
+        inc r4
+        cmp #4, r4
+        jnz akl
+)"),
+        WorkloadClass::Eembc,
+        8,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 12; i++) {
+                in.ramWords.push_back(static_cast<uint16_t>(
+                    static_cast<int16_t>(rng.range(-5000, 5000))));
+            }
+            return in;
+        },
+        100000,
+    });
+
+    return w;
+}
+
+} // namespace bespoke

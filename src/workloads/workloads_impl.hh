@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal interface between the workload registry and the per-suite
+ * implementation files.
+ */
+
+#ifndef BESPOKE_WORKLOADS_WORKLOADS_IMPL_HH
+#define BESPOKE_WORKLOADS_WORKLOADS_IMPL_HH
+
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+
+/** Standard prologue/epilogue wrapper (IN/OUT equs, SP init, vectors). */
+std::string wrapWorkload(const std::string &body,
+                         const std::string &extra = "");
+
+std::vector<Workload> sensorWorkloads();
+std::vector<Workload> eembcWorkloads();
+std::vector<Workload> unitWorkloads();
+std::vector<Workload> methodologyWorkloads();
+std::vector<Workload> extCoreWorkloads();
+
+} // namespace bespoke
+
+#endif // BESPOKE_WORKLOADS_WORKLOADS_IMPL_HH

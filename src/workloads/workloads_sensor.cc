@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Embedded-sensor benchmarks (paper Table 1, from the suite of Zhai et
+ * al. [73]): binSearch, div, inSort, intAVG, intFilt, mult, rle, tHold,
+ * tea8. All written directly in BSP430 assembly; inputs are read from
+ * the RAM input region (X under symbolic analysis) and results written
+ * to the output region.
+ */
+
+#include "src/workloads/workloads_impl.hh"
+
+namespace bespoke
+{
+
+std::string
+wrapWorkload(const std::string &body, const std::string &extra)
+{
+    return "        .equ IN, 0x0300\n"
+           "        .equ OUT, 0x0400\n"
+           "        .org 0xf000\n"
+           "start:  mov #0x0a00, sp\n" +
+           body +
+           "halt:   jmp halt\n" + extra +
+           "        .org 0xfffe\n"
+           "        .word start\n";
+}
+
+std::vector<Workload>
+sensorWorkloads()
+{
+    std::vector<Workload> w;
+
+    // ------------------------------------------------------------ binSearch
+    w.push_back({
+        "binSearch",
+        "Binary search over a sorted 16-word array",
+        wrapWorkload(R"(
+        mov &IN+32, r10      ; key
+        clr r4               ; lo
+        mov #16, r5          ; hi (exclusive)
+bsl:    cmp r5, r4
+        jge notf             ; lo >= hi -> not found
+        mov r4, r6
+        add r5, r6
+        rra r6               ; mid = (lo+hi)/2
+        mov r6, r7
+        rla r7
+        mov IN(r7), r8       ; a[mid]
+        cmp r10, r8
+        jeq found
+        jl  lower            ; a[mid] < key
+        mov r6, r5           ; hi = mid
+        jmp bsl
+lower:  mov r6, r4
+        inc r4               ; lo = mid + 1
+        jmp bsl
+found:  mov r6, &OUT
+        jmp halt
+notf:   mov #0xffff, &OUT
+)"),
+        WorkloadClass::Sensor,
+        1,
+        [](Rng &rng) {
+            WorkloadInput in;
+            uint16_t v = 0;
+            for (int i = 0; i < 16; i++) {
+                v = static_cast<uint16_t>(v + 1 + rng.below(100));
+                in.ramWords.push_back(v);
+            }
+            // Key: half the time an element, half random.
+            uint16_t key = rng.chance(1, 2)
+                               ? in.ramWords[rng.below(16)]
+                               : rng.word() & 0x7fff;
+            in.ramWords.push_back(key);
+            return in;
+        },
+        8000,
+    });
+
+    // ------------------------------------------------------------------ div
+    w.push_back({
+        "div",
+        "Unsigned 16/16 restoring division",
+        wrapWorkload(R"(
+        mov &IN, r4          ; dividend
+        mov &IN+2, r5        ; divisor
+        clr r6               ; remainder
+        clr r7               ; quotient
+        mov #16, r8
+dvl:    rla r4
+        rlc r6
+        rla r7
+        cmp r5, r6
+        jlo dskip            ; rem < divisor
+        sub r5, r6
+        bis #1, r7
+dskip:  dec r8
+        jnz dvl
+        mov r7, &OUT
+        mov r6, &OUT+2
+)"),
+        WorkloadClass::Sensor,
+        2,
+        [](Rng &rng) {
+            WorkloadInput in;
+            in.ramWords.push_back(rng.word());
+            in.ramWords.push_back(
+                static_cast<uint16_t>(1 + rng.below(0xfffe)));
+            return in;
+        },
+        4000,
+    });
+
+    // --------------------------------------------------------------- inSort
+    w.push_back({
+        "inSort",
+        "In-place insertion sort of 12 signed words",
+        wrapWorkload(R"(
+        mov #1, r4           ; i
+outer:  cmp #12, r4
+        jge copy
+        mov r4, r5
+        rla r5
+        mov IN(r5), r10      ; key
+        mov r4, r6           ; j
+inner:  tst r6
+        jz  place
+        mov r6, r7
+        rla r7
+        mov IN-2(r7), r8     ; a[j-1]
+        cmp r10, r8
+        jl  place            ; a[j-1] < key -> stop shifting
+        mov r8, IN(r7)
+        dec r6
+        jmp inner
+place:  mov r6, r7
+        rla r7
+        mov r10, IN(r7)
+        inc r4
+        jmp outer
+copy:   clr r4
+cpl:    mov r4, r5
+        rla r5
+        mov IN(r5), OUT(r5)
+        inc r4
+        cmp #12, r4
+        jnz cpl
+)"),
+        WorkloadClass::Sensor,
+        12,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 12; i++)
+                in.ramWords.push_back(rng.word());
+            return in;
+        },
+        30000,
+    });
+
+    // --------------------------------------------------------------- intAVG
+    w.push_back({
+        "intAVG",
+        "Signed 32-bit-accumulate average of 16 words",
+        wrapWorkload(R"(
+        clr r4               ; sum lo
+        clr r5               ; sum hi
+        clr r6               ; i
+avl:    mov r6, r7
+        rla r7
+        mov IN(r7), r8
+        clr r9
+        tst r8
+        jge pos
+        mov #0xffff, r9      ; sign extension
+pos:    add r8, r4
+        addc r9, r5
+        inc r6
+        cmp #16, r6
+        jnz avl
+        mov #4, r7           ; >>4 (divide by 16, arithmetic)
+shr:    rra r5
+        rrc r4
+        dec r7
+        jnz shr
+        mov r4, &OUT
+        mov r5, &OUT+2
+)"),
+        WorkloadClass::Sensor,
+        2,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 16; i++)
+                in.ramWords.push_back(rng.word());
+            return in;
+        },
+        6000,
+    });
+
+    // -------------------------------------------------------------- intFilt
+    // Constant coefficients load the multiplier's op1 register with
+    // fixed values, which is exactly the paper's observation that the
+    // binary constrains ~half the multiplier gates.
+    w.push_back({
+        "intFilt",
+        "4-tap signed FIR filter with constant coefficients",
+        wrapWorkload(R"(
+        clr r4               ; n
+fl:     clr r10              ; acc lo
+        clr r11              ; acc hi
+        mov r4, r5
+        rla r5
+        mov #5, &0x0132      ; MPYS = c0
+        mov IN(r5), &0x0134
+        add &0x0136, r10
+        addc &0x0138, r11
+        mov #9, &0x0132      ; c1
+        mov IN+2(r5), &0x0134
+        add &0x0136, r10
+        addc &0x0138, r11
+        mov #13, &0x0132     ; c2
+        mov IN+4(r5), &0x0134
+        add &0x0136, r10
+        addc &0x0138, r11
+        mov #7, &0x0132      ; c3
+        mov IN+6(r5), &0x0134
+        add &0x0136, r10
+        addc &0x0138, r11
+        mov #3, r7           ; y = acc >> 3
+fsh:    rra r11
+        rrc r10
+        dec r7
+        jnz fsh
+        mov r10, OUT(r5)
+        inc r4
+        cmp #13, r4
+        jnz fl
+)"),
+        WorkloadClass::Sensor,
+        13,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 16; i++)
+                in.ramWords.push_back(rng.word());
+            return in;
+        },
+        60000,
+    });
+
+    // ----------------------------------------------------------------- mult
+    w.push_back({
+        "mult",
+        "Unsigned multiplication of 4 word pairs (HW multiplier)",
+        wrapWorkload(R"(
+        clr r4
+        clr r9
+ml:     mov r4, r5
+        rla r5
+        mov IN(r5), &0x0130  ; MPY (unsigned)
+        mov IN+8(r5), &0x0134
+        mov &0x0136, OUT(r5)
+        mov &0x0138, r7
+        add r7, r9
+        inc r4
+        cmp #4, r4
+        jnz ml
+        mov r9, &OUT+8
+)"),
+        WorkloadClass::Sensor,
+        5,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 8; i++)
+                in.ramWords.push_back(rng.word());
+            return in;
+        },
+        4000,
+    });
+
+    // ------------------------------------------------------------------ rle
+    w.push_back({
+        "rle",
+        "Run-length encoder over 16 bytes",
+        wrapWorkload(R"(
+        mov #IN, r4          ; src
+        mov #OUT, r5         ; dst
+        mov #IN+16, r11      ; end
+        mov.b @r4+, r6       ; current value
+        mov.b #1, r7         ; run count
+rl:     cmp r11, r4
+        jeq flush
+        mov.b @r4+, r8
+        cmp.b r8, r6
+        jne emit
+        inc.b r7
+        jmp rl
+emit:   mov.b r7, 0(r5)
+        mov.b r6, 1(r5)
+        incd r5
+        mov.b r8, r6
+        mov.b #1, r7
+        jmp rl
+flush:  mov.b r7, 0(r5)
+        mov.b r6, 1(r5)
+        incd r5
+        mov.b #0, 0(r5)      ; terminator
+)"),
+        WorkloadClass::Sensor,
+        8,
+        [](Rng &rng) {
+            WorkloadInput in;
+            // Bytes with runs: few distinct values, repeated.
+            uint8_t cur = static_cast<uint8_t>(rng.below(4));
+            std::vector<uint8_t> bytes;
+            while (bytes.size() < 16) {
+                int run = 1 + static_cast<int>(rng.below(5));
+                for (int i = 0; i < run && bytes.size() < 16; i++)
+                    bytes.push_back(cur);
+                cur = static_cast<uint8_t>(rng.below(4));
+            }
+            for (int i = 0; i < 16; i += 2) {
+                in.ramWords.push_back(static_cast<uint16_t>(
+                    bytes[i] | (bytes[i + 1] << 8)));
+            }
+            return in;
+        },
+        20000,
+    });
+
+    // ---------------------------------------------------------------- tHold
+    w.push_back({
+        "tHold",
+        "Digital threshold detector with crossing counter",
+        wrapWorkload(R"(
+        mov &0x0000, r10     ; threshold from P1IN
+        clr r4               ; i
+        clr r5               ; samples above
+        clr r6               ; crossings
+        clr r7               ; previous above?
+tl:     mov r4, r8
+        rla r8
+        mov IN(r8), r9
+        cmp r10, r9
+        jl  below
+        inc r5
+        tst r7
+        jnz tnext
+        inc r6
+        mov #1, r7
+        jmp tnext
+below:  clr r7
+tnext:  inc r4
+        cmp #16, r4
+        jnz tl
+        mov r5, &OUT
+        mov r6, &OUT+2
+        mov r6, &0x0002      ; P1OUT
+)"),
+        WorkloadClass::Sensor,
+        2,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 16; i++)
+                in.ramWords.push_back(rng.below(1000));
+            in.gpioIn = static_cast<uint16_t>(rng.below(1000));
+            return in;
+        },
+        15000,
+    });
+
+    // ----------------------------------------------------------------- tea8
+    // TEA encryption, 4 rounds, 32-bit arithmetic on a 16-bit core.
+    // v0 = (r4:lo, r5:hi), v1 = (r6, r7), sum = (r8, r9),
+    // t = (r10, r11), u = (r12, r13).
+    w.push_back({
+        "tea8",
+        "TEA block encryption (32-bit ops on 16-bit datapath)",
+        wrapWorkload(R"(
+        .equ K0L, 0x2b7e
+        .equ K0H, 0x1516
+        .equ K1L, 0x28ae
+        .equ K1H, 0xd2a6
+        .equ K2L, 0xabf7
+        .equ K2H, 0x1588
+        .equ K3L, 0x09cf
+        .equ K3H, 0x4f3c
+        mov &IN, r4
+        mov &IN+2, r5
+        mov &IN+4, r6
+        mov &IN+6, r7
+        clr r8
+        clr r9
+        mov #4, r15          ; rounds
+round:  add #0x79b9, r8      ; sum += delta
+        addc #0x9e37, r9
+        ; --- v0 += ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1)
+        mov r6, r10          ; t = v1
+        mov r7, r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11              ; t = v1 << 4
+        add #K0L, r10
+        addc #K0H, r11       ; t += k0
+        mov r6, r12          ; u = v1
+        mov r7, r13
+        add r8, r12
+        addc r9, r13         ; u += sum
+        xor r12, r10
+        xor r13, r11         ; t ^= u
+        mov r6, r12          ; u = v1
+        mov r7, r13
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12              ; u = v1 >> 5 (logical)
+        add #K1L, r12
+        addc #K1H, r13       ; u += k1
+        xor r12, r10
+        xor r13, r11
+        add r10, r4
+        addc r11, r5         ; v0 += t
+        ; --- v1 += ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3)
+        mov r4, r10
+        mov r5, r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        rla r10
+        rlc r11
+        add #K2L, r10
+        addc #K2H, r11
+        mov r4, r12
+        mov r5, r13
+        add r8, r12
+        addc r9, r13
+        xor r12, r10
+        xor r13, r11
+        mov r4, r12
+        mov r5, r13
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        clrc
+        rrc r13
+        rrc r12
+        add #K3L, r12
+        addc #K3H, r13
+        xor r12, r10
+        xor r13, r11
+        add r10, r6
+        addc r11, r7         ; v1 += t
+        dec r15
+        jnz round
+        mov r4, &OUT
+        mov r5, &OUT+2
+        mov r6, &OUT+4
+        mov r7, &OUT+6
+)"),
+        WorkloadClass::Sensor,
+        4,
+        [](Rng &rng) {
+            WorkloadInput in;
+            for (int i = 0; i < 4; i++)
+                in.ramWords.push_back(rng.word());
+            return in;
+        },
+        8000,
+    });
+
+    return w;
+}
+
+} // namespace bespoke

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Negative tests for the assembler (fatal diagnostics on malformed
+ * source) plus utility-layer tests (table renderer, logging, ISA
+ * string forms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hh"
+#include "src/util/table.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+using AssemblerDeath = ::testing::Test;
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(assemble(".org 0xf000\n        frobnicate r5\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, UndefinedSymbol)
+{
+    EXPECT_EXIT(assemble(".org 0xf000\n        mov #nosuch, r5\n"),
+                ::testing::ExitedWithCode(1), "undefined symbol");
+}
+
+TEST(AssemblerDeath, DuplicateLabel)
+{
+    EXPECT_EXIT(assemble(".org 0xf000\na:      nop\na:      nop\n"),
+                ::testing::ExitedWithCode(1), "duplicate symbol");
+}
+
+TEST(AssemblerDeath, JumpOutOfRange)
+{
+    std::string src = ".org 0xf000\nfar:    nop\n";
+    for (int i = 0; i < 600; i++)
+        src += "        nop\n";
+    src += "        jmp far\n";
+    EXPECT_EXIT(assemble(src), ::testing::ExitedWithCode(1),
+                "jump out of range");
+}
+
+TEST(AssemblerDeath, EmissionOutsideRom)
+{
+    EXPECT_EXIT(assemble(".org 0x0300\n        nop\n"),
+                ::testing::ExitedWithCode(1), "outside ROM");
+}
+
+TEST(AssemblerDeath, WrongOperandCount)
+{
+    EXPECT_EXIT(assemble(".org 0xf000\n        mov r5\n"),
+                ::testing::ExitedWithCode(1), "two operands");
+}
+
+TEST(AssemblerDeath, BadDestinationMode)
+{
+    EXPECT_EXIT(assemble(".org 0xf000\n        mov r5, @r6\n"),
+                ::testing::ExitedWithCode(1), "destination");
+}
+
+TEST(Assembler, ByteModeEncoding)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+        mov.b r5, r6
+        add.w r5, r6
+    )");
+    Instr b = decode(p.romWord(0xf000));
+    EXPECT_TRUE(b.byteMode);
+    Instr w = decode(p.romWord(0xf002));
+    EXPECT_FALSE(w.byteMode);
+}
+
+TEST(Assembler, WordDirectiveLists)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+        .word 1, 2, 3
+        .space 4
+        .word 0xbeef
+    )");
+    EXPECT_EQ(p.romWord(0xf000), 1);
+    EXPECT_EQ(p.romWord(0xf004), 3);
+    EXPECT_EQ(p.romWord(0xf006), 0);
+    EXPECT_EQ(p.romWord(0xf00a), 0xbeef);
+}
+
+TEST(Isa, ToStringForms)
+{
+    EXPECT_EQ(decode(encodeDoubleOp(Op1::ADD, 5, AddrMode::Register, 6,
+                                    AddrMode::Register, false))
+                  .toString(),
+              "add r5, r6");
+    EXPECT_EQ(decode(encodeSingleOp(Op2::PUSH, 7, AddrMode::Register,
+                                    false))
+                  .toString(),
+              "push r7");
+    EXPECT_EQ(decode(encodeJump(JumpCond::JNE, -3)).toString(),
+              "jne -3");
+    EXPECT_EQ(decode(0xa000).toString(), "illegal");
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t({"name", "value"});
+    t.row().add("alpha").add(3.14159, 2);
+    t.row().add("b").add(42l);
+    std::string out = t.render("title");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 3.14  |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 42    |"), std::string::npos);
+}
+
+TEST(Table, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(1.0 / 3.0, 3), "0.333");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace bespoke

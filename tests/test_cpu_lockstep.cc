@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Lock-step verification of the gate-level bsp430 core against the ISS
+ * golden model: after every retired instruction, the architectural
+ * state (PC, registers, flags) must match, and at halt the full data
+ * RAM must match.
+ */
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/bsp430.hh"
+#include "src/isa/assembler.hh"
+#include "src/iss/iss.hh"
+#include "src/sim/soc.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+struct CpuFixture
+{
+    CpuProbes probes;
+    Netlist netlist;
+
+    CpuFixture() : netlist(buildBsp430(&probes)) {}
+};
+
+CpuFixture &
+cpu()
+{
+    static CpuFixture fixture;
+    return fixture;
+}
+
+AsmProgram &
+prog(const std::string &body)
+{
+    static std::deque<AsmProgram> keep;
+    keep.push_back(assemble(std::string("        .org 0xf000\n") + body +
+                            "\n        .org 0xfffe\n        .word 0xf000\n"));
+    return keep.back();
+}
+
+uint16_t
+knownWord(const GateSim &sim, const Bus &bus)
+{
+    SWord w = sim.busWord(bus);
+    EXPECT_TRUE(w.fullyKnown()) << "bus has X bits: " << w.toString();
+    return w.val;
+}
+
+/** Run gate-level and ISS in lock-step until the ISS halts. */
+void
+runLockstep(const std::string &body, uint16_t gpio_in = 0,
+            uint64_t max_instr = 20000)
+{
+    AsmProgram &p = prog(body);
+    Iss iss(p);
+    iss.setGpioIn(gpio_in);
+    Soc soc(cpu().netlist, p, /*ram_unknown=*/false);
+    soc.setGpioIn(SWord::of(gpio_in));
+    soc.setIrqExt(Logic::Zero);
+
+    const CpuProbes &pr = cpu().probes;
+
+    // True when the freshly latched FSM state is FETCH, i.e. the
+    // previous instruction fully retired and nothing of the next one
+    // has executed yet.
+    auto at_fetch = [&] {
+        return soc.sim().busWord(pr.stateReg) ==
+               SWord(static_cast<uint16_t>(CpuState::Fetch), 0x001f);
+    };
+
+    // Advance through the reset sequence to the first FETCH boundary.
+    for (int i = 0; i < 10 && !at_fetch(); i++)
+        soc.cycle();
+    ASSERT_TRUE(at_fetch()) << "core never reached FETCH";
+
+    for (uint64_t n = 0; n < max_instr; n++) {
+        uint16_t iss_pc_before = iss.pc();
+        StepResult r = iss.step();
+
+        // Advance the core one full instruction (FETCH to FETCH).
+        int guard = 0;
+        do {
+            soc.cycle();
+            ASSERT_LT(++guard, 64) << "instruction did not complete";
+        } while (!at_fetch());
+
+        uint16_t gate_pc = knownWord(soc.sim(), pr.pc);
+        ASSERT_EQ(gate_pc, iss.pc())
+            << "PC mismatch after insn at 0x" << std::hex
+            << iss_pc_before << " ("
+            << decode(p.romWord(iss_pc_before)).toString() << ")";
+        for (int reg = 0; reg < 16; reg++) {
+            if (pr.regs[reg].empty())
+                continue;
+            ASSERT_EQ(knownWord(soc.sim(), pr.regs[reg]), iss.reg(reg))
+                << "r" << reg << " mismatch after insn at 0x" << std::hex
+                << iss_pc_before << " ("
+                << decode(p.romWord(iss_pc_before)).toString() << ")";
+        }
+        uint16_t gate_sr =
+            (soc.sim().value(pr.flagC) == Logic::One ? kFlagC : 0) |
+            (soc.sim().value(pr.flagZ) == Logic::One ? kFlagZ : 0) |
+            (soc.sim().value(pr.flagN) == Logic::One ? kFlagN : 0) |
+            (soc.sim().value(pr.flagGIE) == Logic::One ? kFlagGIE : 0) |
+            (soc.sim().value(pr.flagV) == Logic::One ? kFlagV : 0);
+        ASSERT_EQ(gate_sr, iss.sr() & (kFlagC | kFlagZ | kFlagN |
+                                       kFlagGIE | kFlagV))
+            << "SR mismatch after insn at 0x" << std::hex << iss_pc_before
+            << " (" << decode(p.romWord(iss_pc_before)).toString() << ")";
+
+        if (r == StepResult::Halted)
+            break;
+        ASSERT_EQ(r, StepResult::Ok);
+        ASSERT_LT(n + 1, max_instr) << "program never halted";
+    }
+
+    // Full RAM equivalence at halt.
+    for (uint16_t a = kRamBase; a < kRamBase + kRamSize; a += 2) {
+        SWord w = soc.ramWord(a);
+        ASSERT_TRUE(w.fullyKnown()) << "RAM X at 0x" << std::hex << a;
+        ASSERT_EQ(w.val, iss.readWord(a))
+            << "RAM mismatch at 0x" << std::hex << a;
+    }
+    // Output port equivalence.
+    EXPECT_EQ(knownWord(soc.sim(), soc.sim().netlist().bus("gpio_out",
+                                                           16)),
+              iss.gpioOut());
+}
+
+TEST(CpuLockstep, NetlistSanity)
+{
+    const Netlist &nl = cpu().netlist;
+    NetlistStats s = nl.stats();
+    // openMSP430-class design: thousands of cells, hundreds of flops.
+    EXPECT_GT(s.numCells, 3000u);
+    EXPECT_LT(s.numCells, 20000u);
+    EXPECT_GT(s.numSequential, 300u);
+    // Every module of the default configuration is populated.
+    for (int m = 0; m < kNumModules; m++) {
+        if (static_cast<Module>(m) == Module::Glue ||
+            static_cast<Module>(m) == Module::Timer ||
+            static_cast<Module>(m) == Module::Uart) {
+            continue;
+        }
+        EXPECT_GT(nl.moduleStats(static_cast<Module>(m)).numCells, 0u)
+            << moduleName(static_cast<Module>(m));
+    }
+}
+
+TEST(CpuLockstep, BasicMovAdd)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x1234, r5
+        mov r5, r6
+        add r5, r6
+        add #1, r6
+        sub #0x34, r6
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, AllArithOps)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x7fff, r4
+        mov #0xffff, r5
+        mov #1, r6
+        add r5, r4
+        addc r6, r4
+        sub r5, r4
+        subc r6, r4
+        cmp r4, r5
+        and #0x0f0f, r4
+        bit #8, r4
+        bic #3, r4
+        bis #0x30, r4
+        xor #0xffff, r4
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, ByteOps)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x1234, r5
+        mov.b #0xff, r5
+        mov #0xff80, r6
+        add.b #1, r6
+        mov #0x00f0, r7
+        and.b #0x3c, r7
+        xor.b #0xff, r7
+        sub.b #5, r7
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, MemoryAddressingModes)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x1111, &0x0210
+        mov #0x0210, r4
+        mov @r4, r5
+        mov #0x2222, 2(r4)
+        mov 2(r4), r6
+        mov @r4+, r7
+        mov @r4+, r8
+        mov.b #0xab, &0x0220
+        mov.b &0x0220, r9
+        add &0x0210, r5
+        add r5, &0x0210
+        mov.b #0x7f, &0x0221
+        add.b #1, &0x0221
+        mov &0x0220, r10
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, JumpsAndLoops)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #5, r5
+        mov #0, r6
+loop:   add r5, r6
+        dec r5
+        jnz loop
+        mov #0x8000, r7
+        tst r7
+        jge pos
+        mov #1, r8
+        jmp done
+pos:    mov #2, r8
+done:   cmp #15, r6
+        jeq good
+        mov #0xdead, r9
+good:
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, AllConditionalJumps)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        clr r10
+        ; JC/JNC
+        mov #0xffff, r4
+        add #1, r4
+        jc c1
+        jmp fail
+c1:     add #1, r4
+        jnc c2
+        jmp fail
+        ; JN / JGE / JL
+c2:     mov #0x8000, r5
+        tst r5
+        jn c3
+        jmp fail
+c3:     mov #3, r5
+        cmp #5, r5
+        jl c4
+        jmp fail
+c4:     cmp #2, r5
+        jge c5
+        jmp fail
+c5:     mov #1, r10
+halt:   jmp halt
+fail:   mov #0xbad, r10
+        jmp halt
+    )");
+}
+
+TEST(CpuLockstep, StackCallRet)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0xbeef, r5
+        push r5
+        clr r5
+        pop r5
+        call #sub1
+        push #0x1234
+        pop r7
+        jmp halt
+sub1:   mov #0x55, r6
+        push r6
+        pop r8
+        ret
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, ShiftsSwapSignExtend)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x8003, r5
+        rra r5
+        mov #0x8000, r6
+        setc
+        rrc r6
+        mov #0x1234, r7
+        swpb r7
+        mov #0x0080, r8
+        sxt r8
+        mov #0x41, r9
+        rra.b r9
+        mov #0x80, r10
+        setc
+        rrc.b r10
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, HardwareMultiplier)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #1234, &0x0130
+        mov #5678, &0x0134
+        nop
+        mov &0x0136, r5
+        mov &0x0138, r6
+        mov #0xffff, &0x0132
+        mov #7, &0x0134
+        nop
+        mov &0x0136, r7
+        mov &0x0138, r8
+        mov #0x8000, &0x0132
+        mov #0x8000, &0x0134
+        nop
+        mov &0x0136, r9
+        mov &0x0138, r10
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, GpioReadWrite)
+{
+    runLockstep(R"(
+        mov &0x0000, r5
+        add #1, r5
+        mov r5, &0x0002
+        mov &0x0002, r6
+        xor #0xffff, r6
+        mov r6, &0x0002
+halt:   jmp halt
+    )",
+                0x1233);
+}
+
+TEST(CpuLockstep, DebugUnit)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x0240, &0x0032
+        mov #1, &0x0030
+        mov #0x1111, &0x0240
+        mov &0x0240, r5
+        mov #0x2222, &0x0242
+        mov &0x0030, r6
+        mov &0x0034, r7
+halt:   jmp halt
+    )");
+}
+
+TEST(CpuLockstep, RegisterIndirectControl)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #target, r5
+        br r5
+        mov #0xbad, r10
+target: mov #1, r10
+        mov #table, r6
+        mov @r6+, r7
+        mov @r6, r8
+halt:   jmp halt
+table:  .word 0x1357
+        .word 0x2468
+    )");
+}
+
+TEST(CpuLockstep, SrAsDestination)
+{
+    runLockstep(R"(
+        mov #0x0280, sp
+        mov #0x0107, sr        ; set C,Z,N,V directly
+        mov sr, r5
+        bis #8, sr             ; set GIE
+        mov sr, r6
+        bic #8, sr
+        clr sr
+halt:   jmp halt
+    )");
+}
+
+} // namespace
+} // namespace bespoke

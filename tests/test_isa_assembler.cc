@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the BSP430 ISA encode/decode layer and the assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hh"
+#include "src/isa/isa.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+TEST(IsaDecode, DoubleOpRoundTrip)
+{
+    for (Op1 op : {Op1::MOV, Op1::ADD, Op1::ADDC, Op1::SUBC, Op1::SUB,
+                   Op1::CMP, Op1::BIT, Op1::BIC, Op1::BIS, Op1::XOR,
+                   Op1::AND}) {
+        for (int src = 0; src < 16; src += 5) {
+            for (int dst = 0; dst < 16; dst += 7) {
+                for (auto sm : {AddrMode::Register, AddrMode::Indexed,
+                                AddrMode::Indirect,
+                                AddrMode::IndirectInc}) {
+                    for (auto dm : {AddrMode::Register,
+                                    AddrMode::Indexed}) {
+                        for (bool bm : {false, true}) {
+                            uint16_t w = encodeDoubleOp(op, src, sm, dst,
+                                                        dm, bm);
+                            Instr d = decode(w);
+                            ASSERT_EQ(d.format, Format::DoubleOp);
+                            EXPECT_EQ(d.op1, op);
+                            EXPECT_EQ(d.srcReg, src);
+                            EXPECT_EQ(d.dstReg, dst);
+                            EXPECT_EQ(d.srcMode, sm);
+                            EXPECT_EQ(d.dstMode, dm);
+                            EXPECT_EQ(d.byteMode, bm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(IsaDecode, SingleOpRoundTrip)
+{
+    for (Op2 op : {Op2::RRC, Op2::SWPB, Op2::RRA, Op2::SXT, Op2::PUSH,
+                   Op2::CALL, Op2::RETI}) {
+        uint16_t w = encodeSingleOp(op, 5, AddrMode::Indirect, false);
+        Instr d = decode(w);
+        ASSERT_EQ(d.format, Format::SingleOp);
+        EXPECT_EQ(d.op2, op);
+        EXPECT_EQ(d.srcReg, 5);
+        EXPECT_EQ(d.srcMode, AddrMode::Indirect);
+    }
+}
+
+TEST(IsaDecode, JumpRoundTrip)
+{
+    for (JumpCond c : {JumpCond::JNE, JumpCond::JEQ, JumpCond::JNC,
+                       JumpCond::JC, JumpCond::JN, JumpCond::JGE,
+                       JumpCond::JL, JumpCond::JMP}) {
+        for (int16_t off : {-512, -1, 0, 1, 511}) {
+            uint16_t w = encodeJump(c, off);
+            Instr d = decode(w);
+            ASSERT_EQ(d.format, Format::Jump);
+            EXPECT_EQ(d.cond, c);
+            EXPECT_EQ(d.offset, off);
+        }
+    }
+}
+
+TEST(IsaDecode, DaddIsIllegal)
+{
+    Instr d = decode(0xa000);
+    EXPECT_EQ(d.format, Format::Illegal);
+}
+
+TEST(IsaDecode, ConstGenValues)
+{
+    struct Case
+    {
+        int reg;
+        AddrMode mode;
+        uint16_t value;
+    } cases[] = {
+        {kRegCG, AddrMode::Register, 0},
+        {kRegCG, AddrMode::Indexed, 1},
+        {kRegCG, AddrMode::Indirect, 2},
+        {kRegCG, AddrMode::IndirectInc, 0xffff},
+        {kRegSR, AddrMode::Indirect, 4},
+        {kRegSR, AddrMode::IndirectInc, 8},
+    };
+    for (const auto &c : cases) {
+        uint16_t w = encodeDoubleOp(Op1::MOV, c.reg, c.mode, 5,
+                                    AddrMode::Register, false);
+        Instr d = decode(w);
+        EXPECT_TRUE(d.usesConstGen());
+        EXPECT_EQ(d.constGenValue(), c.value);
+        EXPECT_FALSE(d.srcNeedsExt());
+    }
+}
+
+TEST(Assembler, BasicProgram)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+start:  mov #0x0280, sp
+        mov #5, r5
+loop:   dec r5
+        jnz loop
+        mov r5, &0x0202
+halt:   jmp halt
+        .org 0xfffe
+        .word start
+    )");
+    EXPECT_EQ(p.entry(), 0xf000);
+    EXPECT_EQ(p.symbols.at("start"), 0xf000);
+    // mov #0x0280, sp -> 2 words (immediate), mov #5, r5 -> 2 words.
+    EXPECT_EQ(p.symbols.at("loop"), 0xf008);
+}
+
+TEST(Assembler, ConstGenSavesWords)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+a:      mov #1, r5
+b:      mov #3, r6
+c:      nop
+    )");
+    // #1 via constant generator: 1 word. #3: 2 words.
+    EXPECT_EQ(p.symbols.at("b") - p.symbols.at("a"), 2);
+    EXPECT_EQ(p.symbols.at("c") - p.symbols.at("b"), 4);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+        nop
+        ret
+        clr r5
+        inc r5
+        tst r5
+        eint
+        dint
+        .org 0xfffe
+        .word 0xf000
+    )");
+    // nop = mov r3, r3
+    Instr d = decode(p.romWord(0xf000));
+    EXPECT_EQ(d.format, Format::DoubleOp);
+    EXPECT_EQ(d.op1, Op1::MOV);
+    EXPECT_EQ(d.srcReg, kRegCG);
+    // ret = mov @sp+, pc
+    d = decode(p.romWord(0xf002));
+    EXPECT_EQ(d.op1, Op1::MOV);
+    EXPECT_EQ(d.srcMode, AddrMode::IndirectInc);
+    EXPECT_EQ(d.srcReg, kRegSP);
+    EXPECT_EQ(d.dstReg, kRegPC);
+}
+
+TEST(Assembler, BranchTracking)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+l:      dec r5
+        jnz l
+        jmp l
+    )");
+    ASSERT_EQ(p.condBranchAddrs.size(), 1u);
+    EXPECT_EQ(p.condBranchAddrs[0], 0xf002);
+}
+
+TEST(Assembler, ExpressionsAndEqu)
+{
+    AsmProgram p = assemble(R"(
+        .equ BASE, 0x0200
+        .equ OFF, 4
+        .org 0xf000
+        mov #BASE+OFF, r5
+        mov #BASE-2, r6
+    )");
+    EXPECT_EQ(p.romWord(0xf002), 0x0204);
+    EXPECT_EQ(p.romWord(0xf006), 0x01fe);
+}
+
+} // namespace
+} // namespace bespoke

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the golden-model ISS: arithmetic semantics, flags,
+ * addressing modes, control flow, peripherals, interrupts.
+ */
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.hh"
+#include "src/iss/iss.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+/** Assemble a body placed at 0xf000 with reset vector wired up. */
+AsmProgram
+prog(const std::string &body)
+{
+    return assemble(std::string("        .org 0xf000\n") + body +
+                    "\n        .org 0xfffe\n        .word 0xf000\n");
+}
+
+/** Run to halt and return the ISS for inspection. */
+Iss
+runToHalt(const std::string &body, uint16_t gpio_in = 0)
+{
+    static std::deque<AsmProgram> keep;  // stable addresses, kept alive
+    keep.push_back(prog(body));
+    Iss iss(keep.back());
+    iss.setGpioIn(gpio_in);
+    EXPECT_EQ(iss.run(), StepResult::Halted);
+    return iss;
+}
+
+TEST(Iss, MovAndArithmetic)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x1234, r5
+        mov r5, r6
+        add #1, r6
+        sub #4, r6
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0x1234);
+    EXPECT_EQ(iss.reg(6), 0x1231);
+}
+
+TEST(Iss, AddCarryAndOverflowFlags)
+{
+    Iss iss = runToHalt(R"(
+        mov #0xffff, r5
+        add #1, r5          ; -> 0, C=1, Z=1
+        mov sr, r6
+        mov #0x7fff, r7
+        add #1, r7          ; -> 0x8000, V=1, N=1
+        mov sr, r8
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0);
+    EXPECT_TRUE(iss.reg(6) & kFlagC);
+    EXPECT_TRUE(iss.reg(6) & kFlagZ);
+    EXPECT_FALSE(iss.reg(6) & kFlagN);
+    EXPECT_EQ(iss.reg(7), 0x8000);
+    EXPECT_TRUE(iss.reg(8) & kFlagV);
+    EXPECT_TRUE(iss.reg(8) & kFlagN);
+}
+
+TEST(Iss, SubAndCompare)
+{
+    Iss iss = runToHalt(R"(
+        mov #10, r5
+        sub #3, r5         ; 7, C=1 (no borrow)
+        mov sr, r6
+        mov #3, r7
+        sub #10, r7        ; -7, C=0 (borrow)
+        mov sr, r8
+        mov #5, r9
+        cmp #5, r9         ; Z=1, dst unchanged
+        mov sr, r10
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 7);
+    EXPECT_TRUE(iss.reg(6) & kFlagC);
+    EXPECT_EQ(iss.reg(7), 0xfff9);
+    EXPECT_FALSE(iss.reg(8) & kFlagC);
+    EXPECT_EQ(iss.reg(9), 5);
+    EXPECT_TRUE(iss.reg(10) & kFlagZ);
+}
+
+TEST(Iss, LogicOps)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x0f0f, r5
+        and #0x00ff, r5    ; 0x000f
+        mov #0x0f0f, r6
+        bis #0xf000, r6    ; 0xff0f
+        mov #0x0f0f, r7
+        bic #0x000f, r7    ; 0x0f00
+        mov #0x0f0f, r8
+        xor #0xffff, r8    ; 0xf0f0
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0x000f);
+    EXPECT_EQ(iss.reg(6), 0xff0f);
+    EXPECT_EQ(iss.reg(7), 0x0f00);
+    EXPECT_EQ(iss.reg(8), 0xf0f0);
+}
+
+TEST(Iss, ByteOpsClearUpperByteOnRegister)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x1234, r5
+        mov.b #0xff, r5    ; -> 0x00ff
+        mov #0xff80, r6
+        add.b #1, r6       ; -> 0x0081 (byte add)
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0x00ff);
+    EXPECT_EQ(iss.reg(6), 0x0081);
+}
+
+TEST(Iss, MemoryAddressing)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x0280, sp
+        mov #0x1111, &0x0210
+        mov #0x0210, r4
+        mov @r4, r5        ; 0x1111
+        mov #0x2222, 2(r4)
+        mov 2(r4), r6      ; 0x2222
+        mov @r4+, r7       ; 0x1111, r4 -> 0x0212
+        mov @r4+, r8       ; 0x2222, r4 -> 0x0214
+        mov.b #0xab, &0x0220
+        mov.b &0x0220, r9
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0x1111);
+    EXPECT_EQ(iss.reg(6), 0x2222);
+    EXPECT_EQ(iss.reg(7), 0x1111);
+    EXPECT_EQ(iss.reg(8), 0x2222);
+    EXPECT_EQ(iss.reg(4), 0x0214);
+    EXPECT_EQ(iss.reg(9), 0x00ab);
+    EXPECT_EQ(iss.readWord(0x0210), 0x1111);
+}
+
+TEST(Iss, PushPopCallRet)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x0280, sp
+        mov #0xbeef, r5
+        push r5
+        clr r5
+        pop r5
+        call #sub1
+        jmp halt
+sub1:   mov #0x55, r6
+        ret
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0xbeef);
+    EXPECT_EQ(iss.reg(6), 0x55);
+    EXPECT_EQ(iss.reg(kRegSP), 0x0280);
+}
+
+TEST(Iss, ShiftsAndByteSwap)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x8003, r5
+        rra r5             ; 0xc001, C=1
+        mov #0x8000, r6
+        setc
+        rrc r6             ; 0xc000, C=0
+        mov #0x1234, r7
+        swpb r7            ; 0x3412
+        mov #0x0080, r8
+        sxt r8             ; 0xff80
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(5), 0xc001);
+    EXPECT_EQ(iss.reg(6), 0xc000);
+    EXPECT_EQ(iss.reg(7), 0x3412);
+    EXPECT_EQ(iss.reg(8), 0xff80);
+}
+
+TEST(Iss, ConditionalJumps)
+{
+    Iss iss = runToHalt(R"(
+        mov #5, r5
+        mov #0, r6
+loop:   add r5, r6
+        dec r5
+        jnz loop
+        ; r6 = 5+4+3+2+1 = 15
+        mov #0x8000, r7
+        tst r7
+        jge pos
+        mov #1, r8         ; negative path
+        jmp done
+pos:    mov #2, r8
+done:
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(6), 15);
+    EXPECT_EQ(iss.reg(8), 1);
+}
+
+TEST(Iss, GpioAndOutputTrace)
+{
+    Iss iss = runToHalt(R"(
+        mov &0x0000, r5    ; read P1IN
+        add #1, r5
+        mov r5, &0x0002    ; write P1OUT
+        mov #0x7777, &0x0002
+halt:   jmp halt
+    )",
+                        0x1233);
+    EXPECT_EQ(iss.gpioOut(), 0x7777);
+    ASSERT_EQ(iss.outputTrace().size(), 2u);
+    EXPECT_EQ(iss.outputTrace()[0].value, 0x1234);
+    EXPECT_EQ(iss.outputTrace()[1].value, 0x7777);
+}
+
+TEST(Iss, HardwareMultiplier)
+{
+    Iss iss = runToHalt(R"(
+        mov #1234, &0x0130  ; MPY (unsigned)
+        mov #5678, &0x0134  ; OP2 triggers
+        mov &0x0136, r5     ; RESLO
+        mov &0x0138, r6     ; RESHI
+        mov #0xffff, &0x0132 ; MPYS = -1 (signed)
+        mov #7, &0x0134
+        mov &0x0136, r7     ; -7 low
+        mov &0x0138, r8     ; -7 high (0xffff)
+halt:   jmp halt
+    )");
+    uint32_t p = 1234u * 5678u;
+    EXPECT_EQ(iss.reg(5), p & 0xffff);
+    EXPECT_EQ(iss.reg(6), p >> 16);
+    EXPECT_EQ(iss.reg(7), 0xfff9);
+    EXPECT_EQ(iss.reg(8), 0xffff);
+}
+
+TEST(Iss, ExternalInterrupt)
+{
+    AsmProgram p = assemble(R"(
+        .org 0xf000
+start:  mov #0x0280, sp
+        mov #1, &0x0004    ; IE bit0
+        eint
+        mov #0, r5
+wait:   inc r5
+        cmp #100, r5
+        jnz wait
+halt:   jmp halt
+isr:    mov #0xaa, r10
+        reti
+        .org 0xfff8
+        .word isr
+        .org 0xfffe
+        .word start
+    )");
+    Iss iss(p);
+    // Run a few instructions, then assert the IRQ line.
+    for (int i = 0; i < 10; i++)
+        iss.step();
+    iss.raiseExternalIrq();
+    EXPECT_EQ(iss.run(), StepResult::Halted);
+    EXPECT_EQ(iss.reg(10), 0xaa);
+    EXPECT_EQ(iss.reg(5), 100);
+    // GIE restored by RETI.
+    EXPECT_TRUE(iss.sr() & kFlagGIE);
+}
+
+TEST(Iss, DebugUnitWatchpointCounter)
+{
+    Iss iss = runToHalt(R"(
+        mov #0x0240, &0x0032  ; DBGADDR = 0x0240
+        mov #1, &0x0030       ; DBGCTL enable
+        mov #0x1111, &0x0240  ; hit 1 (write)
+        mov &0x0240, r5       ; hit 2 (read)
+        mov #0x2222, &0x0242  ; miss
+        mov &0x0030, r6       ; ctl | count<<8
+        mov &0x0034, r7       ; captured data
+halt:   jmp halt
+    )");
+    EXPECT_EQ(iss.reg(6) >> 8, 2);
+    EXPECT_EQ(iss.reg(7), 0x1111);
+}
+
+TEST(Iss, CoverageTracking)
+{
+    Iss iss = runToHalt(R"(
+        mov #2, r5
+loop:   dec r5
+        jnz loop
+halt:   jmp halt
+    )");
+    // The jnz was both taken and not taken.
+    ASSERT_EQ(iss.branchDirections().size(), 1u);
+    auto dirs = iss.branchDirections().begin()->second;
+    EXPECT_TRUE(dirs.first);
+    EXPECT_TRUE(dirs.second);
+    EXPECT_GE(iss.executedPCs().size(), 4u);
+}
+
+} // namespace
+} // namespace bespoke

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Property tests for the Kleene three-valued algebra and symbolic
+ * words: soundness of every operator (an X result must cover both
+ * concretizations), algebraic laws, and the merge/substate lattice
+ * used by the conservative-state table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/logic/logic.hh"
+#include "src/util/rng.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+const Logic kAll[] = {Logic::Zero, Logic::One, Logic::X};
+
+/** All concrete values covered by a three-valued signal. */
+std::vector<bool>
+concretizations(Logic v)
+{
+    switch (v) {
+      case Logic::Zero:
+        return {false};
+      case Logic::One:
+        return {true};
+      default:
+        return {false, true};
+    }
+}
+
+/** v soundly abstracts concrete c. */
+bool
+covers(Logic v, bool c)
+{
+    return v == Logic::X || knownValue(v) == c;
+}
+
+TEST(Logic, BinaryOperatorsAreSoundAbstractions)
+{
+    for (Logic a : kAll) {
+        for (Logic b : kAll) {
+            for (bool ca : concretizations(a)) {
+                for (bool cb : concretizations(b)) {
+                    EXPECT_TRUE(covers(logicAnd(a, b), ca && cb));
+                    EXPECT_TRUE(covers(logicOr(a, b), ca || cb));
+                    EXPECT_TRUE(covers(logicXor(a, b), ca != cb));
+                }
+            }
+            for (bool ca : concretizations(a))
+                EXPECT_TRUE(covers(logicNot(a), !ca));
+        }
+    }
+}
+
+TEST(Logic, MuxIsSound)
+{
+    for (Logic s : kAll) {
+        for (Logic a0 : kAll) {
+            for (Logic a1 : kAll) {
+                for (bool cs : concretizations(s)) {
+                    for (bool c0 : concretizations(a0)) {
+                        for (bool c1 : concretizations(a1)) {
+                            bool expect = cs ? c1 : c0;
+                            EXPECT_TRUE(covers(logicMux(s, a0, a1),
+                                               expect));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Logic, MuxIsPreciseOnAgreement)
+{
+    // X select with agreeing known inputs must stay known.
+    EXPECT_EQ(logicMux(Logic::X, Logic::One, Logic::One), Logic::One);
+    EXPECT_EQ(logicMux(Logic::X, Logic::Zero, Logic::Zero),
+              Logic::Zero);
+    EXPECT_EQ(logicMux(Logic::X, Logic::Zero, Logic::One), Logic::X);
+}
+
+TEST(Logic, KleeneLaws)
+{
+    for (Logic a : kAll) {
+        for (Logic b : kAll) {
+            // Commutativity.
+            EXPECT_EQ(logicAnd(a, b), logicAnd(b, a));
+            EXPECT_EQ(logicOr(a, b), logicOr(b, a));
+            EXPECT_EQ(logicXor(a, b), logicXor(b, a));
+            // De Morgan.
+            EXPECT_EQ(logicNot(logicAnd(a, b)),
+                      logicOr(logicNot(a), logicNot(b)));
+        }
+        // Involution, annihilator, identity.
+        EXPECT_EQ(logicNot(logicNot(a)), a);
+        EXPECT_EQ(logicAnd(a, Logic::Zero), Logic::Zero);
+        EXPECT_EQ(logicOr(a, Logic::One), Logic::One);
+        EXPECT_EQ(logicAnd(a, Logic::One), a);
+        EXPECT_EQ(logicOr(a, Logic::Zero), a);
+    }
+}
+
+TEST(SWord, BitAccessRoundTrip)
+{
+    SWord w = SWord::of(0xa5c3);
+    EXPECT_TRUE(w.fullyKnown());
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(w.bit(i), logicOf((0xa5c3 >> i) & 1));
+    w.setBit(3, Logic::X);
+    EXPECT_FALSE(w.fullyKnown());
+    EXPECT_EQ(w.bit(3), Logic::X);
+    w.setBit(3, Logic::One);
+    EXPECT_EQ(w.val, 0xa5cb);
+}
+
+TEST(SWord, MergeIsLeastUpperBoundish)
+{
+    Rng rng(1);
+    for (int t = 0; t < 200; t++) {
+        SWord a(rng.word(), rng.word());
+        SWord b(rng.word(), rng.word());
+        SWord m = SWord::merge(a, b);
+        // Both inputs are substates of the merge.
+        EXPECT_TRUE(a.substateOf(m));
+        EXPECT_TRUE(b.substateOf(m));
+        // Merge is idempotent and commutative.
+        EXPECT_EQ(SWord::merge(m, a), m);
+        EXPECT_EQ(SWord::merge(a, b), SWord::merge(b, a));
+    }
+}
+
+TEST(SWord, SubstatePartialOrder)
+{
+    Rng rng(2);
+    for (int t = 0; t < 200; t++) {
+        SWord a(rng.word(), rng.word());
+        // Reflexive.
+        EXPECT_TRUE(a.substateOf(a));
+        // Anything is a substate of all-X.
+        EXPECT_TRUE(a.substateOf(SWord::allX()));
+        // A fully known word is a substate only of covers.
+        SWord k = SWord::of(rng.word());
+        SWord widened = k;
+        widened.setBit(static_cast<int>(rng.below(16)), Logic::X);
+        EXPECT_TRUE(k.substateOf(widened));
+        if (k.fullyKnown() && widened.anyX()) {
+            EXPECT_FALSE(widened.substateOf(k));
+        }
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(100);
+    bool differs = false;
+    Rng a2(99);
+    for (int i = 0; i < 100; i++)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace bespoke

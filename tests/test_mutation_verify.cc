@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the mutation engine, the mutant-support check, the oracle
+ * power-gating evaluator, and the coverage-directed input generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/bespoke/flow.hh"
+#include "src/cpu/bsp430.hh"
+#include "src/gating/power_gating.hh"
+#include "src/mutation/mutation.hh"
+#include "src/verify/coverage_gen.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+TEST(Mutation, GeneratesAllThreeTypes)
+{
+    const Workload &w = workloadByName("tea8");
+    std::vector<Mutant> mutants = generateMutants(w);
+    EXPECT_GT(mutants.size(), 10u);
+    int count[3] = {};
+    for (const Mutant &m : mutants)
+        count[static_cast<int>(m.type)]++;
+    // tea8's loop body is full of computation ops inside one loop.
+    EXPECT_GT(count[static_cast<int>(MutantType::TypeII)], 5);
+    EXPECT_GT(count[static_cast<int>(MutantType::TypeIII)], 0);
+}
+
+TEST(Mutation, MutantsAssembleAndDifferFromOriginal)
+{
+    const Workload &w = workloadByName("div");
+    AsmProgram orig = w.assembleProgram();
+    for (const Mutant &m : generateMutants(w)) {
+        AsmProgram mp = m.workload.assembleProgram();
+        EXPECT_NE(mp.rom, orig.rom)
+            << m.workload.name << " did not change the binary";
+        EXPECT_EQ(mp.rom.size(), orig.rom.size());
+    }
+}
+
+TEST(Mutation, LoopConditionalsClassifiedAsTypeIII)
+{
+    const Workload &w = workloadByName("div");
+    // div's only branches are its loop condition(s).
+    for (const Mutant &m : generateMutants(w)) {
+        if (m.from[0] == 'j') {
+            EXPECT_EQ(m.type, MutantType::TypeIII) << m.from;
+        }
+    }
+}
+
+TEST(Mutation, SupportIsReflexiveAndMonotone)
+{
+    FlowOptions opts;
+    BespokeFlow flow(opts);
+    const Workload &w = workloadByName("binSearch");
+    AnalysisResult base = flow.analyze(w);
+
+    // An application always supports itself.
+    EXPECT_TRUE(mutantSupported(*base.activity, *base.activity));
+
+    // A union design supports both constituents.
+    AnalysisResult other = flow.analyze(workloadByName("div"));
+    ActivityTracker merged = *base.activity;
+    merged.mergeFrom(*other.activity);
+    EXPECT_TRUE(mutantSupported(merged, *base.activity));
+    EXPECT_TRUE(mutantSupported(merged, *other.activity));
+}
+
+TEST(PowerGating, OracleSavingsBoundedAndModulesIdle)
+{
+    Netlist nl = buildBsp430();
+    sizeForLoads(nl);
+    const Workload &w = workloadByName("binSearch");
+    GatingResult g = evaluateOracleGating(nl, w, 1, 9);
+    EXPECT_GT(g.baselineUW, 0.0);
+    EXPECT_GE(g.savingsPercent(), 0.0);
+    EXPECT_LT(g.savingsPercent(), 60.0);
+    // binSearch never touches the multiplier: its domain idles ~100%.
+    EXPECT_GT(g.idleFraction[static_cast<int>(Module::Mult)], 0.95);
+    // The frontend is busy nearly every cycle.
+    EXPECT_LT(g.idleFraction[static_cast<int>(Module::Frontend)], 0.3);
+}
+
+TEST(CoverageGen, CoversLinesAndBranches)
+{
+    const Workload &w = workloadByName("binSearch");
+    CoverageInputs cov = generateCoverageInputs(w, 64, 8);
+    EXPECT_GE(cov.inputs.size(), 2u);
+    EXPECT_GT(cov.linePct, 90.0);
+    EXPECT_GT(cov.branchPct, 90.0);
+    EXPECT_GT(cov.branchDirPct, 60.0);
+}
+
+TEST(CoverageGen, StraightLineNeedsOneInput)
+{
+    const Workload &w = workloadByName("mult");
+    CoverageInputs cov = generateCoverageInputs(w, 64, 4);
+    EXPECT_GE(cov.inputs.size(), 1u);
+    EXPECT_EQ(cov.linePct, 100.0);
+}
+
+} // namespace
+} // namespace bespoke

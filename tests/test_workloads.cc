@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Workload suite validation: every benchmark assembles, halts on the
+ * ISS for many random inputs, computes functionally correct results
+ * (spot-checked against C reference implementations), and matches the
+ * gate-level core end-to-end.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/bsp430.hh"
+#include "src/verify/runner.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+const Netlist &
+cpuNetlist()
+{
+    static Netlist nl = buildBsp430();
+    return nl;
+}
+
+class WorkloadParam : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadParam, AssemblesAndHaltsOnIss)
+{
+    const Workload &w = workloadByName(GetParam());
+    Rng rng(1234);
+    for (int trial = 0; trial < 8; trial++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted)
+            << w.name << " trial " << trial;
+        EXPECT_GT(r.instructions, 5u);
+    }
+}
+
+TEST_P(WorkloadParam, GateLevelMatchesIss)
+{
+    const Workload &w = workloadByName(GetParam());
+    AsmProgram prog = w.assembleProgram();
+    Rng rng(99);
+    for (int trial = 0; trial < 2; trial++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun ir = runWorkloadIss(w, in);
+        GateRun gr = runWorkloadGate(cpuNetlist(), w, prog, in);
+        RunDiff d = compareRuns(ir, gr, w);
+        EXPECT_TRUE(d.ok) << w.name << " trial " << trial << ": "
+                          << d.detail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParam,
+    ::testing::Values("binSearch", "div", "inSort", "intAVG", "intFilt",
+                      "mult", "rle", "tHold", "tea8", "FFT", "viterbi",
+                      "convEn", "autocorr", "irq", "dbg",
+                      "intFilt-scrambled", "subneg", "minios"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Workloads, RegistryComplete)
+{
+    EXPECT_EQ(workloads().size(), 15u);
+    EXPECT_EQ(extraWorkloads().size(), 3u);
+    EXPECT_EQ(extendedWorkloads().size(), 2u);
+    // Every registered workload has a generator and a unique name.
+    std::set<std::string> names;
+    for (const auto *set : {&workloads(), &extraWorkloads(),
+                            &extendedWorkloads()}) {
+        for (const Workload &w : *set) {
+            EXPECT_TRUE(w.genInput != nullptr) << w.name;
+            EXPECT_TRUE(names.insert(w.name).second)
+                << "duplicate " << w.name;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Functional spot checks against C reference implementations.
+// --------------------------------------------------------------------
+
+TEST(WorkloadsFunctional, DivMatchesReference)
+{
+    const Workload &w = workloadByName("div");
+    Rng rng(7);
+    for (int t = 0; t < 20; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        uint16_t a = in.ramWords[0], b = in.ramWords[1];
+        EXPECT_EQ(r.out[0], a / b);
+        EXPECT_EQ(r.out[1], a % b);
+    }
+}
+
+TEST(WorkloadsFunctional, BinSearchFindsKeys)
+{
+    const Workload &w = workloadByName("binSearch");
+    Rng rng(8);
+    for (int t = 0; t < 20; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        uint16_t key = in.ramWords[16];
+        bool present = false;
+        for (int i = 0; i < 16; i++)
+            present |= in.ramWords[i] == key;
+        if (present) {
+            ASSERT_NE(r.out[0], 0xffff);
+            EXPECT_EQ(in.ramWords[r.out[0]], key);
+        } else {
+            EXPECT_EQ(r.out[0], 0xffff);
+        }
+    }
+}
+
+TEST(WorkloadsFunctional, InSortSorts)
+{
+    const Workload &w = workloadByName("inSort");
+    Rng rng(9);
+    for (int t = 0; t < 10; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        std::vector<int16_t> expect;
+        for (uint16_t v : in.ramWords)
+            expect.push_back(static_cast<int16_t>(v));
+        std::sort(expect.begin(), expect.end());
+        for (int i = 0; i < 12; i++) {
+            EXPECT_EQ(static_cast<int16_t>(r.out[i]), expect[i])
+                << "position " << i;
+        }
+    }
+}
+
+TEST(WorkloadsFunctional, MultMatchesReference)
+{
+    const Workload &w = workloadByName("mult");
+    Rng rng(10);
+    WorkloadInput in = w.genInput(rng);
+    IssRun r = runWorkloadIss(w, in);
+    ASSERT_EQ(r.result, StepResult::Halted);
+    for (int i = 0; i < 4; i++) {
+        uint32_t p = static_cast<uint32_t>(in.ramWords[i]) *
+                     in.ramWords[4 + i];
+        EXPECT_EQ(r.out[i], p & 0xffff);
+    }
+}
+
+TEST(WorkloadsFunctional, IntAvgMatchesReference)
+{
+    const Workload &w = workloadByName("intAVG");
+    Rng rng(11);
+    for (int t = 0; t < 10; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        int64_t sum = 0;
+        for (uint16_t v : in.ramWords)
+            sum += static_cast<int16_t>(v);
+        int64_t avg = sum >> 4;
+        EXPECT_EQ(static_cast<int16_t>(r.out[0]),
+                  static_cast<int16_t>(avg & 0xffff));
+    }
+}
+
+TEST(WorkloadsFunctional, RleRoundTrips)
+{
+    const Workload &w = workloadByName("rle");
+    Rng rng(12);
+    for (int t = 0; t < 10; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        // Decode the RLE stream from RAM and compare to the input.
+        std::vector<uint8_t> original;
+        for (uint16_t word : in.ramWords) {
+            original.push_back(static_cast<uint8_t>(word & 0xff));
+            original.push_back(static_cast<uint8_t>(word >> 8));
+        }
+        std::vector<uint8_t> decoded;
+        uint16_t addr = kOutputBase;
+        while (true) {
+            uint8_t count = static_cast<uint8_t>(
+                r.ram[addr - kRamBase]);
+            if (count == 0)
+                break;
+            uint8_t value = static_cast<uint8_t>(
+                r.ram[addr + 1 - kRamBase]);
+            for (int i = 0; i < count; i++)
+                decoded.push_back(value);
+            addr += 2;
+        }
+        EXPECT_EQ(decoded, original);
+    }
+}
+
+TEST(WorkloadsFunctional, ConvEnMatchesReference)
+{
+    const Workload &w = workloadByName("convEn");
+    Rng rng(13);
+    for (int t = 0; t < 10; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        uint16_t data = in.ramWords[0];
+        uint32_t stream = 0;
+        int state = 0;
+        for (int i = 15; i >= 0; i--) {
+            int bit = (data >> i) & 1;
+            int reg = ((state << 1) | bit) & 7;
+            int g0 = ((reg >> 2) ^ (reg >> 1) ^ reg) & 1;
+            int g1 = ((reg >> 2) ^ reg) & 1;
+            stream = (stream << 1) | static_cast<uint32_t>(g0);
+            stream = (stream << 1) | static_cast<uint32_t>(g1);
+            state = reg & 3;
+        }
+        uint32_t got = r.out[0] | (static_cast<uint32_t>(r.out[1])
+                                   << 16);
+        EXPECT_EQ(got, stream);
+    }
+}
+
+TEST(WorkloadsFunctional, ViterbiDecodesCleanStream)
+{
+    const Workload &w = workloadByName("viterbi");
+    Rng rng(14);
+    int clean_ok = 0, trials = 0;
+    for (int t = 0; t < 20; t++) {
+        WorkloadInput in = w.genInput(rng);
+        // Recover the transmitted byte by re-encoding all 256 and
+        // finding an exact symbol match (only for clean streams).
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        for (int data = 0; data < 256; data++) {
+            int state = 0;
+            bool match = true;
+            for (int i = 7; i >= 0; i--) {
+                int bit = (data >> i) & 1;
+                int reg = ((state << 1) | bit) & 7;
+                int g0 = ((reg >> 2) ^ (reg >> 1) ^ reg) & 1;
+                int g1 = ((reg >> 2) ^ reg) & 1;
+                if (in.ramWords[7 - i] !=
+                    static_cast<uint16_t>((g0 << 1) | g1)) {
+                    match = false;
+                    break;
+                }
+                state = reg & 3;
+            }
+            if (match) {
+                trials++;
+                EXPECT_EQ(r.out[0], data)
+                    << "clean-stream decode failed";
+                clean_ok++;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(trials, 5);  // most generated streams are clean
+}
+
+TEST(WorkloadsFunctional, AutocorrMatchesReference)
+{
+    const Workload &w = workloadByName("autocorr");
+    Rng rng(15);
+    WorkloadInput in = w.genInput(rng);
+    IssRun r = runWorkloadIss(w, in);
+    ASSERT_EQ(r.result, StepResult::Halted);
+    for (int k = 0; k < 4; k++) {
+        int64_t acc = 0;
+        for (int i = 0; i < 12 - k; i++) {
+            acc += static_cast<int64_t>(
+                       static_cast<int16_t>(in.ramWords[i])) *
+                   static_cast<int16_t>(in.ramWords[i + k]);
+        }
+        uint32_t got = r.out[2 * k] |
+                       (static_cast<uint32_t>(r.out[2 * k + 1]) << 16);
+        EXPECT_EQ(got, static_cast<uint32_t>(acc & 0xffffffff))
+            << "lag " << k;
+    }
+}
+
+TEST(WorkloadsFunctional, Tea8MatchesReference)
+{
+    const Workload &w = workloadByName("tea8");
+    Rng rng(16);
+    WorkloadInput in = w.genInput(rng);
+    IssRun r = runWorkloadIss(w, in);
+    ASSERT_EQ(r.result, StepResult::Halted);
+    uint32_t v0 = in.ramWords[0] |
+                  (static_cast<uint32_t>(in.ramWords[1]) << 16);
+    uint32_t v1 = in.ramWords[2] |
+                  (static_cast<uint32_t>(in.ramWords[3]) << 16);
+    const uint32_t k0 = 0x15162b7e, k1 = 0xd2a628ae;
+    const uint32_t k2 = 0x1588abf7, k3 = 0x4f3c09cf;
+    uint32_t sum = 0;
+    for (int round = 0; round < 4; round++) {
+        sum += 0x9e3779b9;
+        v0 += ((v1 << 4) + k0) ^ (v1 + sum) ^ ((v1 >> 5) + k1);
+        v1 += ((v0 << 4) + k2) ^ (v0 + sum) ^ ((v0 >> 5) + k3);
+    }
+    uint32_t got0 = r.out[0] | (static_cast<uint32_t>(r.out[1]) << 16);
+    uint32_t got1 = r.out[2] | (static_cast<uint32_t>(r.out[3]) << 16);
+    EXPECT_EQ(got0, v0);
+    EXPECT_EQ(got1, v1);
+}
+
+TEST(WorkloadsFunctional, THoldCountsCrossings)
+{
+    const Workload &w = workloadByName("tHold");
+    Rng rng(17);
+    for (int t = 0; t < 10; t++) {
+        WorkloadInput in = w.genInput(rng);
+        IssRun r = runWorkloadIss(w, in);
+        ASSERT_EQ(r.result, StepResult::Halted);
+        int above = 0, crossings = 0;
+        bool prev = false;
+        for (int i = 0; i < 16; i++) {
+            bool hi = static_cast<int16_t>(in.ramWords[i]) >=
+                      static_cast<int16_t>(in.gpioIn);
+            if (hi) {
+                above++;
+                if (!prev)
+                    crossings++;
+            }
+            prev = hi;
+        }
+        EXPECT_EQ(r.out[0], above);
+        EXPECT_EQ(r.out[1], crossings);
+    }
+}
+
+} // namespace
+} // namespace bespoke
