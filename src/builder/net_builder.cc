@@ -1,0 +1,473 @@
+#include "src/builder/net_builder.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+GateId
+NetBuilder::emit(CellType type, GateId in0, GateId in1, GateId in2)
+{
+    return nl_.addGate(type, module_, in0, in1, in2);
+}
+
+// ----------------------------------------------------------------------
+// Constants
+// ----------------------------------------------------------------------
+
+Bus
+NetBuilder::busConst(uint32_t value, int width)
+{
+    bespoke_assert(width > 0 && width <= 32);
+    bespoke_assert(width == 32 || (value >> width) == 0,
+                   "constant ", value, " does not fit in ", width,
+                   " bits");
+    Bus bus(static_cast<size_t>(width));
+    for (int i = 0; i < width; i++)
+        bus[static_cast<size_t>(i)] = (value >> i) & 1 ? tie1() : tie0();
+    return bus;
+}
+
+// ----------------------------------------------------------------------
+// Gate primitives
+// ----------------------------------------------------------------------
+
+GateId NetBuilder::buf(GateId a) { return emit(CellType::BUF, a); }
+GateId NetBuilder::inv(GateId a) { return emit(CellType::INV, a); }
+
+GateId
+NetBuilder::and2(GateId a, GateId b)
+{
+    return emit(CellType::AND2, a, b);
+}
+
+GateId
+NetBuilder::and3(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::AND3, a, b, c);
+}
+
+GateId
+NetBuilder::and4(GateId a, GateId b, GateId c, GateId d)
+{
+    return and2(and2(a, b), and2(c, d));
+}
+
+GateId
+NetBuilder::or2(GateId a, GateId b)
+{
+    return emit(CellType::OR2, a, b);
+}
+
+GateId
+NetBuilder::or3(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::OR3, a, b, c);
+}
+
+GateId
+NetBuilder::or4(GateId a, GateId b, GateId c, GateId d)
+{
+    return or2(or2(a, b), or2(c, d));
+}
+
+GateId
+NetBuilder::nand2(GateId a, GateId b)
+{
+    return emit(CellType::NAND2, a, b);
+}
+
+GateId
+NetBuilder::nand3(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::NAND3, a, b, c);
+}
+
+GateId
+NetBuilder::nor2(GateId a, GateId b)
+{
+    return emit(CellType::NOR2, a, b);
+}
+
+GateId
+NetBuilder::nor3(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::NOR3, a, b, c);
+}
+
+GateId
+NetBuilder::xor2(GateId a, GateId b)
+{
+    return emit(CellType::XOR2, a, b);
+}
+
+GateId
+NetBuilder::xnor2(GateId a, GateId b)
+{
+    return emit(CellType::XNOR2, a, b);
+}
+
+GateId
+NetBuilder::aoi21(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::AOI21, a, b, c);
+}
+
+GateId
+NetBuilder::oai21(GateId a, GateId b, GateId c)
+{
+    return emit(CellType::OAI21, a, b, c);
+}
+
+GateId
+NetBuilder::mux2(GateId sel, GateId a0, GateId a1)
+{
+    return emit(CellType::MUX2, a0, a1, sel);
+}
+
+// ----------------------------------------------------------------------
+// Ports
+// ----------------------------------------------------------------------
+
+Bus
+NetBuilder::inputBus(const std::string &name, int width)
+{
+    bespoke_assert(width > 0);
+    Bus bus(static_cast<size_t>(width));
+    for (int i = 0; i < width; i++) {
+        bus[static_cast<size_t>(i)] =
+            nl_.addInput(name + "[" + std::to_string(i) + "]", module_);
+    }
+    return bus;
+}
+
+void
+NetBuilder::outputBus(const std::string &name, const Bus &bus)
+{
+    bespoke_assert(!bus.empty());
+    for (size_t i = 0; i < bus.size(); i++) {
+        nl_.addOutput(name + "[" + std::to_string(i) + "]", bus[i],
+                      module_);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Bitwise bus operations
+// ----------------------------------------------------------------------
+
+Bus
+NetBuilder::invBus(const Bus &a)
+{
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = inv(a[i]);
+    return out;
+}
+
+Bus
+NetBuilder::andBus(const Bus &a, const Bus &b)
+{
+    bespoke_assert(a.size() == b.size());
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = and2(a[i], b[i]);
+    return out;
+}
+
+Bus
+NetBuilder::orBus(const Bus &a, const Bus &b)
+{
+    bespoke_assert(a.size() == b.size());
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = or2(a[i], b[i]);
+    return out;
+}
+
+Bus
+NetBuilder::xorBus(const Bus &a, const Bus &b)
+{
+    bespoke_assert(a.size() == b.size());
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = xor2(a[i], b[i]);
+    return out;
+}
+
+Bus
+NetBuilder::maskBus(const Bus &a, GateId enable)
+{
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = and2(a[i], enable);
+    return out;
+}
+
+Bus
+NetBuilder::resize(const Bus &a, int width)
+{
+    bespoke_assert(width > 0);
+    size_t w = static_cast<size_t>(width);
+    if (w <= a.size())
+        return Bus(a.begin(), a.begin() + static_cast<long>(w));
+    Bus out = a;
+    while (out.size() < w)
+        out.push_back(tie0());
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Bus rearrangement
+// ----------------------------------------------------------------------
+
+Bus
+NetBuilder::slice(const Bus &a, int start, int count)
+{
+    bespoke_assert(start >= 0 && count > 0 &&
+                   static_cast<size_t>(start + count) <= a.size(),
+                   "slice [", start, ", ", start + count,
+                   ") of a ", a.size(), "-bit bus");
+    return Bus(a.begin() + start, a.begin() + start + count);
+}
+
+Bus
+NetBuilder::concat(const Bus &lo, const Bus &hi)
+{
+    Bus out = lo;
+    out.insert(out.end(), hi.begin(), hi.end());
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Datapath blocks
+// ----------------------------------------------------------------------
+
+AddResult
+NetBuilder::adder(const Bus &a, const Bus &b, GateId carryIn)
+{
+    bespoke_assert(!a.empty() && a.size() == b.size());
+    AddResult r;
+    r.sum.resize(a.size());
+    r.carries.resize(a.size());
+    GateId carry = carryIn;
+    for (size_t i = 0; i < a.size(); i++) {
+        GateId p = xor2(a[i], b[i]);
+        r.sum[i] = xor2(p, carry);
+        // carry-out = a&b | p&carry (majority).
+        carry = or2(and2(a[i], b[i]), and2(p, carry));
+        r.carries[i] = carry;
+    }
+    r.carryOut = carry;
+    return r;
+}
+
+AddResult
+NetBuilder::subtractor(const Bus &a, const Bus &b)
+{
+    return adder(a, invBus(b), tie1());
+}
+
+AddResult
+NetBuilder::incrementer(const Bus &a)
+{
+    bespoke_assert(!a.empty());
+    AddResult r;
+    r.sum.resize(a.size());
+    r.carries.resize(a.size());
+    GateId carry = tie1();
+    for (size_t i = 0; i < a.size(); i++) {
+        r.sum[i] = xor2(a[i], carry);
+        carry = and2(a[i], carry);
+        r.carries[i] = carry;
+    }
+    r.carryOut = carry;
+    return r;
+}
+
+GateId
+NetBuilder::equal(const Bus &a, const Bus &b)
+{
+    bespoke_assert(!a.empty() && a.size() == b.size());
+    Bus eq(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        eq[i] = xnor2(a[i], b[i]);
+    return reduceAnd(eq);
+}
+
+GateId
+NetBuilder::equalsConst(const Bus &a, uint32_t value)
+{
+    bespoke_assert(!a.empty() && a.size() <= 32);
+    bespoke_assert(a.size() == 32 || (value >> a.size()) == 0,
+                   "constant ", value, " does not fit in ", a.size(),
+                   " bits");
+    Bus match(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        match[i] = (value >> i) & 1 ? a[i] : inv(a[i]);
+    return reduceAnd(match);
+}
+
+GateId
+NetBuilder::isZero(const Bus &a)
+{
+    return inv(reduceOr(a));
+}
+
+GateId
+NetBuilder::reduceOr(const Bus &a)
+{
+    bespoke_assert(!a.empty());
+    // Balanced pairwise tree keeps the depth logarithmic.
+    Bus level = a;
+    while (level.size() > 1) {
+        Bus next;
+        size_t i = 0;
+        for (; i + 3 <= level.size(); i += 3)
+            next.push_back(or3(level[i], level[i + 1], level[i + 2]));
+        if (i + 2 <= level.size()) {
+            next.push_back(or2(level[i], level[i + 1]));
+            i += 2;
+        }
+        if (i < level.size())
+            next.push_back(level[i]);
+        level = next;
+    }
+    return level[0];
+}
+
+GateId
+NetBuilder::reduceAnd(const Bus &a)
+{
+    bespoke_assert(!a.empty());
+    Bus level = a;
+    while (level.size() > 1) {
+        Bus next;
+        size_t i = 0;
+        for (; i + 3 <= level.size(); i += 3)
+            next.push_back(and3(level[i], level[i + 1], level[i + 2]));
+        if (i + 2 <= level.size()) {
+            next.push_back(and2(level[i], level[i + 1]));
+            i += 2;
+        }
+        if (i < level.size())
+            next.push_back(level[i]);
+        level = next;
+    }
+    return level[0];
+}
+
+Bus
+NetBuilder::muxBus(GateId sel, const Bus &a0, const Bus &a1)
+{
+    bespoke_assert(a0.size() == a1.size());
+    Bus out(a0.size());
+    for (size_t i = 0; i < a0.size(); i++)
+        out[i] = mux2(sel, a0[i], a1[i]);
+    return out;
+}
+
+Bus
+NetBuilder::muxTree(const Bus &sel, const std::vector<Bus> &choices)
+{
+    bespoke_assert(!sel.empty() && !choices.empty());
+    bespoke_assert(sel.size() >= 32 ||
+                   choices.size() <= (1ull << sel.size()),
+                   choices.size(), " choices need more than ",
+                   sel.size(), " select bits");
+    size_t width = choices[0].size();
+    for (const Bus &c : choices)
+        bespoke_assert(c.size() == width, "muxTree width mismatch");
+    // Pair adjacent choices level by level, consuming select bits from
+    // the LSB. An odd tail passes through unchanged, which makes
+    // non-power-of-two choice counts work without padding gates.
+    std::vector<Bus> level = choices;
+    for (size_t s = 0; s < sel.size() && level.size() > 1; s++) {
+        std::vector<Bus> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(muxBus(sel[s], level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = next;
+    }
+    return level[0];
+}
+
+Bus
+NetBuilder::decoder(const Bus &sel)
+{
+    bespoke_assert(!sel.empty() && sel.size() < 16);
+    Bus nsel = invBus(sel);
+    size_t n = 1ull << sel.size();
+    Bus out(n);
+    for (size_t v = 0; v < n; v++) {
+        Bus lits(sel.size());
+        for (size_t i = 0; i < sel.size(); i++)
+            lits[i] = (v >> i) & 1 ? sel[i] : nsel[i];
+        out[v] = reduceAnd(lits);
+    }
+    return out;
+}
+
+Bus
+NetBuilder::shiftRight1(const Bus &a, GateId msbIn)
+{
+    bespoke_assert(!a.empty());
+    Bus out(a.size());
+    for (size_t i = 0; i + 1 < a.size(); i++)
+        out[i] = a[i + 1];
+    out[a.size() - 1] = msbIn;
+    return out;
+}
+
+Bus
+NetBuilder::shiftLeft1(const Bus &a, GateId lsbIn)
+{
+    bespoke_assert(!a.empty());
+    Bus out(a.size());
+    out[0] = lsbIn;
+    for (size_t i = 1; i < a.size(); i++)
+        out[i] = a[i - 1];
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Sequential helpers
+// ----------------------------------------------------------------------
+
+GateId
+NetBuilder::dff(GateId d, bool resetValue)
+{
+    GateId q = emit(CellType::DFF, d);
+    nl_.setResetValue(q, resetValue);
+    return q;
+}
+
+GateId
+NetBuilder::dffe(GateId d, GateId en, bool resetValue)
+{
+    GateId q = emit(CellType::DFFE, d, en);
+    nl_.setResetValue(q, resetValue);
+    return q;
+}
+
+Bus
+NetBuilder::regBus(const Bus &d, GateId en, uint32_t resetValue)
+{
+    bespoke_assert(!d.empty() && d.size() <= 32);
+    Bus q(d.size());
+    for (size_t i = 0; i < d.size(); i++)
+        q[i] = dffe(d[i], en, (resetValue >> i) & 1);
+    return q;
+}
+
+Bus
+NetBuilder::regBusAlways(const Bus &d, uint32_t resetValue)
+{
+    bespoke_assert(!d.empty() && d.size() <= 32);
+    Bus q(d.size());
+    for (size_t i = 0; i < d.size(); i++)
+        q[i] = dff(d[i], (resetValue >> i) & 1);
+    return q;
+}
+
+} // namespace bespoke

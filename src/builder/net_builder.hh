@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Structural netlist builder: the repository's "synthesis front-end"
+ * (DESIGN.md inventory item #4).
+ *
+ * The paper's flow starts from a gate-level netlist produced by a
+ * commercial RTL synthesis tool; here the same role is played by a
+ * structural builder that maps word-level constructs (buses, adders,
+ * muxes, decoders, register banks) directly onto standard cells from
+ * src/netlist/cell_library. Every emitted gate is labeled with the
+ * builder's *current module* (setModule), which is what the paper's
+ * per-module area/power breakdowns (Figs. 3, 4, 10, 11) and the
+ * power-gating baseline (Fig. 15) aggregate over.
+ *
+ * Conventions:
+ *  - A Bus is a plain vector of net ids, LSB-first: bus[0] is bit 0.
+ *  - Multiplexer polarity follows the MUX2 cell: mux2(sel, a0, a1)
+ *    yields a0 when sel=0 and a1 when sel=1; muxBus/muxTree likewise.
+ *  - Datapath blocks are ripple-carry: gate count matters more than
+ *    logic depth for the paper's area/power study, and the STA pass
+ *    (src/timing) measures whatever depth results.
+ *  - The builder only appends gates; feedback must go through flops
+ *    (see the placeholder-binding pattern in src/cpu/bsp430.cc).
+ */
+
+#ifndef BESPOKE_BUILDER_NET_BUILDER_HH
+#define BESPOKE_BUILDER_NET_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+/** A word-level signal: driving net ids, LSB-first. */
+using Bus = std::vector<GateId>;
+
+/**
+ * Result of an addition-family block. `carries[i]` is the carry *out*
+ * of bit position i (so byte-mode consumers read carries[7]);
+ * `carryOut` equals carries.back(). For subtractor() the carry-out is
+ * the *no-borrow* flag (1 iff a >= b), matching MSP430 SUB/CMP carry
+ * semantics.
+ */
+struct AddResult
+{
+    Bus sum;
+    Bus carries;
+    GateId carryOut = kNoGate;
+};
+
+/**
+ * Emits standard cells into a Netlist under a current module label.
+ * Cheap value-semantics-free facade: holds only a reference to the
+ * netlist plus the label, so generators may create several.
+ */
+class NetBuilder
+{
+  public:
+    explicit NetBuilder(Netlist &netlist, Module module = Module::Glue)
+        : nl_(netlist), module_(module)
+    {}
+
+    /** @name Module labeling */
+    /// @{
+    /** All subsequently emitted gates carry this module label. */
+    void setModule(Module m) { module_ = m; }
+    Module module() const { return module_; }
+    /// @}
+
+    /** @name Constants */
+    /// @{
+    /** Shared constant-0 driver for the current module. */
+    GateId tie0() { return nl_.tie(false, module_); }
+    /** Shared constant-1 driver for the current module. */
+    GateId tie1() { return nl_.tie(true, module_); }
+    /** `width`-bit constant; bit i of `value` drives bus[i]. */
+    Bus busConst(uint32_t value, int width);
+    /// @}
+
+    /** @name Gate primitives */
+    /// @{
+    GateId buf(GateId a);
+    GateId inv(GateId a);
+    GateId and2(GateId a, GateId b);
+    GateId and3(GateId a, GateId b, GateId c);
+    GateId and4(GateId a, GateId b, GateId c, GateId d);
+    GateId or2(GateId a, GateId b);
+    GateId or3(GateId a, GateId b, GateId c);
+    GateId or4(GateId a, GateId b, GateId c, GateId d);
+    GateId nand2(GateId a, GateId b);
+    GateId nand3(GateId a, GateId b, GateId c);
+    GateId nor2(GateId a, GateId b);
+    GateId nor3(GateId a, GateId b, GateId c);
+    GateId xor2(GateId a, GateId b);
+    GateId xnor2(GateId a, GateId b);
+    /** out = !((a & b) | c) */
+    GateId aoi21(GateId a, GateId b, GateId c);
+    /** out = !((a | b) & c) */
+    GateId oai21(GateId a, GateId b, GateId c);
+    /** 2:1 mux: sel=0 -> a0, sel=1 -> a1. */
+    GateId mux2(GateId sel, GateId a0, GateId a1);
+    /// @}
+
+    /** @name Ports */
+    /// @{
+    /** Primary-input bus named "name[0]".."name[width-1]". */
+    Bus inputBus(const std::string &name, int width);
+    /** Primary-output bus named "name[0]".."name[width-1]". */
+    void outputBus(const std::string &name, const Bus &bus);
+    /// @}
+
+    /** @name Bitwise bus operations */
+    /// @{
+    Bus invBus(const Bus &a);
+    Bus andBus(const Bus &a, const Bus &b);
+    Bus orBus(const Bus &a, const Bus &b);
+    Bus xorBus(const Bus &a, const Bus &b);
+    /** AND every bit with `enable` (0 clears the whole bus). */
+    Bus maskBus(const Bus &a, GateId enable);
+    /** Truncate, or zero-extend with the module's tie0. */
+    Bus resize(const Bus &a, int width);
+    /// @}
+
+    /** @name Bus rearrangement (pure wiring, no gates) */
+    /// @{
+    /** Bits [start, start+count) of `a`. */
+    static Bus slice(const Bus &a, int start, int count);
+    /** `lo` in the low bits, `hi` above it (LSB-first append). */
+    static Bus concat(const Bus &lo, const Bus &hi);
+    /// @}
+
+    /** @name Datapath blocks */
+    /// @{
+    /** Ripple-carry adder; operands must be the same width. */
+    AddResult adder(const Bus &a, const Bus &b, GateId carryIn);
+    /** a - b as a + ~b + 1; carryOut = no-borrow (a >= b). */
+    AddResult subtractor(const Bus &a, const Bus &b);
+    /** a + 1 (half-adder chain; ~2 cells/bit). */
+    AddResult incrementer(const Bus &a);
+    /** 1 iff a == b (equal widths required). */
+    GateId equal(const Bus &a, const Bus &b);
+    /** 1 iff a == value (value must fit in a's width). */
+    GateId equalsConst(const Bus &a, uint32_t value);
+    /** 1 iff every bit of a is 0. */
+    GateId isZero(const Bus &a);
+    /** OR-reduction of all bits. */
+    GateId reduceOr(const Bus &a);
+    /** AND-reduction of all bits. */
+    GateId reduceAnd(const Bus &a);
+    /** Per-bit 2:1 mux: sel=0 -> a0, sel=1 -> a1. */
+    Bus muxBus(GateId sel, const Bus &a0, const Bus &a1);
+    /**
+     * N:1 mux over equal-width choices, `sel` binary (LSB-first).
+     * The choice count need not be a power of two; a select value
+     * >= choices.size() returns one of the existing choices
+     * (unspecified which — callers must not rely on it).
+     */
+    Bus muxTree(const Bus &sel, const std::vector<Bus> &choices);
+    /** Binary -> one-hot: 2^sel.size() outputs. */
+    Bus decoder(const Bus &sel);
+    /** Logical/funnel shift right by one; msbIn fills the top bit. */
+    Bus shiftRight1(const Bus &a, GateId msbIn);
+    /** Shift left by one; lsbIn fills bit 0. */
+    Bus shiftLeft1(const Bus &a, GateId lsbIn);
+    /// @}
+
+    /** @name Sequential helpers */
+    /// @{
+    /** D flip-flop, loads every cycle. */
+    GateId dff(GateId d, bool resetValue = false);
+    /** Enabled flip-flop: enable low holds state. */
+    GateId dffe(GateId d, GateId en, bool resetValue = false);
+    /**
+     * Bank of DFFEs sharing one enable; bit i of `resetValue` is the
+     * reset value of bus[i]. Returns the Q bus.
+     */
+    Bus regBus(const Bus &d, GateId en, uint32_t resetValue);
+    /** Bank of always-loading DFFs. Returns the Q bus. */
+    Bus regBusAlways(const Bus &d, uint32_t resetValue);
+    /// @}
+
+    Netlist &netlist() { return nl_; }
+
+  private:
+    GateId emit(CellType type, GateId in0 = kNoGate,
+                GateId in1 = kNoGate, GateId in2 = kNoGate);
+
+    Netlist &nl_;
+    Module module_;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_BUILDER_NET_BUILDER_HH

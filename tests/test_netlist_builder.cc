@@ -195,6 +195,126 @@ TEST_P(BuilderSweep, MuxTreeSelects)
     }
 }
 
+TEST_P(BuilderSweep, AdderCarryEdges)
+{
+    CombHarness h;
+    Bus a = h.in("a", 16), b = h.in("b", 16);
+    Bus cin = h.in("cin", 1);
+    AddResult r = h.b().adder(a, b, cin[0]);
+    h.out("sum", r.sum);
+    h.outBit("cout", r.carryOut);
+    h.outBit("c7", r.carries[7]);
+
+    // Directed wraparound / full-chain cases plus randomized carry-in.
+    std::vector<std::array<uint16_t, 3>> cases = {
+        {0xffff, 0x0001, 0},  // full-length carry ripple, wraps to 0
+        {0xffff, 0x0000, 1},  // carry-in alone ripples end to end
+        {0xffff, 0xffff, 1},  // all-ones + all-ones + cin
+        {0x7fff, 0x0001, 0},  // ripple stops at bit 15 (no cout)
+        {0x00ff, 0x0001, 0},  // byte-boundary carry: c7 set, cout clear
+        {0x8000, 0x8000, 0},  // single-bit carry out of the MSB
+        {0x0000, 0x0000, 0},
+    };
+    Rng rng(GetParam() + 5000);
+    for (int t = 0; t < 20; t++) {
+        cases.push_back({rng.word(), rng.word(),
+                         static_cast<uint16_t>(rng.chance(1, 2))});
+    }
+    for (auto [x, y, ci] : cases) {
+        h.eval({x, y, ci});
+        uint32_t wide = static_cast<uint32_t>(x) + y + ci;
+        EXPECT_EQ(h.word("sum"), static_cast<uint16_t>(wide));
+        EXPECT_EQ(h.bit("cout"), (wide >> 16) != 0);
+        EXPECT_EQ(h.bit("c7"), (((x & 0xff) + (y & 0xff) + ci) >> 8)
+                      != 0);
+    }
+}
+
+TEST_P(BuilderSweep, SubtractorBorrowChains)
+{
+    CombHarness h;
+    Bus a = h.in("a", 16), b = h.in("b", 16);
+    AddResult r = h.b().subtractor(a, b);
+    h.out("diff", r.sum);
+    h.outBit("noborrow", r.carryOut);
+    h.outBit("c7", r.carries[7]);
+
+    std::vector<std::array<uint16_t, 2>> cases = {
+        {0x0000, 0x0001},  // 0 - 1: borrow ripples the whole width
+        {0x0000, 0xffff},  // 0 - (-1) = 1, borrowed
+        {0x8000, 0x0001},  // borrow chain across 15 zero bits
+        {0x0001, 0x0001},  // exact zero: no borrow
+        {0xffff, 0xffff},
+        {0x0100, 0x0001},  // borrow crosses the byte boundary
+        {0x00ff, 0x0100},
+    };
+    Rng rng(GetParam() + 6000);
+    for (int t = 0; t < 20; t++)
+        cases.push_back({rng.word(), rng.word()});
+    for (auto [x, y] : cases) {
+        h.eval({x, y});
+        EXPECT_EQ(h.word("diff"), static_cast<uint16_t>(x - y));
+        EXPECT_EQ(h.bit("noborrow"), x >= y);
+        // carries[7] is the byte-mode no-borrow flag.
+        EXPECT_EQ(h.bit("c7"), (x & 0xff) >= (y & 0xff));
+    }
+}
+
+TEST_P(BuilderSweep, MuxTreeNonPowerOfTwo)
+{
+    // 5 choices under a 3-bit select: the odd tail of the mux tree
+    // must still route every in-range select value correctly.
+    CombHarness h;
+    Bus sel = h.in("sel", 3);
+    std::vector<Bus> choices;
+    for (int i = 0; i < 5; i++)
+        choices.push_back(h.in("c" + std::to_string(i), 16));
+    h.out("out", h.b().muxTree(sel, choices));
+
+    Rng rng(GetParam() + 7000);
+    for (int t = 0; t < 30; t++) {
+        std::vector<uint16_t> vals = {
+            static_cast<uint16_t>(rng.below(5))};
+        for (int i = 0; i < 5; i++)
+            vals.push_back(rng.word());
+        h.eval(vals);
+        EXPECT_EQ(h.word("out"), vals[1 + vals[0]]);
+    }
+}
+
+TEST(Builder, MuxTreeThreeChoices)
+{
+    CombHarness h;
+    Bus sel = h.in("sel", 2);
+    std::vector<Bus> choices;
+    for (int i = 0; i < 3; i++)
+        choices.push_back(h.in("c" + std::to_string(i), 16));
+    h.out("out", h.b().muxTree(sel, choices));
+    for (uint16_t v = 0; v < 3; v++) {
+        h.eval({v, 0x1111, 0x2222, 0x3333});
+        EXPECT_EQ(h.word("out"),
+                  static_cast<uint16_t>(0x1111 * (v + 1)));
+    }
+}
+
+TEST(Builder, IncrementerWraparound)
+{
+    CombHarness h;
+    Bus a = h.in("a", 16);
+    AddResult r = h.b().incrementer(a);
+    h.out("inc", r.sum);
+    h.outBit("cout", r.carryOut);
+    h.eval({0xffff});
+    EXPECT_EQ(h.word("inc"), 0u);      // 0xFFFF + 1 wraps to 0
+    EXPECT_TRUE(h.bit("cout"));
+    h.eval({0x7fff});
+    EXPECT_EQ(h.word("inc"), 0x8000);  // ripple through 15 ones
+    EXPECT_FALSE(h.bit("cout"));
+    h.eval({0x0000});
+    EXPECT_EQ(h.word("inc"), 1u);
+    EXPECT_FALSE(h.bit("cout"));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BuilderSweep,
                          ::testing::Values(1u, 2u, 3u, 4u));
 
