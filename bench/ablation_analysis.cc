@@ -28,7 +28,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "ablation_analysis");
+    bool quick = io.quick();
 
     banner("Ablations of the reproduction's design choices",
            "methodology (DESIGN.md)");
@@ -64,9 +65,12 @@ main(int argc, char **argv)
                     .add(r.seconds, 2);
             }
         }
-        t.print("Ablation 1: concrete-exploration budget before "
-                "widening. More budget = more\nproven-constant gates "
-                "(never fewer), at higher analysis cost.");
+        // Column 5 is measured runtime.
+        io.table("concrete_visits", t,
+                 "Ablation 1: concrete-exploration budget before "
+                 "widening. More budget = more\nproven-constant gates "
+                 "(never fewer), at higher analysis cost.",
+                 {5});
     }
 
     // ------------------------------------------------ ablations 2 & 3
@@ -121,10 +125,11 @@ main(int argc, char **argv)
                 .add(m_no_resize.powerNominal.totalUW(), 1)
                 .add(full.metrics.powerNominal.totalUW(), 1);
         }
-        t.print("Ablations 2-3: re-synthesis removes additional gates "
-                "beyond the direct cut\n(floating outputs, constant "
-                "cones); re-sizing after cutting recovers the power\n"
-                "the baseline spent driving now-removed fanout.");
+        io.table("resynth_resize", t,
+                 "Ablations 2-3: re-synthesis removes additional gates "
+                 "beyond the direct cut\n(floating outputs, constant "
+                 "cones); re-sizing after cutting recovers the power\n"
+                 "the baseline spent driving now-removed fanout.");
     }
-    return 0;
+    return io.finish();
 }

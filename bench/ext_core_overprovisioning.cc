@@ -36,7 +36,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "ext_core_overprovisioning");
+    bool quick = io.quick();
 
     banner("Bespoke savings grow with IP over-provisioning",
            "extension of Sec. 2's argument");
@@ -46,6 +47,10 @@ main(int argc, char **argv)
     std::printf("default core: %zu cells; extended core (+timer, "
                 "+uart): %zu cells\n\n",
                 base.netlist.numCells(), ext.netlist.numCells());
+    io.metric("default_core_cells",
+              static_cast<double>(base.netlist.numCells()));
+    io.metric("extended_core_cells",
+              static_cast<double>(ext.netlist.numCells()));
 
     Table table({"benchmark", "bespoke cells (default core)",
                  "savings %", "bespoke cells (extended core)",
@@ -90,9 +95,10 @@ main(int argc, char **argv)
                      static_cast<double>(de.numCells())),
                  1);
     }
-    table.print("Tailored gate counts on both cores. Unused "
-                "peripherals are stripped entirely\n(the bespoke "
-                "design is nearly identical on both cores), so the "
-                "richer the IP, the\nlarger the relative savings.");
-    return 0;
+    io.table("overprovisioning", table,
+             "Tailored gate counts on both cores. Unused "
+             "peripherals are stripped entirely\n(the bespoke "
+             "design is nearly identical on both cores), so the "
+             "richer the IP, the\nlarger the relative savings.");
+    return io.finish();
 }

@@ -19,8 +19,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
-    int num_inputs = quick ? 3 : 8;
+    BenchIO io(argc, argv, "fig02_profiling");
+    int num_inputs = io.quick() ? 3 : 8;
 
     banner("Profiled unused gates per application across input sets",
            "Figure 2");
@@ -71,10 +71,11 @@ main(int argc, char **argv)
             .add(max_pct, 1)
             .add(max_pct - min_pct, 1);
     }
-    table.print("Gates untoggled under profiling (paper: 30-60%, with "
-                "up to 13% variation across inputs)");
+    io.table("profiled_unused", table,
+             "Gates untoggled under profiling (paper: 30-60%, with "
+             "up to 13% variation across inputs)");
     std::printf("Profiling cannot guarantee a gate is unusable: the "
                 "unused set varies with inputs,\nmotivating the "
                 "input-independent analysis of Fig. 10.\n");
-    return 0;
+    return io.finish();
 }

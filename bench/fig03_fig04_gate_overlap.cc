@@ -17,8 +17,9 @@ namespace
 {
 
 void
-comparePair(const Netlist &nl, const std::string &name_a,
-            const std::string &name_b, const char *figure)
+comparePair(BenchIO &io, const std::string &key, const Netlist &nl,
+            const std::string &name_a, const std::string &name_b,
+            const char *figure)
 {
     AnalysisResult ra = analyzeActivity(nl, workloadByName(name_a));
     AnalysisResult rb = analyzeActivity(nl, workloadByName(name_b));
@@ -63,7 +64,7 @@ comparePair(const Netlist &nl, const std::string &name_a,
         .add(static_cast<long>(common))
         .add(static_cast<long>(only_a))
         .add(static_cast<long>(only_b));
-    t.print();
+    io.table(key, t);
 }
 
 } // namespace
@@ -72,8 +73,7 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    (void)argc;
-    (void)argv;
+    BenchIO io(argc, argv, "fig03_fig04_gate_overlap");
 
     banner("Unused-gate overlap between applications",
            "Figures 3 and 4");
@@ -81,10 +81,12 @@ main(int argc, char **argv)
     Netlist nl = buildBsp430();
 
     // Fig. 3: two different applications (FFT vs binSearch).
-    comparePair(nl, "FFT", "binSearch", "Figure 3");
+    comparePair(io, "fig3_two_apps", nl, "FFT", "binSearch",
+                "Figure 3");
 
     // Fig. 4: the same instructions in a different order.
-    comparePair(nl, "intFilt", "intFilt-scrambled", "Figure 4");
+    comparePair(io, "fig4_scrambled", nl, "intFilt",
+                "intFilt-scrambled", "Figure 4");
 
     std::printf(
         "\nEach pair leaves overlapping but DIFFERENT gates unused — "
@@ -92,5 +94,5 @@ main(int argc, char **argv)
         "mix — so neither ISA-level nor\nprofile-based reasoning can "
         "identify removable gates; hardware/software\nco-analysis is "
         "required (paper Sec. 2).\n");
-    return 0;
+    return io.finish();
 }

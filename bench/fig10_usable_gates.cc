@@ -17,7 +17,7 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    (void)quickMode(argc, argv);
+    BenchIO io(argc, argv, "fig10_usable_gates");
 
     banner("Input-independent usable-gate fractions per module",
            "Figure 10");
@@ -74,8 +74,9 @@ main(int argc, char **argv)
                       1);
         }
     }
-    table.print("Gates toggleable by each benchmark (% of all cells; "
-                "per-module stacked components).\nPaper: at most 57% "
-                "usable; 11 of 15 benchmarks below 50%.");
-    return 0;
+    io.table("usable_gates", table,
+             "Gates toggleable by each benchmark (% of all cells; "
+             "per-module stacked components).\nPaper: at most 57% "
+             "usable; 11 of 15 benchmarks below 50%.");
+    return io.finish();
 }

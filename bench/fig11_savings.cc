@@ -15,13 +15,13 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "fig11_savings");
 
     banner("Bespoke gate/area/power savings vs. baseline core",
            "Figure 11");
 
     FlowOptions opts;
-    if (quick)
+    if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
 
@@ -59,8 +59,9 @@ main(int argc, char **argv)
         .add("")
         .add("")
         .add("");
-    table.print("Savings relative to the baseline bsp430 core "
-                "(paper: area 46-92%, avg 62%; power 37-74%, avg "
-                "50%).");
-    return 0;
+    io.table("savings", table,
+             "Savings relative to the baseline bsp430 core "
+             "(paper: area 46-92%, avg 62%; power 37-74%, avg "
+             "50%).");
+    return io.finish();
 }

@@ -15,13 +15,13 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "fig12_fine_vs_coarse");
 
     banner("Fine-grained (gate) vs. coarse-grained (module) bespoke",
            "Figure 12");
 
     FlowOptions opts;
-    if (quick)
+    if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
 
@@ -57,8 +57,9 @@ main(int argc, char **argv)
         .add("")
         .add("")
         .add(sum_power / n, 1);
-    table.print("Savings of gate-level bespoke relative to "
-                "module-level bespoke (paper: power up to 75%, min "
-                "22%, avg 35%).");
-    return 0;
+    io.table("fine_vs_coarse", table,
+             "Savings of gate-level bespoke relative to "
+             "module-level bespoke (paper: power up to 75%, min "
+             "22%, avg 35%).");
+    return io.finish();
 }

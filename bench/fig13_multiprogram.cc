@@ -19,7 +19,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "fig13_multiprogram");
+    bool quick = io.quick();
     const int samples_per_n = quick ? 4 : 12;
 
     banner("Multi-program bespoke processors", "Figure 13");
@@ -104,10 +105,11 @@ main(int argc, char **argv)
             .add(formatFixed(amin, 2) + " - " + formatFixed(amax, 2))
             .add(formatFixed(pmin, 2) + " - " + formatFixed(pmax, 2));
     }
-    table.print("Normalized to the baseline core (1.00). Paper: even "
-                "10-program designs can save\n41% area / 20% power, "
-                "and multi-program designs never exceed the "
-                "baseline.");
+    io.table("multiprogram", table,
+             "Normalized to the baseline core (1.00). Paper: even "
+             "10-program designs can save\n41% area / 20% power, "
+             "and multi-program designs never exceed the "
+             "baseline.");
 
     // Exhaustive enumeration over ALL 2^15-1 combinations (as in the
     // paper), on the usable-gate proxy: merging the per-application
@@ -145,8 +147,9 @@ main(int argc, char **argv)
                 .add(formatFixed(nmin[n], 1) + " - " +
                      formatFixed(nmax[n], 1));
         }
-        ex.print("Exhaustive sweep over all combinations (usable-gate "
+        io.table("exhaustive", ex,
+                 "Exhaustive sweep over all combinations (usable-gate "
                  "fraction before re-synthesis).");
     }
-    return 0;
+    return io.finish();
 }

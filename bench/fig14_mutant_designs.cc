@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "fig14_mutant_designs");
+    bool quick = io.quick();
 
     banner("Bespoke designs supporting all mutants (in-field updates)",
            "Figure 14");
@@ -77,9 +78,10 @@ main(int argc, char **argv)
                      static_cast<double>(plain.metrics.gates),
                  1);
     }
-    table.print("Designs supporting the app plus all its mutants, "
-                "normalized to the baseline.\nPaper: 1-40% gate "
-                "overhead; area savings remain 23-66%, power savings "
-                "13-53%.");
-    return 0;
+    io.table("mutant_designs", table,
+             "Designs supporting the app plus all its mutants, "
+             "normalized to the baseline.\nPaper: 1-40% gate "
+             "overhead; area savings remain 23-66%, power savings "
+             "13-53%.");
+    return io.finish();
 }

@@ -16,8 +16,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
-    int inputs = quick ? 1 : 2;
+    BenchIO io(argc, argv, "fig15_power_gating");
+    int inputs = io.quick() ? 1 : 2;
 
     banner("Oracle module-level power gating vs. bespoke design",
            "Figure 15");
@@ -42,9 +42,10 @@ main(int argc, char **argv)
             .add(bespoke_save, 1)
             .add(bespoke_save / std::max(g.savingsPercent(), 0.01), 1);
     }
-    table.print("Oracular (zero-overhead, instant-wake) module power "
-                "gating.\nPaper: gating saves <13% on every "
-                "application; the minimum bespoke power\nreduction "
-                "(37%) beats the maximum gating reduction.");
-    return 0;
+    io.table("power_gating", table,
+             "Oracular (zero-overhead, instant-wake) module power "
+             "gating.\nPaper: gating saves <13% on every "
+             "application; the minimum bespoke power\nreduction "
+             "(37%) beats the maximum gating reduction.");
+    return io.finish();
 }

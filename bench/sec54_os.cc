@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "sec54_os");
+    bool quick = io.quick();
 
     banner("System code: bespoke design with an OS (minios)",
            "Section 5.4");
@@ -38,13 +39,16 @@ main(int argc, char **argv)
             mult_toggled++;
         }
     }
+    double os_unusable =
+        100.0 *
+        static_cast<double>(os_act.activity->untoggledCellCount()) /
+        total;
     std::printf("minios alone: %.0f%% of gates unusable (%zu of %zu "
                 "multiplier gates toggleable)\n\n",
-                100.0 *
-                    static_cast<double>(
-                        os_act.activity->untoggledCellCount()) /
-                    total,
-                mult_toggled, mult_total);
+                os_unusable, mult_toggled, mult_total);
+    io.metric("os_unusable_pct", os_unusable);
+    io.metric("mult_gates_toggled",
+              static_cast<double>(mult_toggled));
 
     Table table({"configuration", "unused gates %", "gate savings %",
                  "area savings %"});
@@ -82,9 +86,10 @@ main(int argc, char **argv)
                         static_cast<double>(all_design.numCells())),
              1)
         .add(savingsPct(nl.stats().area, all_design.stats().area), 1);
-    table.print("Applications co-analyzed with the minios kernel "
-                "(union of toggleable gates).\nPaper: 37% unused worst "
-                "case per app (49% avg); 27% unused with all 15 apps "
-                "+ OS.");
-    return 0;
+    io.table("os_codesign", table,
+             "Applications co-analyzed with the minios kernel "
+             "(union of toggleable gates).\nPaper: 37% unused worst "
+             "case per app (49% avg); 27% unused with all 15 apps "
+             "+ OS.");
+    return io.finish();
 }

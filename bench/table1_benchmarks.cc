@@ -16,8 +16,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
-    int inputs = quick ? 2 : 6;
+    BenchIO io(argc, argv, "table1_benchmarks");
+    int inputs = io.quick() ? 2 : 6;
 
     banner("Benchmark suite and execution lengths", "Table 1");
 
@@ -64,9 +64,10 @@ main(int argc, char **argv)
     for (const Workload &w : extraWorkloads())
         report(w);
 
-    table.print("Paper Table 1 reports 210-1,167,298 cycles across "
-                "the suite; our kernels use\nsmaller data sets (the "
-                "symbolic analysis is exact regardless of input "
-                "size).");
-    return 0;
+    io.table("benchmarks", table,
+             "Paper Table 1 reports 210-1,167,298 cycles across "
+             "the suite; our kernels use\nsmaller data sets (the "
+             "symbolic analysis is exact regardless of input "
+             "size).");
+    return io.finish();
 }

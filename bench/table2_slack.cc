@@ -16,13 +16,13 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "table2_slack");
 
     banner("Exploiting timing slack exposed by gate cutting",
            "Table 2");
 
     FlowOptions opts;
-    if (quick)
+    if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
 
@@ -63,10 +63,12 @@ main(int argc, char **argv)
         .add("")
         .add(sum_total / n, 1)
         .add("");
-    table.print("Slack exploitation via voltage scaling "
-                "(alpha-power-law delay model, PVT margin applied).\n"
-                "Paper: slack 17.9-45.7%, Vmin 0.60-0.92 V, total "
-                "power savings 50-91.5% (65% avg),\nor alternatively "
-                "+13% average frequency.");
-    return 0;
+    io.metric("clock_period_ps", flow.clockPeriodPs());
+    io.table("slack", table,
+             "Slack exploitation via voltage scaling "
+             "(alpha-power-law delay model, PVT margin applied).\n"
+             "Paper: slack 17.9-45.7%, Vmin 0.60-0.92 V, total "
+             "power savings 50-91.5% (65% avg),\nor alternatively "
+             "+13% average frequency.");
+    return io.finish();
 }

@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "table4_5_mutants");
+    bool quick = io.quick();
 
     banner("Mutant generation and bespoke support for in-field fixes",
            "Tables 4 and 5");
@@ -81,11 +82,13 @@ main(int argc, char **argv)
             .add(tot_ana);
     }
 
-    t4.print("Table 4: mutants by type (Type I: conditional-operator; "
+    io.table("mutant_counts", t4,
+             "Table 4: mutants by type (Type I: conditional-operator; "
              "Type II: computation-operator;\nType III: loop-condition "
              "operator). Paper totals: 15-83 per benchmark.");
-    t5.print("Table 5: mutants supported by the ORIGINAL application's "
+    io.table("mutant_support", t5,
+             "Table 5: mutants supported by the ORIGINAL application's "
              "bespoke design without any\nhardware change. Paper: "
              "25-100% per type, 70% of all mutants overall.");
-    return 0;
+    return io.finish();
 }

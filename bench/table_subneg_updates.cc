@@ -17,7 +17,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool quick = quickMode(argc, argv);
+    BenchIO io(argc, argv, "table_subneg_updates");
+    bool quick = io.quick();
 
     banner("Turing-complete (subneg) update support overheads",
            "Section 5.3 / Figure 9");
@@ -74,14 +75,15 @@ main(int argc, char **argv)
         .add(sum_povh / n, 1)
         .add(sum_as / n, 1)
         .add(sum_ps / n, 1);
-    table.print("subneg-enhanced bespoke processors (co-analysis of "
-                "the app with a subneg\ninterpreter whose program "
-                "lives in all-X RAM). Paper: avg overhead 8% area /\n"
-                "10% power; savings remain 56% area / 43% power.\n"
-                "NOTE: the paper co-analyzes a minimal X-encoded "
-                "subneg instruction pattern; our\nROM is concrete, so "
-                "we co-analyze a full subneg *interpreter* (stronger\n"
-                "guarantee: updates load into RAM without reflashing), "
-                "which costs more gates.");
-    return 0;
+    io.table("subneg_updates", table,
+             "subneg-enhanced bespoke processors (co-analysis of "
+             "the app with a subneg\ninterpreter whose program "
+             "lives in all-X RAM). Paper: avg overhead 8% area /\n"
+             "10% power; savings remain 56% area / 43% power.\n"
+             "NOTE: the paper co-analyzes a minimal X-encoded "
+             "subneg instruction pattern; our\nROM is concrete, so "
+             "we co-analyze a full subneg *interpreter* (stronger\n"
+             "guarantee: updates load into RAM without reflashing), "
+             "which costs more gates.");
+    return io.finish();
 }

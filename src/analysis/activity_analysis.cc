@@ -93,7 +93,7 @@ class AnalysisEngine
     AnalysisEngine(const Netlist &netlist, const AsmProgram &prog,
                    const AnalysisOptions &opts)
         : nl_(netlist), prog_(prog), opts_(opts),
-          soc_(netlist, prog, /*ram_unknown=*/true),
+          soc_(netlist, prog, /*ram_unknown=*/true, opts.simMode),
           haltAddrs_(haltAddresses(prog))
     {
     }

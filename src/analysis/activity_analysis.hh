@@ -60,6 +60,8 @@ struct AnalysisOptions
     uint64_t maxPaths = 200'000;
     /** Drive the external IRQ line with X (paper footnote 1). */
     bool irqLineUnknown = true;
+    /** Gate evaluator strategy for the exploration Soc. */
+    GateSim::EvalMode simMode = GateSim::defaultMode();
 };
 
 struct AnalysisResult

@@ -393,6 +393,27 @@ NetBuilder::muxTree(const Bus &sel, const std::vector<Bus> &choices)
 }
 
 Bus
+NetBuilder::muxTree(const Bus &sel, const std::vector<Bus> &choices,
+                    const Bus &dflt)
+{
+    bespoke_assert(!sel.empty() && !choices.empty());
+    bespoke_assert(sel.size() < 32,
+                   "default-choice muxTree select too wide");
+    size_t slots = 1ull << sel.size();
+    bespoke_assert(choices.size() <= slots, choices.size(),
+                   " choices need more than ", sel.size(),
+                   " select bits");
+    bespoke_assert(dflt.size() == choices[0].size(),
+                   "muxTree default width mismatch");
+    // Padding to a full power of two makes every out-of-range select
+    // value hit the default; the pass-through tail rule in the
+    // no-default overload never applies to a full tree.
+    std::vector<Bus> padded = choices;
+    padded.resize(slots, dflt);
+    return muxTree(sel, padded);
+}
+
+Bus
 NetBuilder::decoder(const Bus &sel)
 {
     bespoke_assert(!sel.empty() && sel.size() < 16);

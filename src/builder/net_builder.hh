@@ -160,6 +160,12 @@ class NetBuilder
      * (unspecified which — callers must not rely on it).
      */
     Bus muxTree(const Bus &sel, const std::vector<Bus> &choices);
+    /**
+     * As above, but every select value >= choices.size() yields
+     * `dflt` (the choice list is padded with it up to 2^sel.size()).
+     */
+    Bus muxTree(const Bus &sel, const std::vector<Bus> &choices,
+                const Bus &dflt);
     /** Binary -> one-hot: 2^sel.size() outputs. */
     Bus decoder(const Bus &sel);
     /** Logical/funnel shift right by one; msbIn fills the top bit. */

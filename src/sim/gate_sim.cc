@@ -1,15 +1,87 @@
 #include "src/sim/gate_sim.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/util/logging.hh"
 
 namespace bespoke
 {
 
-GateSim::GateSim(const Netlist &netlist)
-    : nl_(netlist), order_(netlist.levelize()),
-      seqIds_(netlist.sequentialIds()),
-      val_(netlist.size(), static_cast<uint8_t>(Logic::X))
+GateSim::EvalMode
+GateSim::defaultMode()
 {
+    const char *env = std::getenv("BESPOKE_FULL_EVAL");
+    return (env && env[0] == '1') ? EvalMode::FullEval
+                                  : EvalMode::EventDriven;
+}
+
+GateSim::GateSim(const Netlist &netlist, EvalMode mode)
+    : nl_(netlist), mode_(mode), order_(netlist.levelize()),
+      seqIds_(netlist.sequentialIds()),
+      val_(netlist.size(), static_cast<uint8_t>(Logic::X)),
+      forced_(netlist.size(), 0)
+{
+    if (mode_ == EvalMode::FullEval)
+        return;
+
+    const std::vector<Gate> &gates = nl_.gates();
+    size_t n = nl_.size();
+    isComb_.assign(n, 0);
+    for (GateId id : order_)
+        isComb_[id] = 1;
+
+    // Topological levels: sources (INPUT/TIE/DFF/DFFE) are level 0,
+    // a combinational gate is one past its deepest combinational fanin.
+    level_.assign(n, 0);
+    uint32_t max_level = 0;
+    for (GateId id : order_) {
+        const Gate &g = gates[id];
+        uint32_t lvl = 0;
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            lvl = std::max(lvl, level_[g.in[p]]);
+        level_[id] = lvl + 1;
+        max_level = std::max(max_level, lvl + 1);
+    }
+    buckets_.resize(max_level + 1);
+
+    // CSR fanout lists restricted to combinational consumers; source
+    // cells re-read their fanins only at latch time and need no events.
+    foHead_.assign(n + 1, 0);
+    for (GateId id : order_) {
+        const Gate &g = gates[id];
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            foHead_[g.in[p] + 1]++;
+    }
+    for (size_t i = 0; i < n; i++)
+        foHead_[i + 1] += foHead_[i];
+    foData_.resize(foHead_[n]);
+    std::vector<uint32_t> cursor(foHead_.begin(), foHead_.end() - 1);
+    for (GateId id : order_) {
+        const Gate &g = gates[id];
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            foData_[cursor[g.in[p]]++] = id;
+    }
+    queued_.assign(n, 0);
+}
+
+void
+GateSim::markDirty(GateId id)
+{
+    if (!isComb_[id] || queued_[id])
+        return;
+    queued_[id] = 1;
+    buckets_[level_[id]].push_back(id);
+}
+
+void
+GateSim::markFanoutsDirty(GateId id)
+{
+    for (uint32_t i = foHead_[id]; i < foHead_[id + 1]; i++)
+        markDirty(foData_[i]);
 }
 
 void
@@ -32,6 +104,11 @@ GateSim::reset()
             logicOf(nl_.gate(id).resetValue));
     }
     clearForces();
+    if (mode_ == EvalMode::EventDriven) {
+        // Every combinational value is stale; the next evalComb() runs
+        // one full topological pass and drains any queued leftovers.
+        fullPassPending_ = true;
+    }
 }
 
 void
@@ -39,7 +116,12 @@ GateSim::setInput(GateId id, Logic v)
 {
     bespoke_assert(nl_.gate(id).type == CellType::INPUT,
                    "setInput on non-input gate ", id);
-    val_[id] = static_cast<uint8_t>(v);
+    uint8_t nv = static_cast<uint8_t>(v);
+    if (val_[id] == nv)
+        return;
+    val_[id] = nv;
+    if (mode_ == EvalMode::EventDriven)
+        markFanoutsDirty(id);
 }
 
 void
@@ -61,7 +143,7 @@ GateSim::busWord(const std::vector<GateId> &bus_ids) const
 }
 
 void
-GateSim::evalComb()
+GateSim::evalCombFull()
 {
     const std::vector<Gate> &gates = nl_.gates();
     Logic in[3];
@@ -75,6 +157,61 @@ GateSim::evalComb()
             out = static_cast<Logic>(forced_[id] - 1);
         val_[id] = static_cast<uint8_t>(out);
     }
+    gatesEvaluated_ = order_.size();
+}
+
+void
+GateSim::evalCombEvent()
+{
+    if (fullPassPending_) {
+        evalCombFull();
+        for (std::vector<GateId> &bucket : buckets_) {
+            for (GateId id : bucket)
+                queued_[id] = 0;
+            bucket.clear();
+        }
+        fullPassPending_ = false;
+        return;
+    }
+
+    const std::vector<Gate> &gates = nl_.gates();
+    Logic in[3];
+    uint64_t evaluated = 0;
+    for (std::vector<GateId> &bucket : buckets_) {
+        // markFanoutsDirty() only appends to strictly higher levels
+        // (consumers sit at least one level above their producer), so
+        // this bucket is complete when the sweep reaches it.
+        for (GateId id : bucket) {
+            queued_[id] = 0;
+            Logic out;
+            if (anyForce_ && forced_[id]) {
+                out = static_cast<Logic>(forced_[id] - 1);
+            } else {
+                const Gate &g = gates[id];
+                int n = g.numInputs();
+                for (int p = 0; p < n; p++)
+                    in[p] = static_cast<Logic>(val_[g.in[p]]);
+                out = evalCell(g.type, in);
+            }
+            evaluated++;
+            uint8_t nv = static_cast<uint8_t>(out);
+            if (val_[id] != nv) {
+                val_[id] = nv;
+                markFanoutsDirty(id);
+            }
+        }
+        bucket.clear();
+    }
+    gatesEvaluated_ = evaluated;
+}
+
+void
+GateSim::evalComb()
+{
+    if (mode_ == EvalMode::FullEval)
+        evalCombFull();
+    else
+        evalCombEvent();
 }
 
 void
@@ -99,25 +236,45 @@ GateSim::latchSequential()
         }
         next[i] = static_cast<uint8_t>(out);
     }
-    for (size_t i = 0; i < seqIds_.size(); i++)
-        val_[seqIds_[i]] = next[i];
+    bool event = mode_ == EvalMode::EventDriven;
+    for (size_t i = 0; i < seqIds_.size(); i++) {
+        GateId id = seqIds_[i];
+        if (val_[id] == next[i])
+            continue;
+        val_[id] = next[i];
+        if (event)
+            markFanoutsDirty(id);
+    }
 }
 
 void
 GateSim::force(GateId id, Logic v)
 {
     bespoke_assert(v != Logic::X, "cannot force X");
-    if (forced_.empty())
-        forced_.resize(nl_.size(), 0);
-    forced_[id] = static_cast<uint8_t>(v) + 1;
+    uint8_t coded = static_cast<uint8_t>(v) + 1;
+    if (forced_[id] == coded)
+        return;
+    if (forced_[id] == 0)
+        forcedIds_.push_back(id);
+    forced_[id] = coded;
     anyForce_ = true;
+    if (mode_ == EvalMode::EventDriven)
+        markDirty(id);
 }
 
 void
 GateSim::clearForces()
 {
-    if (anyForce_)
-        std::fill(forced_.begin(), forced_.end(), 0);
+    bool event = mode_ == EvalMode::EventDriven;
+    for (GateId id : forcedIds_) {
+        forced_[id] = 0;
+        // The gate's output reverts to its combinational function on
+        // the next evalComb(); re-evaluate it even though no fanin
+        // changed.
+        if (event)
+            markDirty(id);
+    }
+    forcedIds_.clear();
     anyForce_ = false;
 }
 
@@ -134,8 +291,15 @@ void
 GateSim::restoreSeqState(const SeqState &s)
 {
     bespoke_assert(s.size() == seqIds_.size());
-    for (size_t i = 0; i < seqIds_.size(); i++)
-        val_[seqIds_[i]] = s[i];
+    bool event = mode_ == EvalMode::EventDriven;
+    for (size_t i = 0; i < seqIds_.size(); i++) {
+        GateId id = seqIds_[i];
+        if (val_[id] == s[i])
+            continue;
+        val_[id] = s[i];
+        if (event)
+            markFanoutsDirty(id);
+    }
 }
 
 ActivityTracker::ActivityTracker(const Netlist &netlist)

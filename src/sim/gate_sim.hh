@@ -4,13 +4,27 @@
  *
  * Evaluation model: one implicit global clock. Each cycle,
  *   1. the environment drives primary inputs (setInput),
- *   2. evalComb() evaluates all combinational gates in topological order,
+ *   2. evalComb() evaluates combinational gates,
  *   3. the environment samples outputs (memory models, trackers),
  *   4. latchSequential() updates every DFF/DFFE from its D/EN values.
  *
  * Values are Kleene 0/1/X. The simulator supports *forcing* a net to a
  * concrete value for one evaluation, which the activity analysis uses to
  * fork the execution tree when a control decision is X (paper Sec. 3.1).
+ *
+ * Two evaluation strategies produce bit-identical values:
+ *
+ *  - EventDriven (default): per-net fanout lists plus a dirty set held
+ *    in per-topological-level buckets. Value changes at sources (primary
+ *    inputs, flop outputs at latch time, state restores) and force() /
+ *    clearForces() calls seed the dirty set; evalComb() re-evaluates
+ *    only gates whose fanins changed, sweeping buckets in ascending
+ *    level order so every gate is visited at most once per eval.
+ *  - FullEval: the original re-evaluate-everything-in-topological-order
+ *    loop. Kept as a cross-check oracle and escape hatch; select it
+ *    with the constructor flag or by setting BESPOKE_FULL_EVAL=1 in the
+ *    environment (which flips the default for every simulator in the
+ *    process, including the ones inside Soc and the activity analysis).
  *
  * Toggle semantics follow the paper: a gate "toggles" if its stable
  * per-cycle output ever differs from its reset-time value or ever
@@ -35,9 +49,20 @@ using SeqState = std::vector<uint8_t>;
 class GateSim
 {
   public:
-    explicit GateSim(const Netlist &netlist);
+    enum class EvalMode : uint8_t
+    {
+        EventDriven,  ///< re-evaluate only gates with changed fanins
+        FullEval,     ///< re-evaluate every gate each evalComb()
+    };
+
+    /** EventDriven unless BESPOKE_FULL_EVAL=1 is set in the environment. */
+    static EvalMode defaultMode();
+
+    explicit GateSim(const Netlist &netlist,
+                     EvalMode mode = defaultMode());
 
     const Netlist &netlist() const { return nl_; }
+    EvalMode mode() const { return mode_; }
 
     /** Reset all flops to their reset values and all inputs to X. */
     void reset();
@@ -79,13 +104,35 @@ class GateSim
     /** Raw value array (one Logic per gate), for trackers. */
     const std::vector<uint8_t> &values() const { return val_; }
 
+    /** Gates evaluated by the last evalComb() (perf introspection). */
+    uint64_t gatesEvaluated() const { return gatesEvaluated_; }
+
   private:
+    void evalCombFull();
+    void evalCombEvent();
+    /** Queue a combinational gate for re-evaluation (dedup'd). */
+    void markDirty(GateId id);
+    /** Queue all combinational consumers of a changed net. */
+    void markFanoutsDirty(GateId id);
+
     const Netlist &nl_;
+    EvalMode mode_;
     std::vector<GateId> order_;    ///< combinational topological order
     std::vector<GateId> seqIds_;
     std::vector<uint8_t> val_;     ///< Logic per gate output
     std::vector<uint8_t> forced_;  ///< 0 = none, else Logic value + 1
+    std::vector<GateId> forcedIds_;  ///< gates with forced_ set
     bool anyForce_ = false;
+
+    // Event-driven machinery (unused in FullEval mode).
+    std::vector<uint32_t> level_;   ///< topological level per comb gate
+    std::vector<uint8_t> isComb_;   ///< 1 if the gate appears in order_
+    std::vector<uint32_t> foHead_;  ///< CSR index into foData_ (size n+1)
+    std::vector<GateId> foData_;    ///< combinational consumers per net
+    std::vector<std::vector<GateId>> buckets_;  ///< dirty set per level
+    std::vector<uint8_t> queued_;   ///< dirty-set membership flag
+    bool fullPassPending_ = true;   ///< first eval after reset is full
+    uint64_t gatesEvaluated_ = 0;
 };
 
 /**

@@ -32,8 +32,10 @@ EnvState::substateOf(const EnvState &c) const
     return true;
 }
 
-Soc::Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown)
-    : nl_(netlist), prog_(prog), sim_(netlist), ramUnknown_(ram_unknown)
+Soc::Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown,
+         GateSim::EvalMode sim_mode)
+    : nl_(netlist), prog_(prog), sim_(netlist, sim_mode),
+      ramUnknown_(ram_unknown)
 {
     pMemRdata_ = nl_.bus("mem_rdata", 16);
     pGpioIn_ = nl_.bus("gpio_in", 16);

@@ -49,8 +49,11 @@ class Soc
      *                  must exist (see bsp430.hh)
      * @param prog      program ROM image
      * @param ram_unknown start RAM at X (symbolic) instead of 0
+     * @param sim_mode  gate evaluator strategy (event-driven unless
+     *                  BESPOKE_FULL_EVAL=1 is set)
      */
-    Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown);
+    Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown,
+        GateSim::EvalMode sim_mode = GateSim::defaultMode());
 
     GateSim &sim() { return sim_; }
     const GateSim &sim() const { return sim_; }

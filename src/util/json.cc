@@ -1,0 +1,507 @@
+#include "src/util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    bespoke_assert(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    bespoke_assert(kind_ == Kind::Number, "JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    bespoke_assert(kind_ == Kind::String, "JSON value is not a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    bespoke_assert(kind_ == Kind::Array, "JSON value is not an array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    bespoke_assert(kind_ == Kind::Object, "JSON value is not an object");
+    return obj_;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    bespoke_assert(kind_ == Kind::Array, "push on non-array JSON value");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    bespoke_assert(kind_ == Kind::Object, "set on non-object JSON value");
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double v)
+{
+    bespoke_assert(std::isfinite(v), "cannot serialize non-finite JSON "
+                   "number");
+    // Integers print without an exponent/fraction; everything else uses
+    // %.17g so parse(dump(x)) round-trips exactly.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 1e15) {
+        out += std::to_string(static_cast<long long>(v));
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent) * d, ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        formatNumber(out, num_);
+        break;
+      case Kind::String:
+        escapeString(out, str_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escapeString(out, obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool
+    run(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            err = err_ + " at byte " + std::to_string(pos_);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            err = "trailing characters at byte " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            pos_++;
+        }
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err_.empty())
+            err_ = msg;
+        return false;
+    }
+
+    bool
+    literal(const char *word, JsonValue v, JsonValue &out)
+    {
+        size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            return literal("null", JsonValue(), out);
+          case 't':
+            return literal("true", JsonValue::boolean(true), out);
+          case 'f':
+            return literal("false", JsonValue::boolean(false), out);
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = JsonValue::str(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &s)
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        pos_++;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                s += e;
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // not needed by any baseline producer).
+                if (cp < 0x80) {
+                    s += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    s += static_cast<char>(0xc0 | (cp >> 6));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    s += static_cast<char>(0xe0 | (cp >> 12));
+                    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    s += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            pos_++;
+        }
+        if (pos_ == start)
+            return fail("expected value");
+        std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return fail("malformed number '" + tok + "'");
+        out = JsonValue::number(v);
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        pos_++;  // consume '['
+        out = JsonValue::array();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            skipWs();
+            if (!parseValue(elem))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        pos_++;  // consume '{'
+        out = JsonValue::object();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':' after object key");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.set(key, std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string &err)
+{
+    return Parser(text).run(out, err);
+}
+
+} // namespace bespoke

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal JSON document model, writer, and recursive-descent parser.
+ *
+ * Exists for the golden bench baselines (bench/baselines/*.json): the
+ * bench harnesses emit machine-readable results with dump() and the
+ * --check mode re-reads committed baselines with parse(). Object member
+ * order is preserved so dumps are deterministic and diffs are stable.
+ * Supports the full JSON value grammar; numbers are doubles (all bench
+ * metrics fit), strings are byte strings with standard escapes.
+ */
+
+#ifndef BESPOKE_UTIL_JSON_HH
+#define BESPOKE_UTIL_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bespoke
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements (fatal if not an array). */
+    const std::vector<JsonValue> &items() const;
+    /** Object members in insertion order (fatal if not an object). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Append to an array. */
+    JsonValue &push(JsonValue v);
+    /** Insert/overwrite an object member; returns *this for chaining. */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Serialize. indent > 0 pretty-prints with that many spaces per
+     * nesting level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON text. Returns false and fills `err` with a
+     * message including the byte offset on malformed input.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string &err);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_UTIL_JSON_HH

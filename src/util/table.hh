@@ -37,6 +37,15 @@ class Table
     /** Render and write to stdout. */
     void print(const std::string &title = "") const;
 
+    /** @name Raw cell access (bench baseline JSON emission) */
+    /// @{
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+    /// @}
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -297,6 +297,80 @@ TEST(Builder, MuxTreeThreeChoices)
     }
 }
 
+TEST_P(BuilderSweep, MuxTreeDefaultOutOfRange)
+{
+    // 5 choices under a 3-bit select with an explicit default: selects
+    // 5..7 must yield the default bus, 0..4 the matching choice.
+    CombHarness h;
+    Bus sel = h.in("sel", 3);
+    std::vector<Bus> choices;
+    for (int i = 0; i < 5; i++)
+        choices.push_back(h.in("c" + std::to_string(i), 16));
+    Bus dflt = h.in("dflt", 16);
+    h.out("out", h.b().muxTree(sel, choices, dflt));
+
+    Rng rng(GetParam() + 8000);
+    for (int t = 0; t < 40; t++) {
+        std::vector<uint16_t> vals = {
+            static_cast<uint16_t>(rng.below(8))};
+        for (int i = 0; i < 6; i++)
+            vals.push_back(rng.word());
+        h.eval(vals);
+        uint16_t want = vals[0] < 5 ? vals[1 + vals[0]] : vals[6];
+        EXPECT_EQ(h.word("out"), want) << "sel=" << vals[0];
+    }
+}
+
+TEST(Builder, MuxTreeDefaultNonPowerOfTwoWidths)
+{
+    // Every (choice count, select width) shape up to 4 select bits,
+    // exercising both the padded tail and full trees.
+    for (size_t sel_bits = 1; sel_bits <= 4; sel_bits++) {
+        size_t slots = 1ull << sel_bits;
+        for (size_t n = 1; n <= slots; n++) {
+            CombHarness h;
+            Bus sel = h.in("sel", static_cast<int>(sel_bits));
+            std::vector<Bus> choices;
+            for (size_t i = 0; i < n; i++)
+                choices.push_back(
+                    h.in("c" + std::to_string(i), 16));
+            Bus dflt = h.in("dflt", 16);
+            h.out("out", h.b().muxTree(sel, choices, dflt));
+            for (size_t v = 0; v < slots; v++) {
+                std::vector<uint16_t> vals = {
+                    static_cast<uint16_t>(v)};
+                for (size_t i = 0; i < n; i++)
+                    vals.push_back(
+                        static_cast<uint16_t>(0x111 * (i + 1)));
+                vals.push_back(0xBEEF);
+                h.eval(vals);
+                uint16_t want = v < n
+                                    ? static_cast<uint16_t>(
+                                          0x111 * (v + 1))
+                                    : 0xBEEF;
+                EXPECT_EQ(h.word("out"), want)
+                    << "sel_bits=" << sel_bits << " n=" << n
+                    << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST(Builder, MuxTreeDefaultSingleChoice)
+{
+    // Degenerate 1-choice tree: select 0 hits the choice, everything
+    // else the default.
+    CombHarness h;
+    Bus sel = h.in("sel", 2);
+    Bus c0 = h.in("c0", 16);
+    Bus dflt = h.in("dflt", 16);
+    h.out("out", h.b().muxTree(sel, {c0}, dflt));
+    for (uint16_t v = 0; v < 4; v++) {
+        h.eval({v, 0xABCD, 0x5555});
+        EXPECT_EQ(h.word("out"), v == 0 ? 0xABCD : 0x5555);
+    }
+}
+
 TEST(Builder, IncrementerWraparound)
 {
     CombHarness h;
