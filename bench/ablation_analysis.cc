@@ -50,6 +50,7 @@ main(int argc, char **argv)
             const Workload &w = workloadByName(name);
             for (int visits : {4, 16, 64, 256}) {
                 AnalysisOptions opts;
+                opts.threads = io.threads();
                 opts.concreteVisits = visits;
                 AnalysisResult r =
                     analyzeActivity(baseline, w, opts);
@@ -79,6 +80,7 @@ main(int argc, char **argv)
                  "resynth extra %", "power: no resize uW",
                  "+ resize uW"});
         FlowOptions fopts;
+        fopts.analysis.threads = io.threads();
         fopts.powerInputsPerWorkload = 1;
         BespokeFlow flow(fopts);
         std::vector<const char *> names =

@@ -10,6 +10,10 @@
  *   --check [PATH]   diff results against a golden baseline JSON and
  *                    exit nonzero on mismatch; without PATH the file is
  *                    $BESPOKE_BASELINE_DIR/<bench>.<mode>.json
+ *   --threads N      activity-analysis worker threads (0 = all cores;
+ *                    default 1). Table values are thread-count
+ *                    independent, so baselines recorded at --threads 1
+ *                    stay valid.
  *
  * Table values are compared exactly (they are deterministic); wall
  * clock is compared against a tolerance band (current must stay below
@@ -109,8 +113,20 @@ class BenchIO
                 checkMode_ = true;
                 continue;
             }
+            std::string tval;
+            if (take_path("--threads", tval)) {
+                char *end = nullptr;
+                long v = tval == kAutoPath
+                             ? -1
+                             : std::strtol(tval.c_str(), &end, 10);
+                if (v < 0 || (end && *end != '\0'))
+                    die("--threads needs a non-negative integer");
+                threads_ = static_cast<int>(v);
+                continue;
+            }
             die("unknown bench flag '" + arg +
-                "' (expected --quick, --json PATH, --check [PATH])");
+                "' (expected --quick, --json PATH, --check [PATH], "
+                "--threads N)");
         }
         if (checkMode_ && checkPath_ == kAutoPath) {
             const char *dir = std::getenv("BESPOKE_BASELINE_DIR");
@@ -125,6 +141,8 @@ class BenchIO
 
     bool quick() const { return quick_; }
     const std::string &name() const { return name_; }
+    /** --threads value for AnalysisOptions::threads (default 1). */
+    int threads() const { return threads_; }
 
     /**
      * Print a table and record it under `key`. Columns listed in
@@ -356,6 +374,7 @@ class BenchIO
 
     std::string name_;
     bool quick_;
+    int threads_ = 1;
     bool checkMode_ = false;
     bool ok_ = true;
     std::string jsonPath_, checkPath_;

@@ -60,10 +60,12 @@ main(int argc, char **argv)
                                       "tea8", "convEn", "dbg"};
     if (quick)
         names.resize(2);
+    AnalysisOptions aopts;
+    aopts.threads = io.threads();
     for (const std::string &name : names) {
         const Workload &w = workloadByName(name);
-        AnalysisResult rb = analyzeActivity(base.netlist, w);
-        AnalysisResult re = analyzeActivity(ext.netlist, w);
+        AnalysisResult rb = analyzeActivity(base.netlist, w, aopts);
+        AnalysisResult re = analyzeActivity(ext.netlist, w, aopts);
         Netlist db = cutAndStitch(base.netlist, *rb.activity);
         Netlist de = cutAndStitch(ext.netlist, *re.activity);
         table.row()
@@ -83,7 +85,7 @@ main(int argc, char **argv)
     // The peripheral-using apps, for contrast.
     for (const char *name : {"uartTx", "timerTick"}) {
         const Workload &w = workloadByName(name);
-        AnalysisResult re = analyzeActivity(ext.netlist, w);
+        AnalysisResult re = analyzeActivity(ext.netlist, w, aopts);
         Netlist de = cutAndStitch(ext.netlist, *re.activity);
         table.row()
             .add(w.name)

@@ -21,8 +21,12 @@ comparePair(BenchIO &io, const std::string &key, const Netlist &nl,
             const std::string &name_a, const std::string &name_b,
             const char *figure)
 {
-    AnalysisResult ra = analyzeActivity(nl, workloadByName(name_a));
-    AnalysisResult rb = analyzeActivity(nl, workloadByName(name_b));
+    AnalysisOptions aopts;
+    aopts.threads = io.threads();
+    AnalysisResult ra =
+        analyzeActivity(nl, workloadByName(name_a), aopts);
+    AnalysisResult rb =
+        analyzeActivity(nl, workloadByName(name_b), aopts);
 
     size_t common = 0, only_a = 0, only_b = 0;
     size_t common_m[kNumModules] = {}, a_m[kNumModules] = {},

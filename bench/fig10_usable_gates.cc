@@ -48,8 +48,10 @@ main(int argc, char **argv)
                   1);
     }
 
+    AnalysisOptions aopts;
+    aopts.threads = io.threads();
     for (const Workload &w : workloads()) {
-        AnalysisResult r = analyzeActivity(nl, w);
+        AnalysisResult r = analyzeActivity(nl, w, aopts);
         if (!r.completed)
             bespoke_warn(w.name, ": analysis hit caps");
         size_t toggled_per_module[kNumModules] = {};

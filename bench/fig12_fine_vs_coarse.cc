@@ -21,6 +21,7 @@ main(int argc, char **argv)
            "Figure 12");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);

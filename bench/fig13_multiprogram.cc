@@ -26,6 +26,7 @@ main(int argc, char **argv)
     banner("Multi-program bespoke processors", "Figure 13");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
     const std::vector<Workload> &apps = workloads();

@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "Figure 14");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
 

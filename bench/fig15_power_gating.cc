@@ -23,6 +23,7 @@ main(int argc, char **argv)
            "Figure 15");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     opts.powerInputsPerWorkload = inputs;
     BespokeFlow flow(opts);
 

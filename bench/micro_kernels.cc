@@ -53,12 +53,17 @@ BM_ActivityAnalysis(benchmark::State &state)
 {
     const Workload &w = workloadByName("div");
     AsmProgram prog = w.assembleProgram();
+    AnalysisOptions opts;
+    opts.threads = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        AnalysisResult r = analyzeActivity(core(), prog);
+        AnalysisResult r = analyzeActivity(core(), prog, opts);
         benchmark::DoNotOptimize(r.untoggledCells());
     }
 }
-BENCHMARK(BM_ActivityAnalysis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ActivityAnalysis)
+    ->Arg(1)
+    ->Arg(0)  // 0 = one worker per hardware thread
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CutAndStitch(benchmark::State &state)

@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "Section 5.4");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     BespokeFlow flow(opts);
     const Netlist &nl = flow.baseline();
     double total = static_cast<double>(nl.numCells());

@@ -22,6 +22,7 @@ main(int argc, char **argv)
            "Table 2");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     banner("Verification runtime and coverage", "Table 3 / Sec. 5.1");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
 

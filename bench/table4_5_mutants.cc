@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "Tables 4 and 5");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     BespokeFlow flow(opts);
 
     // The paper's six mutant-rich benchmarks.

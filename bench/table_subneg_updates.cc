@@ -24,6 +24,7 @@ main(int argc, char **argv)
            "Section 5.3 / Figure 9");
 
     FlowOptions opts;
+    opts.analysis.threads = io.threads();
     if (quick)
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);

@@ -1,12 +1,12 @@
 #include "src/analysis/activity_analysis.hh"
 
+#include <algorithm>
 #include <chrono>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdlib>
 
+#include "src/analysis/path_explorer.hh"
 #include "src/util/logging.hh"
-#include "src/verify/runner.hh"
+#include "src/util/worker_pool.hh"
 
 namespace bespoke
 {
@@ -68,398 +68,86 @@ MachineState::hash() const
     return h;
 }
 
-namespace
+int
+resolveAnalysisThreads(const AnalysisOptions &opts)
 {
-
-/** Decision kinds, part of the conservative-table key. */
-enum class DecKind : uint8_t
-{
-    Branch = 0,
-    Irq0,
-    Irq1,
-    CtlXfer,
-};
-
-uint32_t
-tableKey(uint16_t pc, DecKind kind)
-{
-    return (static_cast<uint32_t>(pc) << 2) |
-           static_cast<uint32_t>(kind);
-}
-
-class AnalysisEngine
-{
-  public:
-    AnalysisEngine(const Netlist &netlist, const AsmProgram &prog,
-                   const AnalysisOptions &opts)
-        : nl_(netlist), prog_(prog), opts_(opts),
-          soc_(netlist, prog, /*ram_unknown=*/true, opts.simMode),
-          haltAddrs_(haltAddresses(prog))
-    {
-    }
-
-    AnalysisResult
-    run()
-    {
-        auto t0 = std::chrono::steady_clock::now();
-        AnalysisResult res;
-        res.activity = std::make_unique<ActivityTracker>(nl_);
-
-        soc_.setGpioIn(SWord::allX());
-        soc_.setIrqExt(opts_.irqLineUnknown ? Logic::X : Logic::Zero);
-        soc_.reset();
-        res.activity->captureInitial(soc_.sim());
-
-        MachineState init = capture();
-        init.lastFetchPc = 0;
-        work_.push_back(init);
-
-        while (!work_.empty()) {
-            if (res.pathsExplored >= opts_.maxPaths ||
-                cycles_ >= opts_.maxTotalCycles) {
-                bespoke_warn("activity analysis hit exploration cap");
-                finish(res, t0, false);
-                return res;
-            }
-            MachineState s = std::move(work_.back());
-            work_.pop_back();
-            res.pathsExplored++;
-            runPath(std::move(s), *res.activity);
-        }
-        finish(res, t0, true);
-        return res;
-    }
-
-  private:
-    void
-    finish(AnalysisResult &res,
-           std::chrono::steady_clock::time_point t0, bool completed)
-    {
-        res.cyclesSimulated = cycles_;
-        res.merges = merges_;
-        res.forks = forks_;
-        res.completed = completed;
-        res.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    }
-
-    MachineState
-    capture() const
-    {
-        MachineState s;
-        s.seq = soc_.sim().seqState();
-        s.env = soc_.envState();
-        s.lastFetchPc = lastFetchPc_;
-        return s;
-    }
-
-    void
-    restore(const MachineState &s)
-    {
-        soc_.sim().restoreSeqState(s.seq);
-        soc_.restoreEnvState(s.env);
-        lastFetchPc_ = s.lastFetchPc;
-    }
-
-    bool
-    isHaltPc(uint16_t pc) const
-    {
-        for (uint16_t h : haltAddrs_) {
-            if (h == pc)
-                return true;
-        }
-        return false;
-    }
-
-    /**
-     * Consult/update the conservative table. Returns true if the path
-     * is subsumed (prune). May replace `cur` with a widened state (the
-     * caller must restore() it and re-evaluate).
-     */
-    bool
-    mergePoint(uint32_t key, MachineState &cur, bool &widened)
-    {
-        widened = false;
-        uint64_t h = cur.hash();
-        auto &seen = exactSeen_[key];
-        if (!seen.insert(h).second)
-            return true;  // exact state already explored here
-
-        int &visits = visitCount_[key];
-        visits++;
-        if (visits <= opts_.concreteVisits)
-            return false;  // still in the concrete-exploration budget
-
-        auto it = conservative_.find(key);
-        if (it == conservative_.end()) {
-            conservative_.emplace(key, cur);
-            return false;
-        }
-        if (cur.substateOf(it->second))
-            return true;
-        merges_++;
-        it->second = MachineState::merge(it->second, cur);
-        cur = it->second;
-        widened = true;
-        return false;
-    }
-
-    /** First decision net that is X after evaluation, if any. */
-    struct XDec
-    {
-        GateId net;
-        DecKind kind;
-    };
-
-    std::optional<XDec>
-    firstXDecision() const
-    {
-        if (soc_.decIrq0() == Logic::X)
-            return XDec{soc_.decIrq0Net(), DecKind::Irq0};
-        if (soc_.decIrq1() == Logic::X)
-            return XDec{soc_.decIrq1Net(), DecKind::Irq1};
-        if (soc_.decBranch() == Logic::X)
-            return XDec{soc_.decBranchNet(), DecKind::Branch};
-        return std::nullopt;
-    }
-
-    /**
-     * Resolve X decisions for the current (already evaluated) cycle.
-     * Returns false if the whole path was pruned at a merge point;
-     * returns true with `forked` set if continuations were pushed.
-     */
-    bool
-    resolveDecisions(ActivityTracker &tracker, bool &forked)
-    {
-        forked = false;
-        auto d = firstXDecision();
-        if (!d)
-            return true;
-
-        // Merge-check at the fork point.
-        MachineState cur = capture();
-        bool widened;
-        if (mergePoint(tableKey(lastFetchPc_, d->kind), cur, widened))
-            return false;
-        if (widened) {
-            restore(cur);
-            soc_.evalOnly();
-            tracker.observe(soc_.sim());
-        }
-
-        // Fork: explore both decision values (recursively resolving
-        // any further X decisions under each forcing).
-        forks_++;
-        forked = true;
-        forkRec(tracker, cur, {});
-        return true;
-    }
-
-    /**
-     * Recursive forcing over the X decisions of this one cycle.
-     * Invariant: with `forces` applied, evaluation leaves at least one
-     * decision net at X.
-     */
-    void
-    forkRec(ActivityTracker &tracker, const MachineState &pre,
-            const std::vector<std::pair<GateId, Logic>> &forces)
-    {
-        for (Logic v : {Logic::Zero, Logic::One}) {
-            restore(pre);
-            soc_.sim().clearForces();
-            for (auto [g, val] : forces)
-                soc_.sim().force(g, val);
-            soc_.evalOnly();
-            auto d = firstXDecision();
-            bespoke_assert(d, "fork invariant violated");
-            soc_.sim().force(d->net, v);
-            soc_.evalOnly();
-            tracker.observe(soc_.sim());
-            if (firstXDecision()) {
-                std::vector<std::pair<GateId, Logic>> f = forces;
-                f.push_back({d->net, v});
-                soc_.sim().clearForces();
-                forkRec(tracker, pre, f);
-                continue;
-            }
-            // Decision complete: finish the cycle and enqueue the
-            // post-latch continuation state.
-            soc_.finishCycle();
-            cycles_++;
-            soc_.sim().clearForces();
-            work_.push_back(capture());
-        }
-    }
-
-    /**
-     * Fetch-time PC with X bits: fork one continuation per concrete
-     * candidate (known bits fixed, X bits enumerated), keeping only
-     * candidates that are instruction heads of the binary. Patching
-     * only the PC while the correlated state stays X is a sound
-     * over-approximation.
-     */
-    void
-    enumerateSymbolicPc(SWord pc)
-    {
-        // Locate the PC flops through the pc_out port (valid on
-        // original and transformed netlists alike).
-        if (pcSeqIndex_.empty()) {
-            const std::vector<GateId> &seq_ids = soc_.sim().seqIds();
-            std::vector<GateId> pc_bus = nl_.bus("pc_out", 16);
-            pcSeqIndex_.assign(16, -1);
-            for (int b = 0; b < 16; b++) {
-                GateId src = nl_.gate(pc_bus[b]).in[0];
-                for (size_t i = 0; i < seq_ids.size(); i++) {
-                    if (seq_ids[i] == src) {
-                        pcSeqIndex_[b] = static_cast<int>(i);
-                        break;
-                    }
-                }
-            }
-        }
-
-        int x_bits = 0;
-        for (int b = 0; b < 16; b++) {
-            if (pc.bit(b) == Logic::X) {
-                x_bits++;
-                bespoke_assert(pcSeqIndex_[b] >= 0,
-                               "X PC bit ", b,
-                               " is not a flop output; cannot "
-                               "enumerate");
-            }
-        }
-        MachineState base = capture();
-        auto push_candidate = [&](uint16_t cand) {
-            // Candidate must be a real instruction head.
-            if ((cand & 1) || !prog_.addrToLine.count(cand))
-                return;
-            MachineState s = base;
-            for (int b = 0; b < 16; b++) {
-                s.seq[pcSeqIndex_[b]] = static_cast<uint8_t>(
-                    (cand >> b) & 1 ? Logic::One : Logic::Zero);
-            }
-            s.lastFetchPc = cand;
-            work_.push_back(std::move(s));
-        };
-
-        if (x_bits <= 8) {
-            for (uint32_t combo = 0; combo < (1u << x_bits); combo++) {
-                uint16_t cand = pc.val;
-                int xi = 0;
-                for (int b = 0; b < 16; b++) {
-                    if (pc.bit(b) != Logic::X)
-                        continue;
-                    if (combo & (1u << xi))
-                        cand |= static_cast<uint16_t>(1u << b);
-                    xi++;
-                }
-                push_candidate(cand);
-            }
+    int threads = opts.threads;
+    if (const char *env = std::getenv("BESPOKE_ANALYSIS_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 0) {
+            threads = static_cast<int>(std::min(v, 4096l));
         } else {
-            // Wide X PC (e.g. a fully merged return address): every
-            // instruction head consistent with the known bits is a
-            // possible successor.
-            for (const auto &[addr, line] : prog_.addrToLine) {
-                if (((addr ^ pc.val) & pc.known) == 0)
-                    push_candidate(addr);
-            }
+            bespoke_warn("ignoring invalid BESPOKE_ANALYSIS_THREADS=",
+                         env);
         }
     }
-
-    void
-    runPath(MachineState start, ActivityTracker &tracker)
-    {
-        restore(start);
-        while (true) {
-            if (cycles_ >= opts_.maxTotalCycles)
-                return;
-            soc_.evalOnly();
-            tracker.observe(soc_.sim());
-
-            // Track instruction boundaries and halting.
-            if (soc_.stFetch() == Logic::One) {
-                SWord pc = soc_.pc();
-                if (!pc.fullyKnown()) {
-                    // Algorithm 1, line 29: enumerate the possible
-                    // concrete PCs (e.g. a merged return address on
-                    // the stack) and fork the tree per candidate.
-                    enumerateSymbolicPc(pc);
-                    return;
-                }
-                lastFetchPc_ = pc.val;
-                if (isHaltPc(pc.val)) {
-                    // Observe the steady halt loop, then end the path.
-                    for (int i = 0; i < 6; i++) {
-                        soc_.finishCycle();
-                        cycles_++;
-                        soc_.evalOnly();
-                        tracker.observe(soc_.sim());
-                    }
-                    return;
-                }
-            }
-
-            bool forked = false;
-            if (!resolveDecisions(tracker, forked))
-                return;  // pruned
-            if (forked)
-                return;  // continuations pushed
-
-            // Known control transfer: conservative-table discipline.
-            if (soc_.ctlXfer() == Logic::One) {
-                MachineState cur = capture();
-                bool widened;
-                if (mergePoint(tableKey(lastFetchPc_, DecKind::CtlXfer),
-                               cur, widened)) {
-                    return;
-                }
-                if (widened) {
-                    // Re-evaluate from the widened state; widening can
-                    // surface new X decisions this very cycle.
-                    restore(cur);
-                    soc_.evalOnly();
-                    tracker.observe(soc_.sim());
-                    bool forked2 = false;
-                    if (!resolveDecisions(tracker, forked2))
-                        return;
-                    if (forked2)
-                        return;
-                }
-            } else if (soc_.ctlXfer() == Logic::X) {
-                bespoke_fatal("ctl_xfer is X outside a decision fork");
-            }
-
-            soc_.finishCycle();
-            cycles_++;
-        }
-    }
-
-    const Netlist &nl_;
-    const AsmProgram &prog_;
-    AnalysisOptions opts_;
-    Soc soc_;
-    std::vector<uint16_t> haltAddrs_;
-    std::vector<MachineState> work_;
-    std::unordered_map<uint32_t, MachineState> conservative_;
-    std::unordered_map<uint32_t, int> visitCount_;
-    std::unordered_map<uint32_t, std::unordered_set<uint64_t>>
-        exactSeen_;
-    std::vector<int> pcSeqIndex_;
-    uint16_t lastFetchPc_ = 0;
-    uint64_t cycles_ = 0;
-    uint64_t merges_ = 0;
-    uint64_t forks_ = 0;
-};
-
-} // namespace
+    if (threads <= 0)
+        threads = WorkerPool::defaultThreadCount();
+    // More workers than this would only contend on the frontier.
+    return std::min(threads, 256);
+}
 
 AnalysisResult
 analyzeActivity(const Netlist &netlist, const AsmProgram &prog,
                 const AnalysisOptions &opts)
 {
-    AnalysisEngine engine(netlist, prog, opts);
-    return engine.run();
+    auto t0 = std::chrono::steady_clock::now();
+    const int threads = resolveAnalysisThreads(opts);
+
+    ExplorationContext ctx(netlist, prog, opts);
+    Frontier frontier(opts);
+
+    std::vector<std::unique_ptr<PathExplorer>> workers;
+    workers.reserve(threads);
+    for (int i = 0; i < threads; i++)
+        workers.push_back(
+            std::make_unique<PathExplorer>(ctx, frontier, i));
+    for (auto &w : workers)
+        w->prepare();
+
+    frontier.push(workers[0]->initialItem());
+    if (threads == 1) {
+        // Run inline: bit-identical to the historical serial engine,
+        // with no pool threads to perturb timing-sensitive callers.
+        workers[0]->run();
+    } else {
+        WorkerPool pool(threads);
+        pool.runPerWorker([&](int i) { workers[i]->run(); });
+    }
+
+    // Toggle observations are commutative ORs, so merging the
+    // per-worker trackers in any order yields the same result.
+    for (int i = 1; i < threads; i++)
+        workers[0]->tracker().mergeFrom(workers[i]->tracker());
+
+    AnalysisResult res;
+    res.activity = std::make_unique<ActivityTracker>(
+        std::move(workers[0]->tracker()));
+    res.pathsExplored = frontier.pathsExplored();
+    res.cyclesSimulated = frontier.cycles();
+    res.merges = frontier.merges();
+    res.completed = !frontier.capped();
+    res.threadsUsed = threads;
+    res.frontierPeak = frontier.frontierPeak();
+    res.maxForkDepth = frontier.maxForkDepth();
+    res.workerStats.reserve(threads);
+    for (auto &w : workers) {
+        res.forks += w->forks();
+        res.workerStats.push_back(
+            WorkerStats{w->pathsExplored(), w->cyclesSimulated()});
+    }
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    bespoke_inform("activity analysis: ", res.pathsExplored, " paths, ",
+                   res.cyclesSimulated, " cycles, ", res.forks,
+                   " forks, ", res.merges, " merges on ", threads,
+                   " thread(s) in ", res.seconds,
+                   " s (frontier peak ", res.frontierPeak,
+                   ", max fork depth ", res.maxForkDepth,
+                   res.completed ? ")" : ", CAPPED)");
+    return res;
 }
 
 AnalysisResult

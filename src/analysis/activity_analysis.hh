@@ -30,6 +30,7 @@
 #define BESPOKE_ANALYSIS_ACTIVITY_ANALYSIS_HH
 
 #include <memory>
+#include <vector>
 
 #include "src/sim/soc.hh"
 #include "src/workloads/workload.hh"
@@ -62,6 +63,28 @@ struct AnalysisOptions
     bool irqLineUnknown = true;
     /** Gate evaluator strategy for the exploration Soc. */
     GateSim::EvalMode simMode = GateSim::defaultMode();
+    /**
+     * Path-exploration worker threads. 1 (the default) reproduces the
+     * historical serial engine bit for bit; 0 means one worker per
+     * hardware thread. The BESPOKE_ANALYSIS_THREADS environment
+     * variable, when set, overrides this field process-wide (same
+     * spirit as BESPOKE_FULL_EVAL).
+     */
+    int threads = 1;
+};
+
+/**
+ * The worker count analyzeActivity() will actually use for `opts`:
+ * applies the BESPOKE_ANALYSIS_THREADS override, then resolves 0 to
+ * the hardware thread count.
+ */
+int resolveAnalysisThreads(const AnalysisOptions &opts);
+
+/** Per-worker share of one analysis, for load-balance observability. */
+struct WorkerStats
+{
+    uint64_t pathsExplored = 0;
+    uint64_t cyclesSimulated = 0;
 };
 
 struct AnalysisResult
@@ -75,6 +98,17 @@ struct AnalysisResult
     uint64_t forks = 0;
     bool completed = false;  ///< false if a cap was hit
     double seconds = 0.0;
+
+    /** @name Exploration observability */
+    /// @{
+    int threadsUsed = 1;
+    /** High-water mark of the pending-work frontier. */
+    uint64_t frontierPeak = 0;
+    /** Deepest fork nesting reached by any explored path. */
+    uint32_t maxForkDepth = 0;
+    /** One entry per worker; sums match the totals above. */
+    std::vector<WorkerStats> workerStats;
+    /// @}
 
     /** Untoggled real-cell count. */
     size_t untoggledCells() const

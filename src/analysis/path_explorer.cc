@@ -1,0 +1,319 @@
+#include "src/analysis/path_explorer.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+#include "src/verify/runner.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+/** Decision kinds, part of the conservative-table key. */
+enum class DecKind : uint8_t
+{
+    Branch = 0,
+    Irq0,
+    Irq1,
+    CtlXfer,
+};
+
+uint32_t
+tableKey(uint16_t pc, DecKind kind)
+{
+    return (static_cast<uint32_t>(pc) << 2) |
+           static_cast<uint32_t>(kind);
+}
+
+} // namespace
+
+ExplorationContext::ExplorationContext(const Netlist &netlist,
+                                       const AsmProgram &prog,
+                                       const AnalysisOptions &opts)
+    : soc(SocContext::make(netlist)), prog(prog), opts(opts),
+      haltAddrs(haltAddresses(prog))
+{
+    std::sort(haltAddrs.begin(), haltAddrs.end());
+}
+
+bool
+ExplorationContext::isHaltPc(uint16_t pc) const
+{
+    return std::binary_search(haltAddrs.begin(), haltAddrs.end(), pc);
+}
+
+PathExplorer::PathExplorer(const ExplorationContext &ctx,
+                           Frontier &frontier, int worker_id)
+    : ctx_(ctx), frontier_(frontier), workerId_(worker_id),
+      soc_(ctx.soc, ctx.prog, /*ram_unknown=*/true, ctx.opts.simMode),
+      tracker_(ctx.soc->netlist)
+{
+}
+
+void
+PathExplorer::prepare()
+{
+    soc_.setGpioIn(SWord::allX());
+    soc_.setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X : Logic::Zero);
+    soc_.reset();
+    tracker_.captureInitial(soc_.sim());
+}
+
+WorkItem
+PathExplorer::initialItem()
+{
+    MachineState init = capture();
+    init.lastFetchPc = 0;
+    return WorkItem{std::move(init), 0};
+}
+
+void
+PathExplorer::run()
+{
+    WorkItem item;
+    while (frontier_.pop(item)) {
+        paths_++;
+        curDepth_ = item.depth;
+        runPath(item.state);
+        frontier_.finishItem();
+    }
+}
+
+MachineState
+PathExplorer::capture() const
+{
+    MachineState s;
+    s.seq = soc_.sim().seqState();
+    s.env = soc_.envState();
+    s.lastFetchPc = lastFetchPc_;
+    return s;
+}
+
+void
+PathExplorer::restore(const MachineState &s)
+{
+    soc_.sim().restoreSeqState(s.seq);
+    soc_.restoreEnvState(s.env);
+    lastFetchPc_ = s.lastFetchPc;
+}
+
+std::optional<PathExplorer::XDec>
+PathExplorer::firstXDecision() const
+{
+    if (soc_.decIrq0() == Logic::X) {
+        return XDec{soc_.decIrq0Net(),
+                    static_cast<uint8_t>(DecKind::Irq0)};
+    }
+    if (soc_.decIrq1() == Logic::X) {
+        return XDec{soc_.decIrq1Net(),
+                    static_cast<uint8_t>(DecKind::Irq1)};
+    }
+    if (soc_.decBranch() == Logic::X) {
+        return XDec{soc_.decBranchNet(),
+                    static_cast<uint8_t>(DecKind::Branch)};
+    }
+    return std::nullopt;
+}
+
+/**
+ * Resolve X decisions for the current (already evaluated) cycle.
+ * Returns false if the whole path was pruned at a merge point;
+ * returns true with `forked` set if continuations were pushed.
+ */
+bool
+PathExplorer::resolveDecisions(bool &forked)
+{
+    forked = false;
+    auto d = firstXDecision();
+    if (!d)
+        return true;
+
+    // Merge-check at the fork point.
+    MachineState cur = capture();
+    bool widened;
+    if (frontier_.mergePoint(
+            tableKey(lastFetchPc_, static_cast<DecKind>(d->kind)), cur,
+            widened)) {
+        return false;
+    }
+    if (widened) {
+        restore(cur);
+        soc_.evalOnly();
+        tracker_.observe(soc_.sim());
+    }
+
+    // Fork: explore both decision values (recursively resolving
+    // any further X decisions under each forcing).
+    forks_++;
+    forked = true;
+    forkRec(cur, {});
+    return true;
+}
+
+/**
+ * Recursive forcing over the X decisions of this one cycle.
+ * Invariant: with `forces` applied, evaluation leaves at least one
+ * decision net at X.
+ */
+void
+PathExplorer::forkRec(const MachineState &pre,
+                      const std::vector<std::pair<GateId, Logic>> &forces)
+{
+    for (Logic v : {Logic::Zero, Logic::One}) {
+        restore(pre);
+        soc_.sim().clearForces();
+        for (auto [g, val] : forces)
+            soc_.sim().force(g, val);
+        soc_.evalOnly();
+        auto d = firstXDecision();
+        bespoke_assert(d, "fork invariant violated");
+        soc_.sim().force(d->net, v);
+        soc_.evalOnly();
+        tracker_.observe(soc_.sim());
+        if (firstXDecision()) {
+            std::vector<std::pair<GateId, Logic>> f = forces;
+            f.push_back({d->net, v});
+            soc_.sim().clearForces();
+            forkRec(pre, f);
+            continue;
+        }
+        // Decision complete: finish the cycle and enqueue the
+        // post-latch continuation state.
+        soc_.finishCycle();
+        chargeCycle();
+        soc_.sim().clearForces();
+        frontier_.push(WorkItem{capture(), curDepth_ + 1});
+    }
+}
+
+/**
+ * Fetch-time PC with X bits: fork one continuation per concrete
+ * candidate (known bits fixed, X bits enumerated), keeping only
+ * candidates that are instruction heads of the binary. Patching
+ * only the PC while the correlated state stays X is a sound
+ * over-approximation.
+ */
+void
+PathExplorer::enumerateSymbolicPc(SWord pc)
+{
+    const std::vector<int> &pc_seq_index = ctx_.soc->pcSeqIndex;
+    int x_bits = 0;
+    for (int b = 0; b < 16; b++) {
+        if (pc.bit(b) == Logic::X) {
+            x_bits++;
+            bespoke_assert(pc_seq_index[b] >= 0,
+                           "X PC bit ", b,
+                           " is not a flop output; cannot "
+                           "enumerate");
+        }
+    }
+    MachineState base = capture();
+    auto push_candidate = [&](uint16_t cand) {
+        // Candidate must be a real instruction head.
+        if ((cand & 1) || !ctx_.prog.addrToLine.count(cand))
+            return;
+        MachineState s = base;
+        for (int b = 0; b < 16; b++) {
+            s.seq[pc_seq_index[b]] = static_cast<uint8_t>(
+                (cand >> b) & 1 ? Logic::One : Logic::Zero);
+        }
+        s.lastFetchPc = cand;
+        frontier_.push(WorkItem{std::move(s), curDepth_ + 1});
+    };
+
+    if (x_bits <= 8) {
+        for (uint32_t combo = 0; combo < (1u << x_bits); combo++) {
+            uint16_t cand = pc.val;
+            int xi = 0;
+            for (int b = 0; b < 16; b++) {
+                if (pc.bit(b) != Logic::X)
+                    continue;
+                if (combo & (1u << xi))
+                    cand |= static_cast<uint16_t>(1u << b);
+                xi++;
+            }
+            push_candidate(cand);
+        }
+    } else {
+        // Wide X PC (e.g. a fully merged return address): every
+        // instruction head consistent with the known bits is a
+        // possible successor.
+        for (const auto &[addr, line] : ctx_.prog.addrToLine) {
+            if (((addr ^ pc.val) & pc.known) == 0)
+                push_candidate(addr);
+        }
+    }
+}
+
+void
+PathExplorer::runPath(const MachineState &start)
+{
+    restore(start);
+    while (true) {
+        if (frontier_.cycles() >= ctx_.opts.maxTotalCycles)
+            return;
+        soc_.evalOnly();
+        tracker_.observe(soc_.sim());
+
+        // Track instruction boundaries and halting.
+        if (soc_.stFetch() == Logic::One) {
+            SWord pc = soc_.pc();
+            if (!pc.fullyKnown()) {
+                // Algorithm 1, line 29: enumerate the possible
+                // concrete PCs (e.g. a merged return address on
+                // the stack) and fork the tree per candidate.
+                enumerateSymbolicPc(pc);
+                return;
+            }
+            lastFetchPc_ = pc.val;
+            if (ctx_.isHaltPc(pc.val)) {
+                // Observe the steady halt loop, then end the path.
+                for (int i = 0; i < 6; i++) {
+                    soc_.finishCycle();
+                    chargeCycle();
+                    soc_.evalOnly();
+                    tracker_.observe(soc_.sim());
+                }
+                return;
+            }
+        }
+
+        bool forked = false;
+        if (!resolveDecisions(forked))
+            return;  // pruned
+        if (forked)
+            return;  // continuations pushed
+
+        // Known control transfer: conservative-table discipline.
+        if (soc_.ctlXfer() == Logic::One) {
+            MachineState cur = capture();
+            bool widened;
+            if (frontier_.mergePoint(
+                    tableKey(lastFetchPc_, DecKind::CtlXfer), cur,
+                    widened)) {
+                return;
+            }
+            if (widened) {
+                // Re-evaluate from the widened state; widening can
+                // surface new X decisions this very cycle.
+                restore(cur);
+                soc_.evalOnly();
+                tracker_.observe(soc_.sim());
+                bool forked2 = false;
+                if (!resolveDecisions(forked2))
+                    return;
+                if (forked2)
+                    return;
+            }
+        } else if (soc_.ctlXfer() == Logic::X) {
+            bespoke_fatal("ctl_xfer is X outside a decision fork");
+        }
+
+        soc_.finishCycle();
+        chargeCycle();
+    }
+}
+
+} // namespace bespoke

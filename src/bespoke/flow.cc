@@ -37,15 +37,18 @@ BespokeFlow::measure(const Netlist &netlist,
     m.slackFraction =
         (clockPeriodPs_ - rep.criticalPathPs) / clockPeriodPs_;
 
-    // Switching activity from concrete representative runs.
+    // Switching activity from concrete representative runs. One
+    // simulation context serves every run on this netlist.
+    std::shared_ptr<const SocContext> ctx = SocContext::make(netlist);
     ToggleCounter toggles(netlist);
     Rng rng(opts_.powerSeed);
     for (const Workload *w : apps) {
         AsmProgram prog = w->assembleProgram();
         for (int i = 0; i < opts_.powerInputsPerWorkload; i++) {
             WorkloadInput in = w->genInput(rng);
-            GateRun run =
-                runWorkloadGate(netlist, *w, prog, in, &toggles);
+            GateRun run = runWorkloadGate(netlist, *w, prog, in,
+                                          &toggles, nullptr, nullptr,
+                                          ctx);
             if (!run.halted) {
                 bespoke_warn("power run of ", w->name,
                              " did not halt within its cycle budget");

@@ -16,72 +16,38 @@ GateSim::defaultMode()
                                   : EvalMode::EventDriven;
 }
 
-GateSim::GateSim(const Netlist &netlist, EvalMode mode)
-    : nl_(netlist), mode_(mode), order_(netlist.levelize()),
-      seqIds_(netlist.sequentialIds()),
+GateSim::GateSim(const Netlist &netlist, EvalMode mode,
+                 std::shared_ptr<const SimPrep> prep)
+    : nl_(netlist), mode_(mode), prep_(std::move(prep)),
       val_(netlist.size(), static_cast<uint8_t>(Logic::X)),
       forced_(netlist.size(), 0)
 {
+    if (!prep_)
+        prep_ = std::make_shared<const SimPrep>(netlist);
+    bespoke_assert(prep_->isComb.size() == netlist.size(),
+                   "SimPrep was built for a different netlist");
+
     if (mode_ == EvalMode::FullEval)
         return;
-
-    const std::vector<Gate> &gates = nl_.gates();
-    size_t n = nl_.size();
-    isComb_.assign(n, 0);
-    for (GateId id : order_)
-        isComb_[id] = 1;
-
-    // Topological levels: sources (INPUT/TIE/DFF/DFFE) are level 0,
-    // a combinational gate is one past its deepest combinational fanin.
-    level_.assign(n, 0);
-    uint32_t max_level = 0;
-    for (GateId id : order_) {
-        const Gate &g = gates[id];
-        uint32_t lvl = 0;
-        int ni = g.numInputs();
-        for (int p = 0; p < ni; p++)
-            lvl = std::max(lvl, level_[g.in[p]]);
-        level_[id] = lvl + 1;
-        max_level = std::max(max_level, lvl + 1);
-    }
-    buckets_.resize(max_level + 1);
-
-    // CSR fanout lists restricted to combinational consumers; source
-    // cells re-read their fanins only at latch time and need no events.
-    foHead_.assign(n + 1, 0);
-    for (GateId id : order_) {
-        const Gate &g = gates[id];
-        int ni = g.numInputs();
-        for (int p = 0; p < ni; p++)
-            foHead_[g.in[p] + 1]++;
-    }
-    for (size_t i = 0; i < n; i++)
-        foHead_[i + 1] += foHead_[i];
-    foData_.resize(foHead_[n]);
-    std::vector<uint32_t> cursor(foHead_.begin(), foHead_.end() - 1);
-    for (GateId id : order_) {
-        const Gate &g = gates[id];
-        int ni = g.numInputs();
-        for (int p = 0; p < ni; p++)
-            foData_[cursor[g.in[p]]++] = id;
-    }
-    queued_.assign(n, 0);
+    buckets_.resize(prep_->numLevels);
+    queued_.assign(netlist.size(), 0);
 }
 
 void
 GateSim::markDirty(GateId id)
 {
-    if (!isComb_[id] || queued_[id])
+    if (!prep_->isComb[id] || queued_[id])
         return;
     queued_[id] = 1;
-    buckets_[level_[id]].push_back(id);
+    buckets_[prep_->level[id]].push_back(id);
 }
 
 void
 GateSim::markFanoutsDirty(GateId id)
 {
-    for (uint32_t i = foHead_[id]; i < foHead_[id + 1]; i++)
-        markDirty(foData_[i]);
+    const SimPrep &p = *prep_;
+    for (uint32_t i = p.foHead[id]; i < p.foHead[id + 1]; i++)
+        markDirty(p.foData[i]);
 }
 
 void
@@ -99,7 +65,7 @@ GateSim::reset()
             val_[i] = static_cast<uint8_t>(Logic::X);
         }
     }
-    for (GateId id : seqIds_) {
+    for (GateId id : prep_->seqIds) {
         val_[id] = static_cast<uint8_t>(
             logicOf(nl_.gate(id).resetValue));
     }
@@ -147,7 +113,7 @@ GateSim::evalCombFull()
 {
     const std::vector<Gate> &gates = nl_.gates();
     Logic in[3];
-    for (GateId id : order_) {
+    for (GateId id : prep_->order) {
         const Gate &g = gates[id];
         int n = g.numInputs();
         for (int p = 0; p < n; p++)
@@ -157,7 +123,7 @@ GateSim::evalCombFull()
             out = static_cast<Logic>(forced_[id] - 1);
         val_[id] = static_cast<uint8_t>(out);
     }
-    gatesEvaluated_ = order_.size();
+    gatesEvaluated_ = prep_->order.size();
 }
 
 void
@@ -221,9 +187,9 @@ GateSim::latchSequential()
     // Two passes so all D inputs are read before any Q changes; D nets
     // can be other flops' Q only through combinational gates, but a
     // direct Q->D wire is legal and must see the pre-edge value.
-    std::vector<uint8_t> next(seqIds_.size());
-    for (size_t i = 0; i < seqIds_.size(); i++) {
-        GateId id = seqIds_[i];
+    std::vector<uint8_t> next(prep_->seqIds.size());
+    for (size_t i = 0; i < prep_->seqIds.size(); i++) {
+        GateId id = prep_->seqIds[i];
         const Gate &g = gates[id];
         Logic d = static_cast<Logic>(val_[g.in[0]]);
         Logic q = static_cast<Logic>(val_[id]);
@@ -237,8 +203,8 @@ GateSim::latchSequential()
         next[i] = static_cast<uint8_t>(out);
     }
     bool event = mode_ == EvalMode::EventDriven;
-    for (size_t i = 0; i < seqIds_.size(); i++) {
-        GateId id = seqIds_[i];
+    for (size_t i = 0; i < prep_->seqIds.size(); i++) {
+        GateId id = prep_->seqIds[i];
         if (val_[id] == next[i])
             continue;
         val_[id] = next[i];
@@ -281,19 +247,19 @@ GateSim::clearForces()
 SeqState
 GateSim::seqState() const
 {
-    SeqState s(seqIds_.size());
-    for (size_t i = 0; i < seqIds_.size(); i++)
-        s[i] = val_[seqIds_[i]];
+    SeqState s(prep_->seqIds.size());
+    for (size_t i = 0; i < prep_->seqIds.size(); i++)
+        s[i] = val_[prep_->seqIds[i]];
     return s;
 }
 
 void
 GateSim::restoreSeqState(const SeqState &s)
 {
-    bespoke_assert(s.size() == seqIds_.size());
+    bespoke_assert(s.size() == prep_->seqIds.size());
     bool event = mode_ == EvalMode::EventDriven;
-    for (size_t i = 0; i < seqIds_.size(); i++) {
-        GateId id = seqIds_[i];
+    for (size_t i = 0; i < prep_->seqIds.size(); i++) {
+        GateId id = prep_->seqIds[i];
         if (val_[id] == s[i])
             continue;
         val_[id] = s[i];

@@ -35,10 +35,12 @@
 #define BESPOKE_SIM_GATE_SIM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/logic/logic.hh"
 #include "src/netlist/netlist.hh"
+#include "src/sim/sim_context.hh"
 
 namespace bespoke
 {
@@ -58,11 +60,18 @@ class GateSim
     /** EventDriven unless BESPOKE_FULL_EVAL=1 is set in the environment. */
     static EvalMode defaultMode();
 
+    /**
+     * @param prep shared evaluation-order/fanout prep for this netlist;
+     *        built on the spot when null. Pass one SimPrep to many
+     *        simulators (e.g. one per analysis worker) to amortize it.
+     */
     explicit GateSim(const Netlist &netlist,
-                     EvalMode mode = defaultMode());
+                     EvalMode mode = defaultMode(),
+                     std::shared_ptr<const SimPrep> prep = nullptr);
 
     const Netlist &netlist() const { return nl_; }
     EvalMode mode() const { return mode_; }
+    const std::shared_ptr<const SimPrep> &prep() const { return prep_; }
 
     /** Reset all flops to their reset values and all inputs to X. */
     void reset();
@@ -98,7 +107,7 @@ class GateSim
     SeqState seqState() const;
     void restoreSeqState(const SeqState &s);
     /** Ids of flops, in SeqState order. */
-    const std::vector<GateId> &seqIds() const { return seqIds_; }
+    const std::vector<GateId> &seqIds() const { return prep_->seqIds; }
     /// @}
 
     /** Raw value array (one Logic per gate), for trackers. */
@@ -117,18 +126,14 @@ class GateSim
 
     const Netlist &nl_;
     EvalMode mode_;
-    std::vector<GateId> order_;    ///< combinational topological order
-    std::vector<GateId> seqIds_;
+    /** Shared read-only evaluation order / levels / fanout CSR. */
+    std::shared_ptr<const SimPrep> prep_;
     std::vector<uint8_t> val_;     ///< Logic per gate output
     std::vector<uint8_t> forced_;  ///< 0 = none, else Logic value + 1
     std::vector<GateId> forcedIds_;  ///< gates with forced_ set
     bool anyForce_ = false;
 
-    // Event-driven machinery (unused in FullEval mode).
-    std::vector<uint32_t> level_;   ///< topological level per comb gate
-    std::vector<uint8_t> isComb_;   ///< 1 if the gate appears in order_
-    std::vector<uint32_t> foHead_;  ///< CSR index into foData_ (size n+1)
-    std::vector<GateId> foData_;    ///< combinational consumers per net
+    // Event-driven mutable state (unused in FullEval mode).
     std::vector<std::vector<GateId>> buckets_;  ///< dirty set per level
     std::vector<uint8_t> queued_;   ///< dirty-set membership flag
     bool fullPassPending_ = true;   ///< first eval after reset is full

@@ -1,0 +1,92 @@
+#include "src/sim/sim_context.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+SimPrep::SimPrep(const Netlist &netlist)
+    : order(netlist.levelize()), seqIds(netlist.sequentialIds())
+{
+    const std::vector<Gate> &gates = netlist.gates();
+    size_t n = netlist.size();
+    isComb.assign(n, 0);
+    for (GateId id : order)
+        isComb[id] = 1;
+
+    // Topological levels: sources (INPUT/TIE/DFF/DFFE) are level 0,
+    // a combinational gate is one past its deepest combinational fanin.
+    level.assign(n, 0);
+    uint32_t max_level = 0;
+    for (GateId id : order) {
+        const Gate &g = gates[id];
+        uint32_t lvl = 0;
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            lvl = std::max(lvl, level[g.in[p]]);
+        level[id] = lvl + 1;
+        max_level = std::max(max_level, lvl + 1);
+    }
+    numLevels = max_level + 1;
+
+    // CSR fanout lists restricted to combinational consumers; source
+    // cells re-read their fanins only at latch time and need no events.
+    foHead.assign(n + 1, 0);
+    for (GateId id : order) {
+        const Gate &g = gates[id];
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            foHead[g.in[p] + 1]++;
+    }
+    for (size_t i = 0; i < n; i++)
+        foHead[i + 1] += foHead[i];
+    foData.resize(foHead[n]);
+    std::vector<uint32_t> cursor(foHead.begin(), foHead.end() - 1);
+    for (GateId id : order) {
+        const Gate &g = gates[id];
+        int ni = g.numInputs();
+        for (int p = 0; p < ni; p++)
+            foData[cursor[g.in[p]]++] = id;
+    }
+}
+
+SocContext::SocContext(const Netlist &nl)
+    : netlist(nl), prep(std::make_shared<const SimPrep>(nl))
+{
+    pMemRdata = nl.bus("mem_rdata", 16);
+    pGpioIn = nl.bus("gpio_in", 16);
+    pMemAddr = nl.bus("mem_addr", 16);
+    pMemWdata = nl.bus("mem_wdata", 16);
+    pPcOut = nl.bus("pc_out", 16);
+    pGpioOut = nl.bus("gpio_out", 16);
+    pIrqExt = nl.port("irq_ext");
+    pMemEn = nl.port("mem_en");
+    pMemWen0 = nl.port("mem_wen[0]");
+    pMemWen1 = nl.port("mem_wen[1]");
+    pStFetch = nl.port("st_fetch");
+    pCtlXfer = nl.port("ctl_xfer");
+    pDecBranch = nl.port("dec_branch");
+    pDecIrq0 = nl.port("dec_irq0");
+    pDecIrq1 = nl.port("dec_irq1");
+    decBranchSrc = nl.gate(pDecBranch).in[0];
+    decIrq0Src = nl.gate(pDecIrq0).in[0];
+    decIrq1Src = nl.gate(pDecIrq1).in[0];
+
+    // Locate the PC flops through the pc_out port; the activity
+    // analysis patches these SeqState slots when it enumerates the
+    // concrete candidates of a partially-known fetch PC.
+    pcSeqIndex.assign(16, -1);
+    for (int b = 0; b < 16; b++) {
+        GateId src = nl.gate(pPcOut[b]).in[0];
+        for (size_t i = 0; i < prep->seqIds.size(); i++) {
+            if (prep->seqIds[i] == src) {
+                pcSeqIndex[b] = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace bespoke

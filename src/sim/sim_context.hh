@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Immutable per-netlist simulation context, shareable across threads.
+ *
+ * Building a GateSim used to recompute the levelized evaluation order
+ * and the event-propagation structures (topological levels, fanout
+ * CSR) from scratch, and every Soc re-resolved its port ids. That was
+ * fine when one simulator lived for a whole analysis, but the parallel
+ * path-exploration engine constructs one Soc per worker; the read-only
+ * prep is hoisted here so N workers share one copy.
+ *
+ * Everything in this file is computed once from a const Netlist and
+ * never mutated afterwards, so concurrent readers need no locking. The
+ * context holds a reference to the netlist: the netlist must outlive
+ * every context/simulator built on it (same rule GateSim always had).
+ */
+
+#ifndef BESPOKE_SIM_SIM_CONTEXT_HH
+#define BESPOKE_SIM_SIM_CONTEXT_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+/**
+ * Evaluation-order and event-propagation data for one netlist (the
+ * part of GateSim's setup that does not depend on simulator state).
+ */
+struct SimPrep
+{
+    explicit SimPrep(const Netlist &netlist);
+
+    std::vector<GateId> order;    ///< combinational topological order
+    std::vector<GateId> seqIds;   ///< DFF/DFFE ids, SeqState order
+    std::vector<uint32_t> level;  ///< topological level per comb gate
+    std::vector<uint8_t> isComb;  ///< 1 if the gate appears in order
+    std::vector<uint32_t> foHead; ///< CSR index into foData (size n+1)
+    std::vector<GateId> foData;   ///< combinational consumers per net
+    uint32_t numLevels = 1;       ///< bucket count (max level + 1)
+};
+
+/**
+ * SimPrep plus the resolved bsp430 port/bus ids a Soc needs, and the
+ * PC-flop index map the activity analysis uses to enumerate symbolic
+ * fetch addresses. Requires the standard core ports (see bsp430.hh);
+ * valid on original and transformed netlists alike.
+ */
+struct SocContext
+{
+    explicit SocContext(const Netlist &netlist);
+
+    /** Build a shareable context (the common spelling at call sites). */
+    static std::shared_ptr<const SocContext> make(const Netlist &netlist)
+    {
+        return std::make_shared<const SocContext>(netlist);
+    }
+
+    const Netlist &netlist;
+    std::shared_ptr<const SimPrep> prep;
+
+    // Port / bus ids (names as in bsp430.hh).
+    std::vector<GateId> pMemRdata, pGpioIn, pMemAddr, pMemWdata;
+    std::vector<GateId> pPcOut, pGpioOut;
+    GateId pIrqExt, pMemEn, pMemWen0, pMemWen1;
+    GateId pStFetch, pCtlXfer, pDecBranch, pDecIrq0, pDecIrq1;
+    GateId decBranchSrc, decIrq0Src, decIrq1Src;
+
+    /**
+     * For each pc_out bit, the index of its driving flop in SeqState
+     * order, or -1 if the bit is not driven by a flop (in which case
+     * the analysis cannot enumerate an X value for it).
+     */
+    std::vector<int> pcSeqIndex;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_SIM_SIM_CONTEXT_HH

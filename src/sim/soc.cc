@@ -34,27 +34,16 @@ EnvState::substateOf(const EnvState &c) const
 
 Soc::Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown,
          GateSim::EvalMode sim_mode)
-    : nl_(netlist), prog_(prog), sim_(netlist, sim_mode),
+    : Soc(SocContext::make(netlist), prog, ram_unknown, sim_mode)
+{
+}
+
+Soc::Soc(std::shared_ptr<const SocContext> ctx, const AsmProgram &prog,
+         bool ram_unknown, GateSim::EvalMode sim_mode)
+    : ctx_(std::move(ctx)), nl_(ctx_->netlist), prog_(prog),
+      sim_(ctx_->netlist, sim_mode, ctx_->prep),
       ramUnknown_(ram_unknown)
 {
-    pMemRdata_ = nl_.bus("mem_rdata", 16);
-    pGpioIn_ = nl_.bus("gpio_in", 16);
-    pMemAddr_ = nl_.bus("mem_addr", 16);
-    pMemWdata_ = nl_.bus("mem_wdata", 16);
-    pPcOut_ = nl_.bus("pc_out", 16);
-    pGpioOut_ = nl_.bus("gpio_out", 16);
-    pIrqExt_ = nl_.port("irq_ext");
-    pMemEn_ = nl_.port("mem_en");
-    pMemWen0_ = nl_.port("mem_wen[0]");
-    pMemWen1_ = nl_.port("mem_wen[1]");
-    pStFetch_ = nl_.port("st_fetch");
-    pCtlXfer_ = nl_.port("ctl_xfer");
-    pDecBranch_ = nl_.port("dec_branch");
-    pDecIrq0_ = nl_.port("dec_irq0");
-    pDecIrq1_ = nl_.port("dec_irq1");
-    decBranchSrc_ = nl_.gate(pDecBranch_).in[0];
-    decIrq0Src_ = nl_.gate(pDecIrq0_).in[0];
-    decIrq1Src_ = nl_.gate(pDecIrq1_).in[0];
     reset();
 }
 
@@ -73,22 +62,22 @@ Soc::reset()
 void
 Soc::driveInputs()
 {
-    sim_.setInputWord(pMemRdata_, env_.rdata);
-    sim_.setInputWord(pGpioIn_, gpioIn_);
-    sim_.setInput(pIrqExt_, irqExt_);
+    sim_.setInputWord(ctx_->pMemRdata, env_.rdata);
+    sim_.setInputWord(ctx_->pGpioIn, gpioIn_);
+    sim_.setInput(ctx_->pIrqExt, irqExt_);
 }
 
 void
 Soc::sampleMemoryRequest()
 {
-    Logic en = sim_.value(pMemEn_);
-    Logic wen0 = sim_.value(pMemWen0_);
-    Logic wen1 = sim_.value(pMemWen1_);
+    Logic en = sim_.value(ctx_->pMemEn);
+    Logic wen0 = sim_.value(ctx_->pMemWen0);
+    Logic wen1 = sim_.value(ctx_->pMemWen1);
     if (en == Logic::Zero && wen0 == Logic::Zero && wen1 == Logic::Zero)
         return;
 
-    SWord addr = sim_.busWord(pMemAddr_);
-    SWord wdata = sim_.busWord(pMemWdata_);
+    SWord addr = sim_.busWord(ctx_->pMemAddr);
+    SWord wdata = sim_.busWord(ctx_->pMemWdata);
 
     // --- Writes (byte lanes) ---
     auto lane_write = [&](SWord &word, Logic wen, int lane) {
@@ -187,43 +176,43 @@ Soc::cycle(const std::function<void()> &after_eval)
 SWord
 Soc::gpioOut() const
 {
-    return sim_.busWord(pGpioOut_);
+    return sim_.busWord(ctx_->pGpioOut);
 }
 
 SWord
 Soc::pc() const
 {
-    return sim_.busWord(pPcOut_);
+    return sim_.busWord(ctx_->pPcOut);
 }
 
 Logic
 Soc::stFetch() const
 {
-    return sim_.value(pStFetch_);
+    return sim_.value(ctx_->pStFetch);
 }
 
 Logic
 Soc::ctlXfer() const
 {
-    return sim_.value(pCtlXfer_);
+    return sim_.value(ctx_->pCtlXfer);
 }
 
 Logic
 Soc::decBranch() const
 {
-    return sim_.value(pDecBranch_);
+    return sim_.value(ctx_->pDecBranch);
 }
 
 Logic
 Soc::decIrq0() const
 {
-    return sim_.value(pDecIrq0_);
+    return sim_.value(ctx_->pDecIrq0);
 }
 
 Logic
 Soc::decIrq1() const
 {
-    return sim_.value(pDecIrq1_);
+    return sim_.value(ctx_->pDecIrq1);
 }
 
 SWord

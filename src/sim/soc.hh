@@ -55,6 +55,22 @@ class Soc
     Soc(const Netlist &netlist, const AsmProgram &prog, bool ram_unknown,
         GateSim::EvalMode sim_mode = GateSim::defaultMode());
 
+    /**
+     * Construct from a pre-built shared context (port ids + simulator
+     * prep resolved once per netlist). This is the cheap constructor
+     * the parallel activity analysis uses to stamp out one Soc per
+     * worker; behavior is identical to the netlist constructor.
+     */
+    Soc(std::shared_ptr<const SocContext> ctx, const AsmProgram &prog,
+        bool ram_unknown,
+        GateSim::EvalMode sim_mode = GateSim::defaultMode());
+
+    /** The shared per-netlist context this Soc runs on. */
+    const std::shared_ptr<const SocContext> &context() const
+    {
+        return ctx_;
+    }
+
     GateSim &sim() { return sim_; }
     const GateSim &sim() const { return sim_; }
 
@@ -91,9 +107,9 @@ class Soc
     Logic decIrq0() const;
     Logic decIrq1() const;
     /** Net driving a decision output port (target for force()). */
-    GateId decBranchNet() const { return decBranchSrc_; }
-    GateId decIrq0Net() const { return decIrq0Src_; }
-    GateId decIrq1Net() const { return decIrq1Src_; }
+    GateId decBranchNet() const { return ctx_->decBranchSrc; }
+    GateId decIrq0Net() const { return ctx_->decIrq0Src; }
+    GateId decIrq1Net() const { return ctx_->decIrq1Src; }
     SWord ramWord(uint16_t byte_addr) const;
     void pokeRamWord(uint16_t byte_addr, SWord w);
     const std::vector<SWord> &ram() const { return env_.ram; }
@@ -110,6 +126,8 @@ class Soc
     void driveInputs();
     void sampleMemoryRequest();
 
+    /** Shared immutable port ids + simulator prep for the netlist. */
+    std::shared_ptr<const SocContext> ctx_;
     const Netlist &nl_;
     const AsmProgram &prog_;
     GateSim sim_;
@@ -119,13 +137,6 @@ class Soc
     SWord gpioIn_ = SWord::allX();
     Logic irqExt_ = Logic::X;
     uint64_t cycles_ = 0;
-
-    // Cached port ids.
-    std::vector<GateId> pMemRdata_, pGpioIn_, pMemAddr_, pMemWdata_;
-    std::vector<GateId> pPcOut_, pGpioOut_;
-    GateId pIrqExt_, pMemEn_, pMemWen0_, pMemWen1_;
-    GateId pStFetch_, pCtlXfer_, pDecBranch_, pDecIrq0_, pDecIrq1_;
-    GateId decBranchSrc_, decIrq0Src_, decIrq1Src_;
 };
 
 } // namespace bespoke

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small general-purpose worker pool.
+ *
+ * N threads service a FIFO task queue. Tasks are plain closures; the
+ * pool makes no assumptions about what they do. drain() blocks until
+ * the queue is empty AND every in-flight task has returned, so a task
+ * may post further tasks and drain() still waits for the whole wave.
+ *
+ * The parallel activity analysis posts one long-lived task per worker
+ * (each pops exploration states from a shared frontier until it is
+ * exhausted); other subsystems can reuse the pool for any
+ * embarrassingly parallel sweep.
+ *
+ * Tasks must not throw: the library's error discipline is
+ * panic/fatal (abort/exit), and an exception escaping a task would
+ * terminate the process anyway.
+ */
+
+#ifndef BESPOKE_UTIL_WORKER_POOL_HH
+#define BESPOKE_UTIL_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bespoke
+{
+
+class WorkerPool
+{
+  public:
+    /** Threads to use when a caller asks for "all cores" (>= 1). */
+    static int defaultThreadCount();
+
+    /** @param threads worker-thread count; 0 = defaultThreadCount(). */
+    explicit WorkerPool(int threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    /** Enqueue one task; runs on some worker thread. */
+    void post(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void drain();
+
+    /**
+     * Convenience for SPMD work: run body(i) for every worker index
+     * i in [0, size()) concurrently and block until all return.
+     */
+    void runPerWorker(const std::function<void(int)> &body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex m_;
+    std::condition_variable wake_;   ///< workers: work available / stop
+    std::condition_variable idle_;   ///< drain(): queue empty + quiescent
+    int running_ = 0;                ///< tasks currently executing
+    bool stop_ = false;
+};
+
+} // namespace bespoke
+
+#endif // BESPOKE_UTIL_WORKER_POOL_HH

@@ -1,5 +1,6 @@
 #include "src/verify/runner.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/util/logging.hh"
@@ -67,9 +68,12 @@ GateRun
 runWorkloadGate(const Netlist &netlist, const Workload &w,
                 const AsmProgram &prog, const WorkloadInput &input,
                 ToggleCounter *toggles, ActivityTracker *activity,
-                const std::function<void(const GateSim &)> &per_cycle)
+                const std::function<void(const GateSim &)> &per_cycle,
+                std::shared_ptr<const SocContext> ctx)
 {
-    Soc soc(netlist, prog, /*ram_unknown=*/false);
+    if (!ctx)
+        ctx = SocContext::make(netlist);
+    Soc soc(std::move(ctx), prog, /*ram_unknown=*/false);
     soc.setGpioIn(SWord::of(input.gpioIn));
     soc.setIrqExt(Logic::Zero);
     for (size_t i = 0; i < input.ramWords.size(); i++) {
@@ -80,14 +84,10 @@ runWorkloadGate(const Netlist &netlist, const Workload &w,
         soc.pokeRamWord(addr, SWord::of(value));
 
     std::vector<uint16_t> halts = haltAddresses(prog);
+    std::sort(halts.begin(), halts.end());
     auto is_halt_pc = [&](SWord pc) {
-        if (!pc.fullyKnown())
-            return false;
-        for (uint16_t h : halts) {
-            if (pc.val == h)
-                return true;
-        }
-        return false;
+        return pc.fullyKnown() &&
+               std::binary_search(halts.begin(), halts.end(), pc.val);
     };
 
     GateRun r;

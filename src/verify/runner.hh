@@ -60,13 +60,17 @@ struct GateRun
  *
  * @param prog must be the workload's assembled program (passed in so
  *        callers can reuse one assembly across runs).
+ * @param ctx optional pre-built simulation context for `netlist`;
+ *        callers running many inputs on one netlist pass it to skip
+ *        the per-run levelization/port-resolution prep.
  */
 GateRun runWorkloadGate(const Netlist &netlist, const Workload &w,
                         const AsmProgram &prog, const WorkloadInput &input,
                         ToggleCounter *toggles = nullptr,
                         ActivityTracker *activity = nullptr,
                         const std::function<void(const GateSim &)>
-                            &per_cycle = nullptr);
+                            &per_cycle = nullptr,
+                        std::shared_ptr<const SocContext> ctx = nullptr);
 
 /** Check a gate run against the ISS oracle; fatal-free, returns diff. */
 struct RunDiff
