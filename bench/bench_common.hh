@@ -10,10 +10,14 @@
  *   --check [PATH]   diff results against a golden baseline JSON and
  *                    exit nonzero on mismatch; without PATH the file is
  *                    $BESPOKE_BASELINE_DIR/<bench>.<mode>.json
- *   --threads N      activity-analysis worker threads (0 = all cores;
+ *   --threads N      analysis/sweep worker threads (0 = all cores;
  *                    default 1). Table values are thread-count
  *                    independent, so baselines recorded at --threads 1
  *                    stay valid.
+ *   --checkpoint-dir DIR  persist flow stage artifacts in DIR and
+ *                    reuse them on later runs (content-hashed keys;
+ *                    see src/bespoke/checkpoint.hh). Results are
+ *                    identical with or without it.
  *
  * Table values are compared exactly (they are deterministic); wall
  * clock is compared against a tolerance band (current must stay below
@@ -124,9 +128,14 @@ class BenchIO
                 threads_ = static_cast<int>(v);
                 continue;
             }
+            if (take_path("--checkpoint-dir", checkpointDir_)) {
+                if (checkpointDir_ == kAutoPath)
+                    die("--checkpoint-dir requires a path");
+                continue;
+            }
             die("unknown bench flag '" + arg +
                 "' (expected --quick, --json PATH, --check [PATH], "
-                "--threads N)");
+                "--threads N, --checkpoint-dir DIR)");
         }
         if (checkMode_ && checkPath_ == kAutoPath) {
             const char *dir = std::getenv("BESPOKE_BASELINE_DIR");
@@ -143,6 +152,8 @@ class BenchIO
     const std::string &name() const { return name_; }
     /** --threads value for AnalysisOptions::threads (default 1). */
     int threads() const { return threads_; }
+    /** --checkpoint-dir value for FlowOptions::checkpointDir ("" off). */
+    const std::string &checkpointDir() const { return checkpointDir_; }
 
     /**
      * Print a table and record it under `key`. Columns listed in
@@ -377,7 +388,7 @@ class BenchIO
     int threads_ = 1;
     bool checkMode_ = false;
     bool ok_ = true;
-    std::string jsonPath_, checkPath_;
+    std::string jsonPath_, checkPath_, checkpointDir_;
     JsonValue tables_ = JsonValue::object();
     JsonValue metrics_ = JsonValue::object();
     std::vector<std::pair<std::string, std::vector<int>>> volatileCols_;

@@ -10,6 +10,7 @@
 #include "bench/bench_common.hh"
 #include "src/analysis/activity_analysis.hh"
 #include "src/cpu/bsp430.hh"
+#include "src/util/worker_pool.hh"
 
 using namespace bespoke;
 
@@ -48,30 +49,52 @@ main(int argc, char **argv)
                   1);
     }
 
+    // One task per benchmark on the shared pool; each analysis runs
+    // serially inside its task, so the numbers are identical to the
+    // historical one-app-at-a-time sweep (and to the committed
+    // baselines) for any --threads value. Rows are emitted in workload
+    // order after the pool drains.
+    const std::vector<Workload> &apps = workloads();
     AnalysisOptions aopts;
-    aopts.threads = io.threads();
-    for (const Workload &w : workloads()) {
-        AnalysisResult r = analyzeActivity(nl, w, aopts);
-        if (!r.completed)
-            bespoke_warn(w.name, ": analysis hit caps");
-        size_t toggled_per_module[kNumModules] = {};
-        size_t toggled_total = 0;
-        for (GateId i = 0; i < nl.size(); i++) {
-            const Gate &g = nl.gate(i);
-            if (cellPseudo(g.type) || !r.activity->toggled(i))
-                continue;
-            toggled_per_module[static_cast<int>(g.module)]++;
-            toggled_total++;
-        }
-        table.row().add(w.name).add(
-            100.0 * static_cast<double>(toggled_total) / total, 1);
+    aopts.threads = 1;
+    struct AppRow
+    {
+        size_t toggledPerModule[kNumModules] = {};
+        size_t toggledTotal = 0;
+        bool completed = false;
+    };
+    std::vector<AppRow> rows(apps.size());
+    WorkerPool pool(io.threads());
+    for (size_t a = 0; a < apps.size(); a++) {
+        pool.post([&, a] {
+            AnalysisResult r = analyzeActivity(nl, apps[a], aopts);
+            AppRow &row = rows[a];
+            row.completed = r.completed;
+            for (GateId i = 0; i < nl.size(); i++) {
+                const Gate &g = nl.gate(i);
+                if (cellPseudo(g.type) || !r.activity->toggled(i))
+                    continue;
+                row.toggledPerModule[static_cast<int>(g.module)]++;
+                row.toggledTotal++;
+            }
+        });
+    }
+    pool.drain();
+
+    for (size_t a = 0; a < apps.size(); a++) {
+        const AppRow &row = rows[a];
+        if (!row.completed)
+            bespoke_warn(apps[a].name, ": analysis hit caps");
+        table.row().add(apps[a].name)
+            .add(100.0 * static_cast<double>(row.toggledTotal) / total,
+                 1);
         for (int m = 0; m < kNumModules; m++) {
             if (module_cells[m] == 0)
                 continue;
             // Contribution of this module to the usable fraction
             // (stacked-bar component, as a % of all design gates).
-            table.add(100.0 *
-                          static_cast<double>(toggled_per_module[m]) /
+            table.add(100.0 * static_cast<double>(
+                                  row.toggledPerModule[m]) /
                           total,
                       1);
         }

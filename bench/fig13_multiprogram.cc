@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     FlowOptions opts;
     opts.analysis.threads = io.threads();
+    opts.checkpointDir = io.checkpointDir();
     opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
     const std::vector<Workload> &apps = workloads();

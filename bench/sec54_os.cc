@@ -25,6 +25,7 @@ main(int argc, char **argv)
 
     FlowOptions opts;
     opts.analysis.threads = io.threads();
+    opts.checkpointDir = io.checkpointDir();
     BespokeFlow flow(opts);
     const Netlist &nl = flow.baseline();
     double total = static_cast<double>(nl.numCells());

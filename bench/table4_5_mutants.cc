@@ -10,6 +10,7 @@
 #include "bench/bench_common.hh"
 #include "src/bespoke/flow.hh"
 #include "src/mutation/mutation.hh"
+#include "src/util/worker_pool.hh"
 
 using namespace bespoke;
 
@@ -25,12 +26,14 @@ main(int argc, char **argv)
 
     FlowOptions opts;
     opts.analysis.threads = io.threads();
+    opts.checkpointDir = io.checkpointDir();
     BespokeFlow flow(opts);
 
     // The paper's six mutant-rich benchmarks.
     const char *names[] = {"binSearch", "inSort", "rle",
                            "tea8",      "viterbi", "autocorr"};
 
+    WorkerPool pool(io.threads());
     Table t4({"benchmark", "Type I", "Type II", "Type III", "total"});
     Table t5({"benchmark", "Type I supp. %", "Type II supp. %",
               "Type III supp. %", "total supp. %", "analyzed"});
@@ -49,15 +52,33 @@ main(int argc, char **argv)
         AnalysisOptions mopts = opts.analysis;
         mopts.maxTotalCycles = 4'000'000;
         mopts.maxPaths = 40'000;
-        for (const Mutant &m : mutants) {
-            AsmProgram mp = m.workload.assembleProgram();
-            AnalysisResult r =
-                analyzeActivity(flow.baseline(), mp, mopts);
-            if (!r.completed)
-                continue;  // divergent mutant: conservatively skipped
-            int k = static_cast<int>(m.type);
+        // One task per mutant; each analysis runs serially inside its
+        // task so the per-mutant verdicts (and hence the committed
+        // baselines) are --threads independent.
+        mopts.threads = 1;
+        enum : uint8_t { kSkipped, kAnalyzed, kSupported };
+        std::vector<uint8_t> verdict(mutants.size(), kSkipped);
+        for (size_t mi = 0; mi < mutants.size(); mi++) {
+            pool.post([&, mi] {
+                AsmProgram mp =
+                    mutants[mi].workload.assembleProgram();
+                AnalysisResult r =
+                    analyzeActivity(flow.baseline(), mp, mopts);
+                if (!r.completed)
+                    return;  // divergent mutant: conservatively skipped
+                verdict[mi] =
+                    mutantSupported(*base.activity, *r.activity)
+                        ? kSupported
+                        : kAnalyzed;
+            });
+        }
+        pool.drain();
+        for (size_t mi = 0; mi < mutants.size(); mi++) {
+            if (verdict[mi] == kSkipped)
+                continue;
+            int k = static_cast<int>(mutants[mi].type);
             analyzed[k]++;
-            if (mutantSupported(*base.activity, *r.activity))
+            if (verdict[mi] == kSupported)
                 supported[k]++;
         }
 

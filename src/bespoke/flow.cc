@@ -8,8 +8,24 @@
 namespace bespoke
 {
 
+namespace
+{
+
+/** Key material for a workload set, order-sensitive. */
+uint64_t
+hashApps(const std::vector<const Workload *> &apps)
+{
+    uint64_t h = kHashBasis;
+    for (const Workload *w : apps)
+        h = hashCombine(h, hashProgram(w->assembleProgram()));
+    return h;
+}
+
+} // namespace
+
 BespokeFlow::BespokeFlow(FlowOptions opts)
-    : opts_(std::move(opts)), baseline_(buildBsp430())
+    : opts_(std::move(opts)), baseline_(buildBsp430()),
+      store_(opts_.checkpointDir)
 {
     sizeForLoads(baseline_, opts_.timing);
     TimingReport rep = analyzeTiming(baseline_, opts_.timing);
@@ -17,6 +33,11 @@ BespokeFlow::BespokeFlow(FlowOptions opts)
     // operation at" its achievable frequency (paper Sec. 4.2): hold
     // every design to the baseline's critical path plus a small margin.
     clockPeriodPs_ = rep.criticalPathPs * 1.02;
+    // Checkpoint keys hash the *sized* baseline: every stage artifact
+    // is derived from the netlist as the flow actually analyzes it.
+    baselineHash_ = baseline_.contentHash();
+    analysisOptsHash_ = hashAnalysisOptions(opts_.analysis);
+    flowOptsHash_ = hashFlowOptions(opts_);
     bespoke_inform("baseline: ", baseline_.numCells(), " cells, ",
                    formatFixed(rep.criticalPathPs, 0), " ps critical (",
                    formatFixed(1e6 / clockPeriodPs_, 1), " MHz)");
@@ -26,6 +47,19 @@ DesignMetrics
 BespokeFlow::measure(const Netlist &netlist,
                      const std::vector<const Workload *> &apps)
 {
+    CheckpointKey key;
+    if (store_.enabled()) {
+        key = {netlist.contentHash(), hashApps(apps), flowOptsHash_};
+        JsonValue doc;
+        if (store_.load(key, "metrics", &doc)) {
+            DesignMetrics cached;
+            std::string err;
+            if (metricsFromJson(doc, &cached, &err))
+                return cached;
+            bespoke_warn("checkpoint metrics: ", err, "; re-measuring");
+        }
+    }
+
     DesignMetrics m;
     NetlistStats stats = netlist.stats();
     m.gates = stats.numCells;
@@ -61,6 +95,9 @@ BespokeFlow::measure(const Netlist &netlist,
                            opts_.timing);
     m.powerAtVmin =
         scaleToVoltage(m.powerNominal, m.vmin, opts_.power);
+
+    if (store_.enabled())
+        store_.save(key, "metrics", metricsToJson(m));
     return m;
 }
 
@@ -73,34 +110,78 @@ BespokeFlow::measureBaseline(const std::vector<const Workload *> &apps)
 AnalysisResult
 BespokeFlow::analyze(const Workload &app)
 {
-    AsmProgram prog = app.assembleProgram();
-    return analyzeActivity(baseline_, prog, opts_.analysis);
+    return analyzeProgram(app.assembleProgram(), app.name);
 }
 
-BespokeDesign
-BespokeFlow::finishDesign(Netlist netlist, CutStats cut,
-                          AnalysisResult analysis,
-                          const std::vector<const Workload *> &apps)
+AnalysisResult
+BespokeFlow::analyzeProgram(const AsmProgram &prog,
+                            const std::string &name)
 {
+    CheckpointKey key{baselineHash_, hashProgram(prog),
+                      analysisOptsHash_};
+    if (store_.enabled()) {
+        JsonValue doc;
+        if (store_.load(key, "analysis", &doc)) {
+            AnalysisResult cached;
+            std::string err;
+            if (analysisFromJson(doc, baseline_, &cached, &err))
+                return cached;
+            bespoke_warn("checkpoint analysis for ", name, ": ", err,
+                         "; re-analyzing");
+        }
+    }
+    AnalysisResult r = analyzeActivity(baseline_, prog, opts_.analysis);
+    // Capped (incomplete) runs are never checkpointed: a rerun with
+    // higher caps must not resume from a partial toggle set.
+    if (store_.enabled() && r.completed)
+        store_.save(key, "analysis", analysisToJson(r));
+    return r;
+}
+
+Netlist
+BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
+                          CutStats *cut,
+                          const std::function<Netlist(CutStats *)> &build)
+{
+    CheckpointKey key{baselineHash_, program_hash, flowOptsHash_};
+    if (store_.enabled()) {
+        JsonValue doc;
+        if (store_.load(key, stage, &doc)) {
+            Netlist cached;
+            std::string err;
+            if (designFromJson(doc, &cached, cut, &err))
+                return cached;
+            bespoke_warn("checkpoint ", stage, ": ", err,
+                         "; re-cutting");
+        }
+    }
+    Netlist netlist = build(cut);
     // Re-size for the (smaller) loads: the paper's slack-driven
     // replacement with smaller cells falls out of re-running sizing.
     sizeForLoads(netlist, opts_.timing);
-    BespokeDesign d{std::move(netlist), cut, {}, std::move(analysis)};
-    d.metrics = measure(d.netlist, apps);
-    return d;
+    if (store_.enabled())
+        store_.save(key, stage, designToJson(netlist, *cut));
+    return netlist;
 }
 
 BespokeDesign
 BespokeFlow::tailor(const Workload &app)
 {
-    AnalysisResult analysis = analyze(app);
+    AsmProgram prog = app.assembleProgram();
+    AnalysisResult analysis = analyzeProgram(prog, app.name);
     bespoke_assert(analysis.completed,
                    "analysis hit caps for ", app.name);
     CutStats cut;
     Netlist bespoke_nl =
-        cutAndStitch(baseline_, *analysis.activity, &cut);
-    return finishDesign(std::move(bespoke_nl), cut, std::move(analysis),
-                        {&app});
+        obtainDesign(hashProgram(prog), "design", &cut,
+                     [&](CutStats *c) {
+                         return cutAndStitch(baseline_,
+                                             *analysis.activity, c);
+                     });
+    BespokeDesign d{std::move(bespoke_nl), cut, {},
+                    std::move(analysis)};
+    d.metrics = measure(d.netlist, {&app});
+    return d;
 }
 
 BespokeDesign
@@ -109,8 +190,11 @@ BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
     bespoke_assert(!apps.empty());
     ActivityTracker merged(baseline_);
     AnalysisResult last;
+    uint64_t progs = kHashBasis;
     for (const Workload *w : apps) {
-        AnalysisResult r = analyze(*w);
+        AsmProgram prog = w->assembleProgram();
+        progs = hashCombine(progs, hashProgram(prog));
+        AnalysisResult r = analyzeProgram(prog, w->name);
         bespoke_assert(r.completed, "analysis hit caps for ", w->name);
         if (!merged.initialCaptured()) {
             merged = std::move(*r.activity);
@@ -120,24 +204,36 @@ BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
         last = std::move(r);
     }
     CutStats cut;
-    Netlist bespoke_nl = cutAndStitch(baseline_, merged, &cut);
+    Netlist bespoke_nl =
+        obtainDesign(progs, "design", &cut, [&](CutStats *c) {
+            return cutAndStitch(baseline_, merged, c);
+        });
     // Keep the merged tracker with the result for callers that need it.
     last.activity = std::make_unique<ActivityTracker>(std::move(merged));
-    return finishDesign(std::move(bespoke_nl), cut, std::move(last),
-                        apps);
+    BespokeDesign d{std::move(bespoke_nl), cut, {}, std::move(last)};
+    d.metrics = measure(d.netlist, apps);
+    return d;
 }
 
 BespokeDesign
 BespokeFlow::tailorCoarse(const Workload &app)
 {
-    AnalysisResult analysis = analyze(app);
+    AsmProgram prog = app.assembleProgram();
+    AnalysisResult analysis = analyzeProgram(prog, app.name);
     bespoke_assert(analysis.completed,
                    "analysis hit caps for ", app.name);
     CutStats cut;
+    // Module-level cutting shares the flow options with the
+    // fine-grained design, so the artifact lives under its own stage.
     Netlist coarse =
-        cutWholeModules(baseline_, *analysis.activity, &cut);
-    return finishDesign(std::move(coarse), cut, std::move(analysis),
-                        {&app});
+        obtainDesign(hashProgram(prog), "coarse", &cut,
+                     [&](CutStats *c) {
+                         return cutWholeModules(baseline_,
+                                                *analysis.activity, c);
+                     });
+    BespokeDesign d{std::move(coarse), cut, {}, std::move(analysis)};
+    d.metrics = measure(d.netlist, {&app});
+    return d;
 }
 
 } // namespace bespoke

@@ -15,9 +15,11 @@
 #ifndef BESPOKE_BESPOKE_FLOW_HH
 #define BESPOKE_BESPOKE_FLOW_HH
 
+#include <functional>
 #include <memory>
 
 #include "src/analysis/activity_analysis.hh"
+#include "src/bespoke/checkpoint.hh"
 #include "src/power/power_model.hh"
 #include "src/transform/bespoke_transform.hh"
 #include "src/workloads/workload.hh"
@@ -55,6 +57,13 @@ struct FlowOptions
     uint64_t powerSeed = 2024;
     TimingParams timing;
     PowerParams power;
+    /**
+     * When non-empty, stage artifacts (analysis, cut design, metrics)
+     * are persisted here and reused by later runs with matching
+     * content-hashed keys; a killed run resumes at the last completed
+     * stage, a repeated run short-circuits entirely. "" disables.
+     */
+    std::string checkpointDir;
 };
 
 class BespokeFlow
@@ -91,14 +100,29 @@ class BespokeFlow
 
     const FlowOptions &options() const { return opts_; }
 
+    /** The stage-artifact store (disabled unless checkpointDir set). */
+    const CheckpointStore &checkpoints() const { return store_; }
+
   private:
-    BespokeDesign finishDesign(Netlist netlist, CutStats cut,
-                               AnalysisResult analysis,
-                               const std::vector<const Workload *> &apps);
+    /** analyze() body, reusing an already-assembled program. */
+    AnalysisResult analyzeProgram(const AsmProgram &prog,
+                                  const std::string &name);
+    /**
+     * Cut-design stage with checkpointing: load the sized bespoke
+     * netlist for (baseline, program set, options) from the store, or
+     * run `build` + sizeForLoads and save the result.
+     */
+    Netlist obtainDesign(uint64_t program_hash, const char *stage,
+                         CutStats *cut,
+                         const std::function<Netlist(CutStats *)> &build);
 
     FlowOptions opts_;
     Netlist baseline_;
     double clockPeriodPs_ = 0.0;
+    CheckpointStore store_;
+    uint64_t baselineHash_ = 0;
+    uint64_t analysisOptsHash_ = 0;
+    uint64_t flowOptsHash_ = 0;
 };
 
 } // namespace bespoke

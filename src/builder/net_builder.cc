@@ -1,5 +1,7 @@
 #include "src/builder/net_builder.hh"
 
+#include <algorithm>
+
 #include "src/util/logging.hh"
 
 namespace bespoke
@@ -246,6 +248,14 @@ AddResult
 NetBuilder::adder(const Bus &a, const Bus &b, GateId carryIn)
 {
     bespoke_assert(!a.empty() && a.size() == b.size());
+    return adderKind_ == AdderKind::CarryLookahead
+               ? adderCla(a, b, carryIn)
+               : adderRipple(a, b, carryIn);
+}
+
+AddResult
+NetBuilder::adderRipple(const Bus &a, const Bus &b, GateId carryIn)
+{
     AddResult r;
     r.sum.resize(a.size());
     r.carries.resize(a.size());
@@ -258,6 +268,62 @@ NetBuilder::adder(const Bus &a, const Bus &b, GateId carryIn)
         r.carries[i] = carry;
     }
     r.carryOut = carry;
+    return r;
+}
+
+AddResult
+NetBuilder::adderCla(const Bus &a, const Bus &b, GateId carryIn)
+{
+    // Classic 4-bit-group carry lookahead, groups rippled: within a
+    // group every carry is a two-level sum of products of the
+    // propagate/generate terms and the group carry-in, so the carry
+    // chain advances four bits per group hop instead of one per bit.
+    size_t n = a.size();
+    AddResult r;
+    r.sum.resize(n);
+    r.carries.resize(n);
+    Bus p(n), g(n);
+    for (size_t i = 0; i < n; i++) {
+        p[i] = xor2(a[i], b[i]);
+        g[i] = and2(a[i], b[i]);
+    }
+    GateId cin = carryIn;  // carry into the current group
+    for (size_t base = 0; base < n; base += 4) {
+        size_t k = std::min<size_t>(4, n - base);
+        const GateId *gp = &g[base], *pp = &p[base];
+        // c1 = g0 | p0 cin
+        r.carries[base] = or2(gp[0], and2(pp[0], cin));
+        if (k > 1) {
+            // c2 = g1 | p1 g0 | p1 p0 cin
+            r.carries[base + 1] =
+                or3(gp[1], and2(pp[1], gp[0]),
+                    and3(pp[1], pp[0], cin));
+        }
+        if (k > 2) {
+            // c3 = g2 | p2 g1 | p2 p1 g0 | p2 p1 p0 cin
+            r.carries[base + 2] =
+                or4(gp[2], and2(pp[2], gp[1]),
+                    and3(pp[2], pp[1], gp[0]),
+                    and4(pp[2], pp[1], pp[0], cin));
+        }
+        if (k > 3) {
+            // c4 = G | P cin with the group generate
+            // G = g3 | p3 g2 | p3 p2 g1 | p3 p2 p1 g0 and the group
+            // propagate P = p3 p2 p1 p0.
+            GateId bigG =
+                or4(gp[3], and2(pp[3], gp[2]),
+                    and3(pp[3], pp[2], gp[1]),
+                    and4(pp[3], pp[2], pp[1], gp[0]));
+            GateId bigP = and4(pp[3], pp[2], pp[1], pp[0]);
+            r.carries[base + 3] = or2(bigG, and2(bigP, cin));
+        }
+        // Sums use the lookahead carries, not a rippled chain.
+        r.sum[base] = xor2(p[base], cin);
+        for (size_t j = 1; j < k; j++)
+            r.sum[base + j] = xor2(p[base + j], r.carries[base + j - 1]);
+        cin = r.carries[base + k - 1];
+    }
+    r.carryOut = r.carries[n - 1];
     return r;
 }
 

@@ -39,6 +39,19 @@ namespace bespoke
 using Bus = std::vector<GateId>;
 
 /**
+ * Adder microarchitecture. Ripple is the default (minimum gate count;
+ * see the file comment — the paper's study optimizes area, not speed).
+ * CarryLookahead computes carries in 4-bit lookahead groups chained at
+ * the group level: roughly half the logic depth of ripple on 16 bits
+ * for ~1.4x the cells, for consumers that need the critical path down.
+ */
+enum class AdderKind : uint8_t
+{
+    Ripple,
+    CarryLookahead,
+};
+
+/**
  * Result of an addition-family block. `carries[i]` is the carry *out*
  * of bit position i (so byte-mode consumers read carries[7]);
  * `carryOut` equals carries.back(). For subtractor() the carry-out is
@@ -69,6 +82,13 @@ class NetBuilder
     /** All subsequently emitted gates carry this module label. */
     void setModule(Module m) { module_ = m; }
     Module module() const { return module_; }
+    /// @}
+
+    /** @name Datapath configuration */
+    /// @{
+    /** Adder style used by adder()/subtractor() from now on. */
+    void setAdderKind(AdderKind k) { adderKind_ = k; }
+    AdderKind adderKind() const { return adderKind_; }
     /// @}
 
     /** @name Constants */
@@ -135,7 +155,11 @@ class NetBuilder
 
     /** @name Datapath blocks */
     /// @{
-    /** Ripple-carry adder; operands must be the same width. */
+    /**
+     * Adder; operands must be the same width. The microarchitecture
+     * follows adderKind() (ripple-carry by default); both kinds
+     * produce the same sums, carries, and X-monotone behavior.
+     */
     AddResult adder(const Bus &a, const Bus &b, GateId carryIn);
     /** a - b as a + ~b + 1; carryOut = no-borrow (a >= b). */
     AddResult subtractor(const Bus &a, const Bus &b);
@@ -195,8 +219,12 @@ class NetBuilder
     GateId emit(CellType type, GateId in0 = kNoGate,
                 GateId in1 = kNoGate, GateId in2 = kNoGate);
 
+    AddResult adderRipple(const Bus &a, const Bus &b, GateId carryIn);
+    AddResult adderCla(const Bus &a, const Bus &b, GateId carryIn);
+
     Netlist &nl_;
     Module module_;
+    AdderKind adderKind_ = AdderKind::Ripple;
 };
 
 } // namespace bespoke

@@ -1,0 +1,106 @@
+#include "src/io/isomorphism.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace bespoke
+{
+
+namespace
+{
+
+std::string
+describeGate(const Netlist &nl, GateId id)
+{
+    std::ostringstream os;
+    os << cellName(nl.gate(id).type, nl.gate(id).drive) << " #" << id;
+    const std::string &name = nl.name(id);
+    if (!name.empty())
+        os << " ('" << name << "')";
+    return os.str();
+}
+
+} // namespace
+
+IsoResult
+netlistIsomorphic(const Netlist &a, const Netlist &b)
+{
+    IsoResult res;
+    auto fail = [&](const std::string &why) {
+        res.isomorphic = false;
+        res.why = why;
+        return res;
+    };
+
+    if (a.size() != b.size())
+        return fail("gate counts differ: " + std::to_string(a.size()) +
+                    " vs " + std::to_string(b.size()));
+
+    // Port sets must agree by name and direction.
+    std::vector<std::pair<std::string, GateId>> pa(a.ports().begin(),
+                                                   a.ports().end());
+    std::vector<std::pair<std::string, GateId>> pb(b.ports().begin(),
+                                                   b.ports().end());
+    std::sort(pa.begin(), pa.end());
+    std::sort(pb.begin(), pb.end());
+    if (pa.size() != pb.size())
+        return fail("port counts differ: " + std::to_string(pa.size()) +
+                    " vs " + std::to_string(pb.size()));
+    for (size_t i = 0; i < pa.size(); i++) {
+        if (pa[i].first != pb[i].first)
+            return fail("port name mismatch: '" + pa[i].first +
+                        "' vs '" + pb[i].first + "'");
+        CellType ta = a.gate(pa[i].second).type;
+        CellType tb = b.gate(pb[i].second).type;
+        if (ta != tb)
+            return fail("port '" + pa[i].first +
+                        "' changed direction");
+    }
+
+    // Compare the canonical sequences; equal sequences give the
+    // witness bijection order_a[i] <-> order_b[i].
+    std::vector<GateId> oa = a.canonicalOrder();
+    std::vector<GateId> ob = b.canonicalOrder();
+    std::vector<uint32_t> posa(a.size()), posb(b.size());
+    for (size_t i = 0; i < oa.size(); i++)
+        posa[oa[i]] = static_cast<uint32_t>(i);
+    for (size_t i = 0; i < ob.size(); i++)
+        posb[ob[i]] = static_cast<uint32_t>(i);
+
+    for (size_t i = 0; i < oa.size(); i++) {
+        const Gate &ga = a.gate(oa[i]);
+        const Gate &gb = b.gate(ob[i]);
+        std::string where = "canonical slot " + std::to_string(i) +
+                            " (" + describeGate(a, oa[i]) + " vs " +
+                            describeGate(b, ob[i]) + "): ";
+        if (ga.type != gb.type)
+            return fail(where + "cell types differ");
+        if (ga.drive != gb.drive)
+            return fail(where + "drive strengths differ");
+        bool pseudo = cellPseudo(ga.type);
+        if (!pseudo && ga.module != gb.module)
+            return fail(where + "module labels differ (" +
+                        moduleName(ga.module) + " vs " +
+                        moduleName(gb.module) + ")");
+        if (ga.resetValue != gb.resetValue)
+            return fail(where + "reset values differ");
+        for (int p = 0; p < ga.numInputs(); p++) {
+            if (posa[ga.in[p]] != posb[gb.in[p]])
+                return fail(where + "pin " + std::to_string(p) +
+                            " is wired to different logic");
+        }
+    }
+
+    // Port bindings must map to the same canonical slots.
+    for (size_t i = 0; i < pa.size(); i++) {
+        if (posa[pa[i].second] != posb[pb[i].second])
+            return fail("port '" + pa[i].first +
+                        "' binds to different logic");
+    }
+
+    res.isomorphic = true;
+    return res;
+}
+
+} // namespace bespoke

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural isomorphism check between two netlists.
+ *
+ * Two netlists are isomorphic when a gate-id bijection exists that
+ * preserves cell types, drive strengths, module labels (of real
+ * cells), reset values, fanin edges with pin order, and the port
+ * name -> gate bindings. This is the identity the interchange round
+ * trip must preserve: `import(export(N))` renumbers gates but may not
+ * change the design.
+ *
+ * The check compares the two canonical orders (Netlist::
+ * canonicalOrder()): the port-anchored canonical form is a complete
+ * invariant for the netlists this system produces, so equality of the
+ * canonical sequences both decides isomorphism and yields the witness
+ * bijection. Consistent with Netlist::contentHash(), module labels of
+ * INPUT/OUTPUT pseudo-gates are not part of the identity.
+ */
+
+#ifndef BESPOKE_IO_ISOMORPHISM_HH
+#define BESPOKE_IO_ISOMORPHISM_HH
+
+#include <string>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+struct IsoResult
+{
+    bool isomorphic = false;
+    /** First structural difference, empty when isomorphic. */
+    std::string why;
+};
+
+IsoResult netlistIsomorphic(const Netlist &a, const Netlist &b);
+
+} // namespace bespoke
+
+#endif // BESPOKE_IO_ISOMORPHISM_HH

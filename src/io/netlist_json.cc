@@ -1,0 +1,249 @@
+#include "src/io/netlist_json.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+std::string
+hashHex(uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+const char *kDriveNames[3] = {"X1", "X2", "X4"};
+
+} // namespace
+
+JsonValue
+netlistToJson(const Netlist &nl)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("format", JsonValue::str("bespoke-netlist"));
+    doc.set("version", JsonValue::number(1));
+    doc.set("content_hash", JsonValue::str(hashHex(nl.contentHash())));
+
+    JsonValue gates = JsonValue::array();
+    for (GateId i = 0; i < nl.size(); i++) {
+        const Gate &g = nl.gate(i);
+        JsonValue jg = JsonValue::array();
+        jg.push(JsonValue::str(cellParams(g.type).name));
+        jg.push(JsonValue::str(kDriveNames[static_cast<int>(g.drive)]));
+        jg.push(JsonValue::str(moduleName(g.module)));
+        jg.push(JsonValue::number(g.resetValue ? 1 : 0));
+        JsonValue fanins = JsonValue::array();
+        for (int p = 0; p < g.numInputs(); p++)
+            fanins.push(JsonValue::number(g.in[p]));
+        jg.push(std::move(fanins));
+        gates.push(std::move(jg));
+    }
+    doc.set("gates", std::move(gates));
+
+    std::vector<std::pair<std::string, GateId>> ports(nl.ports().begin(),
+                                                      nl.ports().end());
+    std::sort(ports.begin(), ports.end());
+    JsonValue jports = JsonValue::array();
+    for (const auto &[name, id] : ports) {
+        JsonValue jp = JsonValue::array();
+        jp.push(JsonValue::str(name));
+        jp.push(JsonValue::number(id));
+        jports.push(std::move(jp));
+    }
+    doc.set("ports", std::move(jports));
+
+    // Debug names of non-port gates (port names live in "ports").
+    std::vector<std::pair<GateId, std::string>> names;
+    for (const auto &[id, name] : nl.gateNames()) {
+        if (!nl.hasPort(name) || nl.port(name) != id)
+            names.emplace_back(id, name);
+    }
+    std::sort(names.begin(), names.end());
+    JsonValue jnames = JsonValue::array();
+    for (const auto &[id, name] : names) {
+        JsonValue jn = JsonValue::array();
+        jn.push(JsonValue::number(id));
+        jn.push(JsonValue::str(name));
+        jnames.push(std::move(jn));
+    }
+    doc.set("names", std::move(jnames));
+    return doc;
+}
+
+std::string
+netlistToJsonText(const Netlist &nl)
+{
+    return netlistToJson(nl).dump(1);
+}
+
+NetlistJsonResult
+netlistFromJson(const JsonValue &doc)
+{
+    NetlistJsonResult res;
+    auto fail = [&](const std::string &msg) -> NetlistJsonResult & {
+        res.ok = false;
+        res.error = msg;
+        return res;
+    };
+
+    if (!doc.isObject())
+        return fail("netlist JSON: top level is not an object");
+    const JsonValue *fmt = doc.find("format");
+    if (!fmt || !fmt->isString() || fmt->asString() != "bespoke-netlist")
+        return fail("netlist JSON: missing format \"bespoke-netlist\"");
+    const JsonValue *ver = doc.find("version");
+    if (!ver || !ver->isNumber() || ver->asNumber() != 1)
+        return fail("netlist JSON: unsupported version");
+
+    const JsonValue *gates = doc.find("gates");
+    if (!gates || !gates->isArray())
+        return fail("netlist JSON: missing \"gates\" array");
+    size_t n = gates->items().size();
+
+    for (size_t i = 0; i < n; i++) {
+        const JsonValue &jg = gates->items()[i];
+        std::string at = "gate " + std::to_string(i) + ": ";
+        if (!jg.isArray() || jg.items().size() != 5)
+            return fail(at + "expected [type, drive, module, rv, fanins]");
+        const auto &f = jg.items();
+        if (!f[0].isString() || !f[1].isString() || !f[2].isString() ||
+            !f[3].isNumber() || !f[4].isArray())
+            return fail(at + "malformed fields");
+
+        CellType type;
+        Drive drive;
+        std::string cname = f[0].asString();
+        std::string dname = f[1].asString();
+        // The JSON format keeps type and drive separate; reassemble
+        // the library name for the shared reverse lookup.
+        std::string full = cname;
+        if (cname != "INPUT" && cname != "OUTPUT" && cname != "TIE0" &&
+            cname != "TIE1")
+            full += "_" + dname;
+        if (!cellByName(full, &type, &drive))
+            return fail(at + "unknown cell '" + cname + "' drive '" +
+                        dname + "'");
+        if (cname == "INPUT" || cname == "OUTPUT" || cname == "TIE0" ||
+            cname == "TIE1") {
+            if (dname != "X1")
+                return fail(at + "cell '" + cname +
+                            "' cannot carry drive '" + dname + "'");
+        }
+
+        Module module;
+        if (!moduleByName(f[2].asString(), &module))
+            return fail(at + "unknown module '" + f[2].asString() + "'");
+
+        double rv = f[3].asNumber();
+        if (rv != 0 && rv != 1)
+            return fail(at + "reset value must be 0 or 1");
+        if (rv == 1 && !cellSequential(type))
+            return fail(at + "reset value on non-sequential cell");
+
+        const auto &fanins = f[4].items();
+        int want = cellNumInputs(type);
+        if (static_cast<int>(fanins.size()) != want)
+            return fail(at + "cell '" + full + "' takes " +
+                        std::to_string(want) + " fanins, got " +
+                        std::to_string(fanins.size()));
+        GateId in[3] = {kNoGate, kNoGate, kNoGate};
+        for (int p = 0; p < want; p++) {
+            if (!fanins[p].isNumber())
+                return fail(at + "fanin is not a gate id");
+            double v = fanins[p].asNumber();
+            if (v < 0 || v >= static_cast<double>(n) ||
+                v != static_cast<double>(static_cast<GateId>(v)))
+                return fail(at + "fanin id " + std::to_string(v) +
+                            " out of range");
+            in[p] = static_cast<GateId>(v);
+        }
+
+        GateId id = res.netlist.addGate(type, module, in[0], in[1], in[2]);
+        bespoke_assert(id == i);
+        res.netlist.gateRef(id).drive = drive;
+        if (rv == 1)
+            res.netlist.setResetValue(id, true);
+    }
+
+    const JsonValue *ports = doc.find("ports");
+    if (!ports || !ports->isArray())
+        return fail("netlist JSON: missing \"ports\" array");
+    for (const JsonValue &jp : ports->items()) {
+        if (!jp.isArray() || jp.items().size() != 2 ||
+            !jp.items()[0].isString() || !jp.items()[1].isNumber())
+            return fail("netlist JSON: malformed port entry");
+        const std::string &name = jp.items()[0].asString();
+        double v = jp.items()[1].asNumber();
+        if (v < 0 || v >= static_cast<double>(n))
+            return fail("port '" + name + "': gate id out of range");
+        GateId id = static_cast<GateId>(v);
+        CellType t = res.netlist.gate(id).type;
+        if (!cellPseudo(t))
+            return fail("port '" + name +
+                        "' does not name an INPUT/OUTPUT gate");
+        if (res.netlist.hasPort(name))
+            return fail("duplicate port '" + name + "'");
+        res.netlist.registerPort(name, id);
+    }
+    for (GateId i = 0; i < res.netlist.size(); i++) {
+        if (cellPseudo(res.netlist.gate(i).type) &&
+            res.netlist.name(i).empty())
+            return fail("gate " + std::to_string(i) +
+                        " is INPUT/OUTPUT but has no port entry");
+    }
+
+    if (const JsonValue *names = doc.find("names")) {
+        if (!names->isArray())
+            return fail("netlist JSON: \"names\" is not an array");
+        for (const JsonValue &jn : names->items()) {
+            if (!jn.isArray() || jn.items().size() != 2 ||
+                !jn.items()[0].isNumber() || !jn.items()[1].isString())
+                return fail("netlist JSON: malformed name entry");
+            double v = jn.items()[0].asNumber();
+            if (v < 0 || v >= static_cast<double>(n))
+                return fail("name entry: gate id out of range");
+            res.netlist.setName(static_cast<GateId>(v),
+                                jn.items()[1].asString());
+        }
+    }
+
+    GateId loop_gate = kNoGate;
+    if (res.netlist.hasCombLoop(&loop_gate))
+        return fail("combinational loop involving gate " +
+                    std::to_string(loop_gate));
+
+    const JsonValue *hash = doc.find("content_hash");
+    if (!hash || !hash->isString())
+        return fail("netlist JSON: missing \"content_hash\"");
+    std::string actual = hashHex(res.netlist.contentHash());
+    if (hash->asString() != actual)
+        return fail("content hash mismatch: document says " +
+                    hash->asString() + " but the netlist hashes to " +
+                    actual + " (truncated or edited file?)");
+
+    res.ok = true;
+    return res;
+}
+
+NetlistJsonResult
+netlistFromJsonText(const std::string &text)
+{
+    JsonValue doc;
+    std::string err;
+    if (!JsonValue::parse(text, doc, err)) {
+        NetlistJsonResult res;
+        res.error = "netlist JSON: " + err;
+        return res;
+    }
+    return netlistFromJson(doc);
+}
+
+} // namespace bespoke

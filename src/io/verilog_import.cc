@@ -1,0 +1,1158 @@
+#include "src/io/verilog_import.hh"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+/**
+ * Internal control flow: the parser and builder throw ImportError and
+ * importVerilog() converts it into the result struct. The exception
+ * never escapes this translation unit.
+ */
+struct ImportError
+{
+    std::string msg;
+    int line = 0;
+    int col = 0;
+};
+
+[[noreturn]] void
+failAt(int line, int col, std::string msg)
+{
+    throw ImportError{std::move(msg), line, col};
+}
+
+// ---------------------------------------------------------------- lexer
+
+enum class Tok : uint8_t
+{
+    Ident,
+    Number,
+    String,
+    Punct,
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int line = 1;
+    int col = 1;
+};
+
+std::vector<Token>
+lex(const std::string &text)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    int line = 1, col = 1;
+    auto step = [&](size_t n) {
+        for (size_t k = 0; k < n; k++) {
+            if (text[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+            i++;
+        }
+    };
+    auto isIdentStart = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_';
+    };
+    auto isIdentChar = [&](char c) {
+        return isIdentStart(c) || (c >= '0' && c <= '9') || c == '$';
+    };
+
+    while (i < text.size()) {
+        char c = text[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            step(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n')
+                step(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+            int sl = line, sc = col;
+            step(2);
+            while (i + 1 < text.size() &&
+                   !(text[i] == '*' && text[i + 1] == '/'))
+                step(1);
+            if (i + 1 >= text.size())
+                failAt(sl, sc, "unterminated block comment");
+            step(2);
+            continue;
+        }
+
+        Token t;
+        t.line = line;
+        t.col = col;
+
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < text.size() && isIdentChar(text[i]))
+                step(1);
+            t.kind = Tok::Ident;
+            t.text = text.substr(start, i - start);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\\') {
+            // Escaped identifier: backslash to the next whitespace.
+            step(1);
+            size_t start = i;
+            while (i < text.size() && text[i] != ' ' &&
+                   text[i] != '\t' && text[i] != '\r' &&
+                   text[i] != '\n')
+                step(1);
+            if (i == start)
+                failAt(t.line, t.col, "empty escaped identifier");
+            t.kind = Tok::Ident;
+            t.text = text.substr(start, i - start);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (c >= '0' && c <= '9') {
+            // Decimal integer, optionally a based literal: 1'b0.
+            size_t start = i;
+            while (i < text.size() &&
+                   ((text[i] >= '0' && text[i] <= '9') ||
+                    text[i] == '_'))
+                step(1);
+            if (i < text.size() && text[i] == '\'') {
+                step(1);
+                if (i < text.size() &&
+                    (text[i] == 's' || text[i] == 'S'))
+                    step(1);
+                if (i >= text.size())
+                    failAt(t.line, t.col, "truncated based literal");
+                step(1); // base character
+                while (i < text.size() &&
+                       (isIdentChar(text[i]) ||
+                        (text[i] >= '0' && text[i] <= '9')))
+                    step(1);
+            }
+            t.kind = Tok::Number;
+            t.text = text.substr(start, i - start);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (c == '"') {
+            step(1);
+            std::string s;
+            while (i < text.size() && text[i] != '"') {
+                if (text[i] == '\\' && i + 1 < text.size()) {
+                    step(1);
+                    s += text[i];
+                    step(1);
+                } else {
+                    s += text[i];
+                    step(1);
+                }
+            }
+            if (i >= text.size())
+                failAt(t.line, t.col, "unterminated string");
+            step(1);
+            t.kind = Tok::String;
+            t.text = std::move(s);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        // Punctuation; "(*" and "*)" are single attribute tokens.
+        if (c == '(' && i + 1 < text.size() && text[i + 1] == '*') {
+            t.kind = Tok::Punct;
+            t.text = "(*";
+            step(2);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == ')') {
+            t.kind = Tok::Punct;
+            t.text = "*)";
+            step(2);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        static const char punct[] = "()[]{},;:.#=*";
+        if (std::string(punct).find(c) != std::string::npos) {
+            t.kind = Tok::Punct;
+            t.text = std::string(1, c);
+            step(1);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        failAt(line, col,
+               "unexpected character '" + std::string(1, c) + "'");
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.text = "<eof>";
+    end.line = line;
+    end.col = col;
+    toks.push_back(std::move(end));
+    return toks;
+}
+
+// --------------------------------------------------- parsed structures
+
+/** One bit: a scalar net or one slice of a vector; idx -1 = scalar. */
+struct BitRef
+{
+    std::string base;
+    int idx = -1;
+    int line = 0;
+    int col = 0;
+
+    std::string key() const
+    {
+        return idx < 0 ? base
+                       : base + "[" + std::to_string(idx) + "]";
+    }
+};
+
+/** A pin/assign expression: a bit reference or a 1-bit constant. */
+struct Expr
+{
+    bool isConst = false;
+    bool cval = false;
+    BitRef bit;
+    int line = 0;
+    int col = 0;
+};
+
+struct PortDecl
+{
+    std::string base;
+    bool isInput = false;
+    bool dirKnown = false;
+    int width = 0; ///< 0 = scalar
+    int line = 0;
+    int col = 0;
+};
+
+struct Connection
+{
+    std::string pin;
+    Expr expr;
+    int line = 0;
+    int col = 0;
+};
+
+struct Instance
+{
+    std::string cell;
+    std::string name;
+    std::string moduleAttr; ///< empty = no bespoke_module attribute
+    int moduleAttrLine = 0;
+    int moduleAttrCol = 0;
+    bool hasRval = false;
+    bool rval = false;
+    std::vector<Connection> conns;
+    int line = 0;
+    int col = 0;
+};
+
+struct Assign
+{
+    BitRef lhs;
+    Expr rhs;
+};
+
+struct Design
+{
+    std::string moduleName;
+    std::vector<PortDecl> ports;              ///< header order
+    std::map<std::string, size_t> portIndex;  ///< base -> ports index
+    std::unordered_map<std::string, int> wires; ///< base -> width
+    std::vector<Assign> assigns;
+    std::vector<Instance> instances;
+};
+
+// --------------------------------------------------------------- parser
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    Design parse()
+    {
+        expectKeyword("module");
+        design_.moduleName = expect(Tok::Ident, "module name").text;
+        if (peekPunct("("))
+            parseHeader();
+        expectPunct(";");
+        parseBody();
+        const Token &t = peek();
+        if (t.kind != Tok::End)
+            failAt(t.line, t.col,
+                   "unexpected content after endmodule (one module "
+                   "per file)");
+        return std::move(design_);
+    }
+
+  private:
+    const Token &peek() const { return toks_[pos_]; }
+    const Token &get() { return toks_[pos_++]; }
+
+    bool peekPunct(const std::string &p) const
+    {
+        return peek().kind == Tok::Punct && peek().text == p;
+    }
+    bool peekKeyword(const std::string &k) const
+    {
+        return peek().kind == Tok::Ident && peek().text == k;
+    }
+    bool acceptPunct(const std::string &p)
+    {
+        if (!peekPunct(p))
+            return false;
+        pos_++;
+        return true;
+    }
+
+    const Token &expect(Tok kind, const std::string &what)
+    {
+        const Token &t = get();
+        if (t.kind != kind)
+            failAt(t.line, t.col,
+                   "expected " + what + ", got '" + t.text + "'");
+        return t;
+    }
+    void expectPunct(const std::string &p)
+    {
+        const Token &t = get();
+        if (t.kind != Tok::Punct || t.text != p)
+            failAt(t.line, t.col,
+                   "expected '" + p + "', got '" + t.text + "'");
+    }
+    void expectKeyword(const std::string &k)
+    {
+        const Token &t = get();
+        if (t.kind != Tok::Ident || t.text != k)
+            failAt(t.line, t.col,
+                   "expected '" + k + "', got '" + t.text + "'");
+    }
+
+    /** stoi with the failure turned into a diagnostic. */
+    int intTok(const Token &t)
+    {
+        try {
+            return std::stoi(t.text);
+        } catch (...) {
+            failAt(t.line, t.col,
+                   "number '" + t.text + "' out of range");
+        }
+    }
+
+    /** Evaluate a 1-bit constant literal: 1'b0, 1'b1, 0, 1. */
+    bool constBit(const Token &t)
+    {
+        const std::string &s = t.text;
+        size_t q = s.find('\'');
+        std::string value = s;
+        if (q != std::string::npos) {
+            std::string width = s.substr(0, q);
+            if (width != "1")
+                failAt(t.line, t.col,
+                       "only 1-bit constants are supported, got '" +
+                           s + "'");
+            size_t v = q + 1;
+            if (v < s.size() && (s[v] == 's' || s[v] == 'S'))
+                v++;
+            v++; // base character
+            value = s.substr(v);
+        }
+        if (value == "0")
+            return false;
+        if (value == "1")
+            return true;
+        failAt(t.line, t.col,
+               "unsupported constant '" + s + "' (only 0 and 1)");
+    }
+
+    /** `[msb:0]` range; returns width = msb + 1. */
+    int parseRange()
+    {
+        expectPunct("[");
+        const Token &msb = expect(Tok::Number, "range msb");
+        expectPunct(":");
+        const Token &lsb = expect(Tok::Number, "range lsb");
+        expectPunct("]");
+        if (lsb.text != "0")
+            failAt(lsb.line, lsb.col,
+                   "unsupported range (only [msb:0])");
+        int m = intTok(msb);
+        if (m < 0)
+            failAt(msb.line, msb.col, "bad range msb");
+        return m + 1;
+    }
+
+    Expr parseExpr()
+    {
+        Expr e;
+        const Token &t = peek();
+        e.line = t.line;
+        e.col = t.col;
+        if (t.kind == Tok::Number) {
+            get();
+            e.isConst = true;
+            e.cval = constBit(t);
+            return e;
+        }
+        if (peekPunct("{"))
+            failAt(t.line, t.col, "concatenations are not supported");
+        const Token &id = expect(Tok::Ident, "net name");
+        e.bit.base = id.text;
+        e.bit.line = id.line;
+        e.bit.col = id.col;
+        if (acceptPunct("[")) {
+            const Token &n = expect(Tok::Number, "bit index");
+            e.bit.idx = intTok(n);
+            if (acceptPunct(":"))
+                failAt(n.line, n.col,
+                       "part selects are not supported");
+            expectPunct("]");
+        }
+        return e;
+    }
+
+    BitRef parseLhs()
+    {
+        Expr e = parseExpr();
+        if (e.isConst)
+            failAt(e.line, e.col, "constant on the left of '='");
+        return e.bit;
+    }
+
+    void parseHeader()
+    {
+        expectPunct("(");
+        if (acceptPunct(")"))
+            return;
+        bool haveDir = false;
+        bool isInput = false;
+        int width = 0;
+        do {
+            const Token &t = peek();
+            if (peekKeyword("input") || peekKeyword("output")) {
+                isInput = peekKeyword("input");
+                haveDir = true;
+                width = 0;
+                get();
+                if (peekKeyword("wire") || peekKeyword("reg"))
+                    get();
+                if (peekPunct("["))
+                    width = parseRange();
+            } else if (peekKeyword("inout")) {
+                failAt(t.line, t.col, "inout ports are not supported");
+            }
+            const Token &name = expect(Tok::Ident, "port name");
+            PortDecl p;
+            p.base = name.text;
+            p.isInput = isInput;
+            p.dirKnown = haveDir;
+            p.width = width;
+            p.line = name.line;
+            p.col = name.col;
+            addPort(p);
+        } while (acceptPunct(","));
+        expectPunct(")");
+    }
+
+    void addPort(const PortDecl &p)
+    {
+        if (design_.portIndex.count(p.base))
+            failAt(p.line, p.col, "duplicate port '" + p.base + "'");
+        design_.portIndex[p.base] = design_.ports.size();
+        design_.ports.push_back(p);
+    }
+
+    /** Body `input`/`output` declaration (non-ANSI style). */
+    void parseDirDecl()
+    {
+        const Token &dir = get();
+        bool isInput = dir.text == "input";
+        if (peekKeyword("wire") || peekKeyword("reg"))
+            get();
+        int width = 0;
+        if (peekPunct("["))
+            width = parseRange();
+        do {
+            const Token &name = expect(Tok::Ident, "port name");
+            auto it = design_.portIndex.find(name.text);
+            if (it == design_.portIndex.end())
+                failAt(name.line, name.col,
+                       "'" + name.text +
+                           "' is not in the module port list");
+            PortDecl &p = design_.ports[it->second];
+            if (p.dirKnown)
+                failAt(name.line, name.col,
+                       "port '" + name.text + "' declared twice");
+            p.isInput = isInput;
+            p.dirKnown = true;
+            p.width = width;
+        } while (acceptPunct(","));
+        expectPunct(";");
+    }
+
+    void parseWireDecl()
+    {
+        get(); // "wire"
+        int width = 0;
+        if (peekPunct("["))
+            width = parseRange();
+        do {
+            const Token &name = expect(Tok::Ident, "wire name");
+            if (design_.wires.count(name.text) ||
+                design_.portIndex.count(name.text))
+                failAt(name.line, name.col,
+                       "'" + name.text + "' is already declared");
+            design_.wires[name.text] = width;
+            if (acceptPunct("=")) {
+                if (width != 0)
+                    failAt(name.line, name.col,
+                           "initializer on a vector wire");
+                Assign a;
+                a.lhs.base = name.text;
+                a.lhs.line = name.line;
+                a.lhs.col = name.col;
+                a.rhs = parseExpr();
+                design_.assigns.push_back(std::move(a));
+            }
+        } while (acceptPunct(","));
+        expectPunct(";");
+    }
+
+    void parseAssign()
+    {
+        get(); // "assign"
+        Assign a;
+        a.lhs = parseLhs();
+        expectPunct("=");
+        a.rhs = parseExpr();
+        expectPunct(";");
+        design_.assigns.push_back(std::move(a));
+    }
+
+    /** `(* name = value, ... *)`; only bespoke_module is retained. */
+    void parseAttributes()
+    {
+        get(); // "(*"
+        do {
+            const Token &name = expect(Tok::Ident, "attribute name");
+            std::string value;
+            bool isString = false;
+            if (acceptPunct("=")) {
+                const Token &v = get();
+                if (v.kind == Tok::String) {
+                    value = v.text;
+                    isString = true;
+                } else if (v.kind == Tok::Number ||
+                           v.kind == Tok::Ident) {
+                    value = v.text;
+                } else {
+                    failAt(v.line, v.col, "bad attribute value");
+                }
+            }
+            if (name.text == "bespoke_module") {
+                if (!isString)
+                    failAt(name.line, name.col,
+                           "bespoke_module expects a string value");
+                pendingModule_ = value;
+                pendingModuleLine_ = name.line;
+                pendingModuleCol_ = name.col;
+            }
+            // Other attributes (Yosys src/keep/...) are skipped.
+        } while (acceptPunct(","));
+        expectPunct("*)");
+    }
+
+    void parseInstance()
+    {
+        Instance inst;
+        const Token &cell = get();
+        inst.cell = cell.text;
+        inst.line = cell.line;
+        inst.col = cell.col;
+        inst.moduleAttr = std::move(pendingModule_);
+        inst.moduleAttrLine = pendingModuleLine_;
+        inst.moduleAttrCol = pendingModuleCol_;
+        pendingModule_.clear();
+
+        if (acceptPunct("#")) {
+            expectPunct("(");
+            do {
+                expectPunct(".");
+                const Token &pname =
+                    expect(Tok::Ident, "parameter name");
+                expectPunct("(");
+                const Token &pval =
+                    expect(Tok::Number, "parameter value");
+                expectPunct(")");
+                if (pname.text != "RVAL")
+                    failAt(pname.line, pname.col,
+                           "unknown parameter '" + pname.text + "'");
+                inst.hasRval = true;
+                inst.rval = constBit(pval);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+
+        inst.name = expect(Tok::Ident, "instance name").text;
+        expectPunct("(");
+        if (!acceptPunct(")")) {
+            do {
+                const Token &dot = peek();
+                if (dot.kind == Tok::End)
+                    failAt(dot.line, dot.col,
+                           "unexpected end of file");
+                if (!acceptPunct("."))
+                    failAt(dot.line, dot.col,
+                           "positional connections are not supported "
+                           "(use .PIN(net))");
+                const Token &pin = expect(Tok::Ident, "pin name");
+                expectPunct("(");
+                if (peekPunct(")"))
+                    failAt(pin.line, pin.col,
+                           "pin '" + pin.text + "' of '" + inst.name +
+                               "' is unconnected");
+                Connection c;
+                c.pin = pin.text;
+                c.line = pin.line;
+                c.col = pin.col;
+                c.expr = parseExpr();
+                expectPunct(")");
+                inst.conns.push_back(std::move(c));
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+        expectPunct(";");
+        design_.instances.push_back(std::move(inst));
+    }
+
+    void parseBody()
+    {
+        for (;;) {
+            const Token &t = peek();
+            if (t.kind == Tok::End)
+                failAt(t.line, t.col, "missing endmodule");
+            if (peekKeyword("endmodule")) {
+                get();
+                return;
+            }
+            if (peekPunct(";")) {
+                get();
+                continue;
+            }
+            if (peekPunct("(*")) {
+                parseAttributes();
+                continue;
+            }
+            if (peekKeyword("input") || peekKeyword("output")) {
+                parseDirDecl();
+                continue;
+            }
+            if (peekKeyword("inout"))
+                failAt(t.line, t.col, "inout ports are not supported");
+            if (peekKeyword("wire")) {
+                parseWireDecl();
+                continue;
+            }
+            if (peekKeyword("assign")) {
+                parseAssign();
+                continue;
+            }
+            if (peekKeyword("reg") || peekKeyword("always") ||
+                peekKeyword("initial") || peekKeyword("parameter") ||
+                peekKeyword("function") || peekKeyword("generate"))
+                failAt(t.line, t.col,
+                       "behavioral construct '" + t.text +
+                           "' (structural netlists only)");
+            if (t.kind == Tok::Ident) {
+                parseInstance();
+                continue;
+            }
+            failAt(t.line, t.col, "unexpected '" + t.text + "'");
+        }
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    Design design_;
+    std::string pendingModule_;
+    int pendingModuleLine_ = 0;
+    int pendingModuleCol_ = 0;
+};
+
+// -------------------------------------------------------------- builder
+
+/** Pin interface of a library cell as it appears in Verilog. */
+struct PinInterface
+{
+    std::vector<const char *> inputs; ///< in pin order
+    const char *output;
+    bool clocked;
+};
+
+PinInterface
+pinInterface(CellType type)
+{
+    switch (type) {
+      case CellType::TIE0:
+      case CellType::TIE1:
+        return {{}, "Y", false};
+      case CellType::MUX2:
+        return {{"A", "B", "S"}, "Y", false};
+      case CellType::DFF:
+        return {{"D"}, "Q", true};
+      case CellType::DFFE:
+        return {{"D", "EN"}, "Q", true};
+      default: {
+        PinInterface pi{{"A", "B", "C"}, "Y", false};
+        pi.inputs.resize(cellNumInputs(type));
+        return pi;
+      }
+    }
+}
+
+class Builder
+{
+  public:
+    explicit Builder(Design design) : d_(std::move(design)) {}
+
+    Netlist build()
+    {
+        checkDecls();
+        findClockNets();
+        createInputs();
+        createInstances();
+        applyAssigns();
+        resolveFanins();
+        createOutputs();
+
+        GateId loop_gate = kNoGate;
+        if (nl_.hasCombLoop(&loop_gate))
+            failAt(0, 0,
+                   "combinational loop through cell '" +
+                       nl_.name(loop_gate) + "'");
+        return std::move(nl_);
+    }
+
+  private:
+    struct Driver
+    {
+        enum Kind : uint8_t
+        {
+            FromGate,
+            FromAlias,
+            FromConst,
+        };
+        Kind kind = FromGate;
+        GateId gate = kNoGate;
+        std::string alias;
+        bool cval = false;
+        int line = 0; ///< where this driver was declared
+    };
+
+    void checkDecls()
+    {
+        for (const PortDecl &p : d_.ports) {
+            if (!p.dirKnown)
+                failAt(p.line, p.col,
+                       "port '" + p.base +
+                           "' has no input/output declaration");
+        }
+    }
+
+    /** Declared width of a net base; -1 when undeclared. */
+    int declaredWidth(const std::string &base) const
+    {
+        auto pit = d_.portIndex.find(base);
+        if (pit != d_.portIndex.end())
+            return d_.ports[pit->second].width;
+        auto wit = d_.wires.find(base);
+        if (wit != d_.wires.end())
+            return wit->second;
+        return -1;
+    }
+
+    /** Validate a bit reference against the declarations. */
+    void checkBit(const BitRef &b) const
+    {
+        int width = declaredWidth(b.base);
+        if (width < 0)
+            failAt(b.line, b.col,
+                   "'" + b.base + "' is not declared");
+        if (width == 0 && b.idx >= 0)
+            failAt(b.line, b.col,
+                   "bit select on scalar net '" + b.base + "'");
+        if (width > 0 && b.idx < 0)
+            failAt(b.line, b.col,
+                   "vector net '" + b.base + "' used without a bit "
+                   "select");
+        if (b.idx >= width && width > 0)
+            failAt(b.line, b.col,
+                   "bit " + std::to_string(b.idx) + " out of range "
+                   "for '" + b.base + "[" + std::to_string(width - 1) +
+                   ":0]'");
+    }
+
+    bool isScalarInputPort(const std::string &base) const
+    {
+        auto it = d_.portIndex.find(base);
+        return it != d_.portIndex.end() &&
+               d_.ports[it->second].isInput &&
+               d_.ports[it->second].width == 0;
+    }
+
+    /**
+     * Identify the global clock/reset nets: whatever feeds the
+     * .CLK/.RSTN pins, plus scalar input ports named clk/rst_n (so a
+     * flopless design still round-trips; the exporter always emits
+     * them). These never become INPUT gates.
+     */
+    void findClockNets()
+    {
+        if (isScalarInputPort("clk"))
+            clkNet_ = "clk";
+        if (isScalarInputPort("rst_n"))
+            rstNet_ = "rst_n";
+        for (const Instance &inst : d_.instances) {
+            for (const Connection &c : inst.conns) {
+                if (c.pin != "CLK" && c.pin != "RSTN")
+                    continue;
+                if (c.expr.isConst)
+                    failAt(c.line, c.col,
+                           "pin '" + c.pin +
+                               "' tied to a constant");
+                checkBit(c.expr.bit);
+                if (!isScalarInputPort(c.expr.bit.base))
+                    failAt(c.expr.bit.line, c.expr.bit.col,
+                           "pin '" + c.pin + "' must connect to a "
+                           "scalar input port");
+                std::string &net =
+                    c.pin == "CLK" ? clkNet_ : rstNet_;
+                if (net.empty()) {
+                    net = c.expr.bit.base;
+                } else if (net != c.expr.bit.base) {
+                    failAt(c.expr.bit.line, c.expr.bit.col,
+                           "second " +
+                               std::string(c.pin == "CLK"
+                                               ? "clock"
+                                               : "reset") +
+                               " net '" + c.expr.bit.base +
+                               "' (already using '" + net +
+                               "'; the netlist model has a single "
+                               "global clock)");
+                }
+            }
+        }
+    }
+
+    bool isClockNet(const std::string &base) const
+    {
+        return base == clkNet_ || base == rstNet_;
+    }
+
+    void setDriver(const BitRef &b, Driver drv)
+    {
+        checkBit(b);
+        if (isClockNet(b.base))
+            failAt(b.line, b.col,
+                   "clock/reset net '" + b.base +
+                       "' cannot be driven");
+        std::string key = b.key();
+        auto it = drivers_.find(key);
+        if (it != drivers_.end())
+            failAt(b.line, b.col,
+                   "net '" + key + "' is multiply driven (first "
+                   "driver at line " +
+                       std::to_string(it->second.line) + ")");
+        drivers_[key] = std::move(drv);
+    }
+
+    void createInputs()
+    {
+        for (const PortDecl &p : d_.ports) {
+            if (!p.isInput || isClockNet(p.base))
+                continue;
+            for (int b = 0; b < std::max(p.width, 1); b++) {
+                std::string name =
+                    p.width > 0
+                        ? p.base + "[" + std::to_string(b) + "]"
+                        : p.base;
+                GateId id = nl_.addInput(name);
+                Driver drv;
+                drv.kind = Driver::FromGate;
+                drv.gate = id;
+                drv.line = p.line;
+                drivers_[name] = std::move(drv);
+            }
+        }
+    }
+
+    void createInstances()
+    {
+        for (const Instance &inst : d_.instances) {
+            CellType type;
+            Drive drive;
+            if (!cellByName(inst.cell, &type, &drive))
+                failAt(inst.line, inst.col,
+                       "unknown cell '" + inst.cell + "'");
+            if (cellPseudo(type))
+                failAt(inst.line, inst.col,
+                       "'" + inst.cell + "' is not instantiable");
+
+            Module module = Module::Glue;
+            if (!inst.moduleAttr.empty() &&
+                !moduleByName(inst.moduleAttr, &module))
+                failAt(inst.moduleAttrLine, inst.moduleAttrCol,
+                       "unknown module label '" + inst.moduleAttr +
+                           "'");
+
+            bool seq = cellSequential(type);
+            if (inst.hasRval && !seq)
+                failAt(inst.line, inst.col,
+                       "RVAL parameter on combinational cell '" +
+                           inst.cell + "'");
+
+            PinInterface pi = pinInterface(type);
+            int nin = static_cast<int>(pi.inputs.size());
+
+            // Create the gate with each required pin pointing at
+            // itself; resolveFanins() rewires every one (a missing
+            // connection is an error below, so none survive).
+            GateId self = static_cast<GateId>(nl_.size());
+            GateId ph[3] = {kNoGate, kNoGate, kNoGate};
+            for (int p = 0; p < nin; p++)
+                ph[p] = self;
+            GateId id = nl_.addGate(type, module, ph[0], ph[1], ph[2]);
+            nl_.gateRef(id).drive = drive;
+            nl_.setName(id, inst.name);
+            if (inst.hasRval)
+                nl_.setResetValue(id, inst.rval);
+
+            std::vector<bool> pinSeen(nin, false);
+            bool outSeen = false, clkSeen = false, rstSeen = false;
+            for (const Connection &c : inst.conns) {
+                if (c.pin == "CLK" || c.pin == "RSTN") {
+                    bool &flag = c.pin == "CLK" ? clkSeen : rstSeen;
+                    if (!pi.clocked)
+                        failAt(c.line, c.col,
+                               "pin '" + c.pin +
+                                   "' on combinational cell '" +
+                                   inst.cell + "'");
+                    if (flag)
+                        failAt(c.line, c.col,
+                               "pin '" + c.pin + "' connected twice");
+                    flag = true;
+                    continue; // net checked by findClockNets()
+                }
+                if (c.pin == pi.output) {
+                    if (outSeen)
+                        failAt(c.line, c.col,
+                               "pin '" + c.pin + "' connected twice");
+                    outSeen = true;
+                    if (c.expr.isConst)
+                        failAt(c.line, c.col,
+                               "output pin '" + c.pin +
+                                   "' tied to a constant");
+                    Driver drv;
+                    drv.kind = Driver::FromGate;
+                    drv.gate = id;
+                    drv.line = c.line;
+                    setDriver(c.expr.bit, std::move(drv));
+                    continue;
+                }
+                int pin = -1;
+                for (int p = 0; p < nin; p++) {
+                    if (c.pin == pi.inputs[p])
+                        pin = p;
+                }
+                if (pin < 0)
+                    failAt(c.line, c.col,
+                           "cell '" + inst.cell + "' has no pin '" +
+                               c.pin + "'");
+                if (pinSeen[pin])
+                    failAt(c.line, c.col,
+                           "pin '" + c.pin + "' connected twice");
+                pinSeen[pin] = true;
+                if (!c.expr.isConst) {
+                    checkBit(c.expr.bit);
+                    if (isClockNet(c.expr.bit.base))
+                        failAt(c.expr.bit.line, c.expr.bit.col,
+                               "clock/reset net '" +
+                                   c.expr.bit.base +
+                                   "' used as data");
+                }
+                fanins_.push_back({id, pin, c.expr});
+            }
+
+            for (int p = 0; p < nin; p++) {
+                if (!pinSeen[p])
+                    failAt(inst.line, inst.col,
+                           "cell '" + inst.cell + "' instance '" +
+                               inst.name + "': pin '" +
+                               pi.inputs[p] + "' is not connected");
+            }
+            if (!outSeen)
+                failAt(inst.line, inst.col,
+                       "instance '" + inst.name + "': output pin '" +
+                           std::string(pi.output) +
+                           "' is not connected");
+            if (pi.clocked && !clkSeen)
+                failAt(inst.line, inst.col,
+                       "instance '" + inst.name +
+                           "': pin 'CLK' is not connected");
+            if (pi.clocked && !rstSeen)
+                failAt(inst.line, inst.col,
+                       "instance '" + inst.name +
+                           "': pin 'RSTN' is not connected");
+        }
+    }
+
+    void applyAssigns()
+    {
+        for (const Assign &a : d_.assigns) {
+            Driver drv;
+            drv.line = a.lhs.line;
+            if (a.rhs.isConst) {
+                drv.kind = Driver::FromConst;
+                drv.cval = a.rhs.cval;
+            } else {
+                checkBit(a.rhs.bit);
+                if (isClockNet(a.rhs.bit.base))
+                    failAt(a.rhs.bit.line, a.rhs.bit.col,
+                           "clock/reset net '" + a.rhs.bit.base +
+                               "' used as data");
+                drv.kind = Driver::FromAlias;
+                drv.alias = a.rhs.bit.key();
+            }
+            setDriver(a.lhs, std::move(drv));
+        }
+    }
+
+    /**
+     * Resolve a net to its driving gate, following assign/alias
+     * chains; rewrites the chain to FromGate afterwards so long
+     * chains resolve once.
+     */
+    GateId resolveKey(const std::string &key, int line, int col)
+    {
+        std::vector<std::string> chain;
+        std::string cur = key;
+        for (;;) {
+            auto it = drivers_.find(cur);
+            if (it == drivers_.end())
+                failAt(line, col,
+                       "net '" + cur + "' is undriven" +
+                           (cur == key ? ""
+                                       : " (reached through '" + key +
+                                             "')"));
+            Driver &drv = it->second;
+            if (drv.kind == Driver::FromGate)
+                return compress(chain, drv.gate);
+            if (drv.kind == Driver::FromConst)
+                return compress(chain, nl_.tie(drv.cval));
+            for (const std::string &seen : chain) {
+                if (seen == cur)
+                    failAt(line, col,
+                           "assignment cycle through net '" + cur +
+                               "'");
+            }
+            chain.push_back(cur);
+            cur = drv.alias;
+        }
+    }
+
+    GateId compress(const std::vector<std::string> &chain, GateId id)
+    {
+        for (const std::string &key : chain) {
+            Driver &drv = drivers_[key];
+            drv.kind = Driver::FromGate;
+            drv.gate = id;
+        }
+        return id;
+    }
+
+    void resolveFanins()
+    {
+        for (const PendingFanin &f : fanins_) {
+            GateId src =
+                f.expr.isConst
+                    ? nl_.tie(f.expr.cval)
+                    : resolveKey(f.expr.bit.key(), f.expr.bit.line,
+                                 f.expr.bit.col);
+            nl_.setFanin(f.gate, f.pin, src);
+        }
+    }
+
+    void createOutputs()
+    {
+        for (const PortDecl &p : d_.ports) {
+            if (p.isInput)
+                continue;
+            for (int b = 0; b < std::max(p.width, 1); b++) {
+                std::string name =
+                    p.width > 0
+                        ? p.base + "[" + std::to_string(b) + "]"
+                        : p.base;
+                GateId src = resolveKey(name, p.line, p.col);
+                nl_.addOutput(name, src);
+            }
+        }
+    }
+
+    struct PendingFanin
+    {
+        GateId gate;
+        int pin;
+        Expr expr;
+    };
+
+    Design d_;
+    Netlist nl_;
+    std::unordered_map<std::string, Driver> drivers_;
+    std::vector<PendingFanin> fanins_;
+    std::string clkNet_;
+    std::string rstNet_;
+};
+
+} // namespace
+
+VerilogImportResult
+importVerilog(const std::string &text)
+{
+    VerilogImportResult res;
+    try {
+        Parser parser(lex(text));
+        Design design = parser.parse();
+        res.moduleName = design.moduleName;
+        Builder builder(std::move(design));
+        res.netlist = builder.build();
+        res.ok = true;
+    } catch (const ImportError &e) {
+        res.ok = false;
+        res.error = e.msg;
+        res.line = e.line;
+        res.col = e.col;
+    }
+    return res;
+}
+
+} // namespace bespoke

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structural Verilog importer.
+ *
+ * Parses the gate-level subset that exportVerilog() emits, plus the
+ * common structural idioms of synthesis tool output (Yosys-style):
+ *
+ *  - one `module` per file, ANSI (`input wire [15:0] a` in the header)
+ *    or non-ANSI (names in the header, directions declared in the
+ *    body) port declarations;
+ *  - `wire` declarations, scalar or `[msb:0]` vectors, with optional
+ *    scalar initializer (`wire n5 = in[3];`);
+ *  - `assign lhs = rhs;` where both sides are single bits (a scalar
+ *    net, one bit of a vector, or a 1-bit constant on the right);
+ *  - cell instantiations by library name with named port connections
+ *    (`NAND2_X1 u12 (.A(n1), .B(n2), .Y(n3));`), an optional
+ *    `#(.RVAL(1'b0))` parameter on sequential cells, and an optional
+ *    `(* bespoke_module = "alu" *)` attribute carrying the module
+ *    label (defaults to glue; other attributes are skipped).
+ *
+ * The clock and reset are implicit in the netlist model: the nets
+ * feeding DFF/DFFE `.CLK`/`.RSTN` pins (and any scalar input ports
+ * named `clk`/`rst_n`) are recognized as the single global clock and
+ * reset, must be scalar input ports, and do not become INPUT
+ * pseudo-gates; using them as data is an error.
+ *
+ * Everything else is a hard error with a line/column diagnostic:
+ * unknown cells or pins, arity mismatches (missing, duplicate, or
+ * unconnected pins), undriven or multiply-driven nets, undeclared
+ * nets, out-of-range bit selects, combinational loops, constants
+ * other than 1 bit wide, concatenations, and positional connections.
+ */
+
+#ifndef BESPOKE_IO_VERILOG_IMPORT_HH
+#define BESPOKE_IO_VERILOG_IMPORT_HH
+
+#include <string>
+
+#include "src/netlist/netlist.hh"
+
+namespace bespoke
+{
+
+struct VerilogImportResult
+{
+    bool ok = false;
+    Netlist netlist;
+    /** Module name from the `module` header. */
+    std::string moduleName;
+    /** Diagnostic without position prefix; empty when ok. */
+    std::string error;
+    /** 1-based error position; 0 when not tied to a location. */
+    int line = 0;
+    int col = 0;
+
+    /** "file.v:12:5: message" (or just the message at position 0). */
+    std::string format(const std::string &filename) const
+    {
+        if (line == 0)
+            return filename + ": " + error;
+        return filename + ":" + std::to_string(line) + ":" +
+               std::to_string(col) + ": " + error;
+    }
+};
+
+/** Import one structural Verilog module from `text`. */
+VerilogImportResult importVerilog(const std::string &text);
+
+} // namespace bespoke
+
+#endif // BESPOKE_IO_VERILOG_IMPORT_HH

@@ -78,6 +78,39 @@ cellName(CellType type, Drive drive)
     return std::string(p.name) + kDriveSuffix[static_cast<int>(drive)];
 }
 
+bool
+cellByName(const std::string &name, CellType *type, Drive *drive)
+{
+    std::string base = name;
+    Drive d = Drive::X1;
+    for (int s = 0; s < 3; s++) {
+        size_t slen = 3;  // "_X1"
+        if (name.size() > slen &&
+            name.compare(name.size() - slen, slen, kDriveSuffix[s]) == 0) {
+            base = name.substr(0, name.size() - slen);
+            d = static_cast<Drive>(s);
+            break;
+        }
+    }
+    for (int t = 0; t < kNumCellTypes; t++) {
+        if (base == kParams[t].name) {
+            CellType ct = static_cast<CellType>(t);
+            // Drive suffixes only exist on real, non-tie cells; reject
+            // e.g. "TIE0_X2" or a bare "NAND2".
+            bool suffixed = base != name;
+            bool wants_suffix = !cellPseudo(ct) &&
+                                ct != CellType::TIE0 &&
+                                ct != CellType::TIE1;
+            if (suffixed != wants_suffix)
+                return false;
+            *type = ct;
+            *drive = d;
+            return true;
+        }
+    }
+    return false;
+}
+
 double
 cellArea(CellType type, Drive drive)
 {

@@ -79,6 +79,14 @@ int cellNumInputs(CellType type);
 /** Library cell name, including drive suffix, e.g. "NAND2_X2". */
 std::string cellName(CellType type, Drive drive);
 
+/**
+ * Reverse lookup of a library cell name as emitted by cellName()
+ * ("NAND2_X2", "TIE0", ...). Returns false (outputs untouched) for
+ * names outside the library; INPUT/OUTPUT pseudo-cells are accepted
+ * (the JSON interchange format names them explicitly).
+ */
+bool cellByName(const std::string &name, CellType *type, Drive *drive);
+
 /** Area in µm² at the given drive strength. */
 double cellArea(CellType type, Drive drive);
 

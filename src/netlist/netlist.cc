@@ -42,6 +42,18 @@ moduleName(Module m)
     }
 }
 
+bool
+moduleByName(const std::string &name, Module *out)
+{
+    for (int m = 0; m < kNumModules; m++) {
+        if (name == moduleName(static_cast<Module>(m))) {
+            *out = static_cast<Module>(m);
+            return true;
+        }
+    }
+    return false;
+}
+
 GateId
 Netlist::addGate(CellType type, Module module, GateId in0, GateId in1,
                  GateId in2)
@@ -249,6 +261,54 @@ Netlist::levelize() const
     return order;
 }
 
+bool
+Netlist::hasCombLoop(GateId *example) const
+{
+    // Kahn's algorithm over combinational edges, like levelize(), but
+    // reporting instead of panicking.
+    auto is_source = [&](GateId id) {
+        const Gate &g = gates_[id];
+        return g.type == CellType::INPUT || g.type == CellType::TIE0 ||
+               g.type == CellType::TIE1 || cellSequential(g.type);
+    };
+
+    std::vector<int> pending(gates_.size(), 0);
+    std::vector<GateId> ready;
+    std::vector<std::vector<GateId>> comb_fanout(gates_.size());
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (is_source(i))
+            continue;
+        const Gate &g = gates_[i];
+        int deps = 0;
+        for (int p = 0; p < g.numInputs(); p++) {
+            if (!is_source(g.in[p])) {
+                deps++;
+                comb_fanout[g.in[p]].push_back(i);
+            }
+        }
+        pending[i] = deps;
+        if (deps == 0)
+            ready.push_back(i);
+    }
+
+    size_t head = 0;
+    while (head < ready.size()) {
+        GateId id = ready[head++];
+        for (GateId out : comb_fanout[id]) {
+            if (--pending[out] == 0)
+                ready.push_back(out);
+        }
+    }
+
+    for (GateId i = 0; i < gates_.size(); i++) {
+        if (!is_source(i) && pending[i] > 0) {
+            *example = i;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<std::vector<GateId>>
 Netlist::fanouts() const
 {
@@ -279,6 +339,154 @@ Netlist::validate() const
         }
     }
     levelize(); // panics on combinational loops
+}
+
+std::vector<GateId>
+Netlist::canonicalOrder() const
+{
+    std::vector<GateId> order;
+    order.reserve(gates_.size());
+    std::vector<char> seen(gates_.size(), 0);
+    // Canonical position of each gate, filled as the order grows.
+    std::vector<uint32_t> pos(gates_.size(), 0);
+
+    auto take = [&](GateId id) {
+        seen[id] = 1;
+        pos[id] = static_cast<uint32_t>(order.size());
+        order.push_back(id);
+    };
+
+    // Pre-order DFS through fanins in pin order. The traversal is
+    // anchored purely at port names and pin positions, so two
+    // renumberings of the same graph walk it identically.
+    std::vector<GateId> stack;
+    auto visit = [&](GateId root) {
+        stack.push_back(root);
+        while (!stack.empty()) {
+            GateId id = stack.back();
+            stack.pop_back();
+            if (seen[id])
+                continue;
+            take(id);
+            const Gate &g = gates_[id];
+            for (int p = g.numInputs() - 1; p >= 0; p--)
+                stack.push_back(g.in[p]);
+        }
+    };
+
+    std::vector<std::pair<std::string, GateId>> outs, ins;
+    for (const auto &[name, id] : ports_) {
+        (gates_[id].type == CellType::OUTPUT ? outs : ins)
+            .emplace_back(name, id);
+    }
+    std::sort(outs.begin(), outs.end());
+    std::sort(ins.begin(), ins.end());
+    for (const auto &[name, id] : outs)
+        visit(id);
+    for (const auto &[name, id] : ins)
+        visit(id);
+
+    // Stragglers: gates feeding no output cone (dead logic). Number
+    // them in rounds by a purely structural key so the order stays
+    // renumbering-invariant; gates with identical keys are
+    // interchangeable duplicates and may take either slot.
+    using Key = std::vector<uint64_t>;
+    while (order.size() < gates_.size()) {
+        std::vector<std::pair<Key, GateId>> ready;
+        for (GateId i = 0; i < gates_.size(); i++) {
+            if (seen[i])
+                continue;
+            const Gate &g = gates_[i];
+            bool fanins_done = true;
+            for (int p = 0; p < g.numInputs(); p++)
+                fanins_done = fanins_done && seen[g.in[p]];
+            if (!fanins_done)
+                continue;
+            Key k{static_cast<uint64_t>(g.type),
+                  static_cast<uint64_t>(g.drive),
+                  static_cast<uint64_t>(g.module),
+                  g.resetValue ? 1ull : 0ull};
+            for (int p = 0; p < g.numInputs(); p++)
+                k.push_back(pos[g.in[p]]);
+            ready.emplace_back(std::move(k), i);
+        }
+        if (ready.empty()) {
+            // Dead sequential cycles: break them by taking every
+            // remaining flop, keyed without fanins.
+            for (GateId i = 0; i < gates_.size(); i++) {
+                if (seen[i] || !cellSequential(gates_[i].type))
+                    continue;
+                const Gate &g = gates_[i];
+                ready.emplace_back(
+                    Key{static_cast<uint64_t>(g.type),
+                        static_cast<uint64_t>(g.drive),
+                        static_cast<uint64_t>(g.module),
+                        g.resetValue ? 1ull : 0ull},
+                    i);
+            }
+        }
+        if (ready.empty()) {
+            // Combinational cycle (validate() rejects these); fall
+            // back to original order so the function still returns.
+            for (GateId i = 0; i < gates_.size(); i++) {
+                if (!seen[i])
+                    take(i);
+            }
+            break;
+        }
+        std::stable_sort(ready.begin(), ready.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (const auto &[key, id] : ready)
+            take(id);
+    }
+    return order;
+}
+
+uint64_t
+Netlist::contentHash() const
+{
+    std::vector<GateId> order = canonicalOrder();
+    std::vector<uint32_t> pos(gates_.size(), 0);
+    for (size_t i = 0; i < order.size(); i++)
+        pos[order[i]] = static_cast<uint32_t>(i);
+
+    uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+    auto mixByte = [&h](uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;  // FNV-1a prime
+    };
+    auto mix32 = [&](uint32_t v) {
+        for (int i = 0; i < 4; i++)
+            mixByte(static_cast<uint8_t>(v >> (8 * i)));
+    };
+
+    mix32(static_cast<uint32_t>(gates_.size()));
+    for (GateId id : order) {
+        const Gate &g = gates_[id];
+        mixByte(static_cast<uint8_t>(g.type));
+        mixByte(static_cast<uint8_t>(g.drive));
+        // Pseudo-gate module labels are bookkeeping the interchange
+        // formats do not carry; keep them out of the identity.
+        mixByte(cellPseudo(g.type) ? 0xff
+                                   : static_cast<uint8_t>(g.module));
+        mixByte(g.resetValue ? 1 : 0);
+        for (int p = 0; p < g.numInputs(); p++)
+            mix32(pos[g.in[p]]);
+    }
+
+    std::vector<std::pair<std::string, GateId>> sorted_ports(
+        ports_.begin(), ports_.end());
+    std::sort(sorted_ports.begin(), sorted_ports.end());
+    for (const auto &[name, id] : sorted_ports) {
+        for (char c : name)
+            mixByte(static_cast<uint8_t>(c));
+        mixByte(0);
+        mixByte(gates_[id].type == CellType::INPUT ? 1 : 2);
+        mix32(pos[id]);
+    }
+    return h;
 }
 
 NetlistStats

@@ -57,6 +57,9 @@ constexpr int kNumModules = static_cast<int>(Module::NumModules);
 /** Human-readable module name. */
 const char *moduleName(Module m);
 
+/** Reverse lookup of moduleName(); false for unknown names. */
+bool moduleByName(const std::string &name, Module *out);
+
 /** One gate instance. */
 struct Gate
 {
@@ -133,6 +136,11 @@ class Netlist
     {
         return ports_;
     }
+    /** All attached debug names (ports included), id -> name. */
+    const std::unordered_map<GateId, std::string> &gateNames() const
+    {
+        return names_;
+    }
     std::vector<GateId> inputIds() const;
     std::vector<GateId> outputIds() const;
     /// @}
@@ -154,6 +162,36 @@ class Netlist
 
     /** Check structural sanity (all pins wired, arities right). */
     void validate() const;
+
+    /**
+     * Non-panicking combinational loop detection. Interchange loaders
+     * use this to reject bad input as a user error where levelize()
+     * would treat it as a broken internal invariant. Returns true and
+     * names one gate on a cycle through *example.
+     */
+    bool hasCombLoop(GateId *example) const;
+
+    /**
+     * Canonical gate ordering: a permutation of all gate ids that is
+     * invariant under renumbering (two isomorphic netlists produce the
+     * same canonical sequence of gates). Anchored at the named ports:
+     * depth-first traversal from the output ports in name order,
+     * descending through fanins in pin order (crossing flop
+     * boundaries), then the input ports in name order, then any
+     * remaining (dead) gates in a structurally determined order.
+     * Returns canonical position -> gate id.
+     */
+    std::vector<GateId> canonicalOrder() const;
+
+    /**
+     * Content hash: FNV-1a over the canonical form (gate types,
+     * drives, module labels, reset values, and fanin edges in
+     * canonical numbering, plus the port bindings). Invariant under
+     * gate renumbering, so import(export(N)) hashes identically to N;
+     * module labels of INPUT/OUTPUT pseudo-gates are excluded (they
+     * are bookkeeping that the interchange formats do not carry).
+     */
+    uint64_t contentHash() const;
 
     /** Whole-design stats over real cells. */
     NetlistStats stats() const;

@@ -319,6 +319,18 @@ ActivityTracker::mergeFrom(const ActivityTracker &other)
         toggled_[i] |= other.toggled_[i];
 }
 
+void
+ActivityTracker::restore(std::vector<uint8_t> initial,
+                         std::vector<uint8_t> toggled)
+{
+    bespoke_assert(initial.size() == nl_->size() &&
+                   toggled.size() == nl_->size(),
+                   "restoring tracker state of the wrong size");
+    initial_ = std::move(initial);
+    toggled_ = std::move(toggled);
+    initialCaptured_ = true;
+}
+
 ToggleCounter::ToggleCounter(const Netlist &netlist)
     : last_(netlist.size(), 0), counts_(netlist.size(), 0)
 {

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Verilog importer diagnostics: every malformed input class the
+ * importer promises to reject must fail with a useful message and a
+ * correct line number, never crash, and never produce a netlist.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/io/netlist_json.hh"
+#include "src/io/verilog_import.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+/** Expect failure whose message contains `what`; returns the result. */
+VerilogImportResult
+expectError(const std::string &text, const std::string &what)
+{
+    VerilogImportResult res = importVerilog(text);
+    EXPECT_FALSE(res.ok) << "accepted bad input: " << what;
+    EXPECT_NE(res.error.find(what), std::string::npos)
+        << "error was: " << res.error;
+    return res;
+}
+
+TEST(ImportErrors, UnknownCell)
+{
+    VerilogImportResult res = expectError(
+        "module t (input a, output y);\n"
+        "  wire w;\n"
+        "  FOO_X1 u0 (.A(a), .Y(w));\n"
+        "  assign y = w;\n"
+        "endmodule\n",
+        "unknown cell 'FOO_X1'");
+    EXPECT_EQ(res.line, 3);
+}
+
+TEST(ImportErrors, BareCellNameWithoutDrive)
+{
+    expectError("module t (input a, output y);\n"
+                "  INV u0 (.A(a), .Y(y));\n"
+                "endmodule\n",
+                "unknown cell 'INV'");
+}
+
+TEST(ImportErrors, PseudoCellNotInstantiable)
+{
+    expectError("module t (input a, output y);\n"
+                "  INPUT u0 (.Y(y));\n"
+                "endmodule\n",
+                "not instantiable");
+}
+
+TEST(ImportErrors, UnknownPin)
+{
+    VerilogImportResult res = expectError(
+        "module t (input a, output y);\n"
+        "  INV_X1 u0 (.A(a), .B(a), .Y(y));\n"
+        "endmodule\n",
+        "cell 'INV_X1' has no pin 'B'");
+    EXPECT_EQ(res.line, 2);
+}
+
+TEST(ImportErrors, MissingPin)
+{
+    expectError("module t (input a, output y);\n"
+                "  NAND2_X1 u0 (.A(a), .Y(y));\n"
+                "endmodule\n",
+                "pin 'B' is not connected");
+}
+
+TEST(ImportErrors, DuplicatePin)
+{
+    expectError("module t (input a, output y);\n"
+                "  NAND2_X1 u0 (.A(a), .A(a), .B(a), .Y(y));\n"
+                "endmodule\n",
+                "pin 'A' connected twice");
+}
+
+TEST(ImportErrors, MissingOutputPin)
+{
+    expectError("module t (input a, output y);\n"
+                "  wire w;\n"
+                "  INV_X1 u0 (.A(a));\n"
+                "  assign y = a;\n"
+                "endmodule\n",
+                "output pin 'Y' is not connected");
+}
+
+TEST(ImportErrors, MultiplyDrivenNet)
+{
+    VerilogImportResult res = expectError(
+        "module t (input a, output y);\n"
+        "  wire w;\n"
+        "  INV_X1 u0 (.A(a), .Y(w));\n"
+        "  BUF_X1 u1 (.A(a), .Y(w));\n"
+        "  assign y = w;\n"
+        "endmodule\n",
+        "net 'w' is multiply driven");
+    EXPECT_EQ(res.line, 4);
+    // The diagnostic points back at the first driver too.
+    EXPECT_NE(res.error.find("line 3"), std::string::npos)
+        << res.error;
+}
+
+TEST(ImportErrors, UndrivenNet)
+{
+    VerilogImportResult res = expectError(
+        "module t (input a, output y);\n"
+        "  wire w;\n"
+        "  INV_X1 u0 (.A(w), .Y(y));\n"
+        "endmodule\n",
+        "net 'w' is undriven");
+    EXPECT_EQ(res.line, 3);
+}
+
+TEST(ImportErrors, UndrivenOutputPort)
+{
+    expectError("module t (input a, output y);\n"
+                "endmodule\n",
+                "net 'y' is undriven");
+}
+
+TEST(ImportErrors, UndeclaredNet)
+{
+    expectError("module t (input a, output y);\n"
+                "  INV_X1 u0 (.A(nope), .Y(y));\n"
+                "endmodule\n",
+                "'nope' is not declared");
+}
+
+TEST(ImportErrors, OutOfRangeBitSelect)
+{
+    expectError("module t (input [3:0] a, output y);\n"
+                "  assign y = a[4];\n"
+                "endmodule\n",
+                "bit 4 out of range for 'a[3:0]'");
+}
+
+TEST(ImportErrors, BitSelectOnScalar)
+{
+    expectError("module t (input a, output y);\n"
+                "  assign y = a[0];\n"
+                "endmodule\n",
+                "bit select on scalar net 'a'");
+}
+
+TEST(ImportErrors, VectorWithoutBitSelect)
+{
+    expectError("module t (input [3:0] a, output y);\n"
+                "  assign y = a;\n"
+                "endmodule\n",
+                "used without a bit select");
+}
+
+TEST(ImportErrors, TruncatedFile)
+{
+    VerilogImportResult res = expectError(
+        "module t (input a, output y);\n"
+        "  wire w;\n"
+        "  INV_X1 u0 (.A(a),",
+        "unexpected end of file");
+    EXPECT_EQ(res.line, 3);
+}
+
+TEST(ImportErrors, MissingEndmodule)
+{
+    expectError("module t (input a, output y);\n"
+                "  assign y = a;\n",
+                "missing endmodule");
+}
+
+TEST(ImportErrors, TwoModulesInOneFile)
+{
+    expectError("module t (input a, output y);\n"
+                "  assign y = a;\n"
+                "endmodule\n"
+                "module u (input a, output y);\n"
+                "endmodule\n",
+                "one module per file");
+}
+
+TEST(ImportErrors, WideConstant)
+{
+    expectError("module t (input a, output y);\n"
+                "  assign y = 2'b01;\n"
+                "endmodule\n",
+                "only 1-bit constants");
+}
+
+TEST(ImportErrors, XConstant)
+{
+    expectError("module t (input a, output y);\n"
+                "  assign y = 1'bx;\n"
+                "endmodule\n",
+                "unsupported constant");
+}
+
+TEST(ImportErrors, PositionalConnections)
+{
+    expectError("module t (input a, output y);\n"
+                "  INV_X1 u0 (a, y);\n"
+                "endmodule\n",
+                "positional connections are not supported");
+}
+
+TEST(ImportErrors, Concatenation)
+{
+    expectError("module t (input [1:0] a, output y);\n"
+                "  assign y = {a[0], a[1]};\n"
+                "endmodule\n",
+                "concatenations are not supported");
+}
+
+TEST(ImportErrors, BehavioralConstruct)
+{
+    expectError("module t (input a, output y);\n"
+                "  reg r;\n"
+                "  assign y = a;\n"
+                "endmodule\n",
+                "behavioral construct 'reg'");
+}
+
+TEST(ImportErrors, RvalOnCombinationalCell)
+{
+    expectError("module t (input a, output y);\n"
+                "  INV_X1 #(.RVAL(1'b0)) u0 (.A(a), .Y(y));\n"
+                "endmodule\n",
+                "RVAL parameter on combinational cell");
+}
+
+TEST(ImportErrors, UnknownParameter)
+{
+    expectError(
+        "module t (input clk, input rst_n, input a, output y);\n"
+        "  DFF_X1 #(.INIT(1'b0)) u0 (.CLK(clk), .RSTN(rst_n), "
+        ".D(a), .Q(y));\n"
+        "endmodule\n",
+        "unknown parameter 'INIT'");
+}
+
+TEST(ImportErrors, FlopWithoutClock)
+{
+    expectError(
+        "module t (input rst_n, input a, output y);\n"
+        "  DFF_X1 u0 (.RSTN(rst_n), .D(a), .Q(y));\n"
+        "endmodule\n",
+        "pin 'CLK' is not connected");
+}
+
+TEST(ImportErrors, TwoClockNets)
+{
+    expectError(
+        "module t (input clk, input clk2, input rst_n, input a,\n"
+        "          output y, output z);\n"
+        "  DFF_X1 u0 (.CLK(clk), .RSTN(rst_n), .D(a), .Q(y));\n"
+        "  DFF_X1 u1 (.CLK(clk2), .RSTN(rst_n), .D(a), .Q(z));\n"
+        "endmodule\n",
+        "second clock net 'clk2'");
+}
+
+TEST(ImportErrors, ClockUsedAsData)
+{
+    expectError("module t (input clk, input rst_n, input a, output y);\n"
+                "  DFF_X1 u0 (.CLK(clk), .RSTN(rst_n), .D(a), .Q(y));\n"
+                "  wire w;\n"
+                "  INV_X1 u1 (.A(clk), .Y(w));\n"
+                "endmodule\n",
+                "clock/reset net 'clk' used as data");
+}
+
+TEST(ImportErrors, UnknownModuleLabel)
+{
+    expectError("module t (input a, output y);\n"
+                "  (* bespoke_module = \"warp_core\" *)\n"
+                "  INV_X1 u0 (.A(a), .Y(y));\n"
+                "endmodule\n",
+                "unknown module label 'warp_core'");
+}
+
+TEST(ImportErrors, CombinationalLoop)
+{
+    expectError("module t (input a, output y);\n"
+                "  wire w0;\n"
+                "  wire w1;\n"
+                "  INV_X1 u0 (.A(w1), .Y(w0));\n"
+                "  INV_X1 u1 (.A(w0), .Y(w1));\n"
+                "  assign y = w0;\n"
+                "endmodule\n",
+                "combinational loop");
+}
+
+TEST(ImportErrors, AssignmentCycle)
+{
+    expectError("module t (input i, output y);\n"
+                "  wire a;\n"
+                "  wire b;\n"
+                "  assign a = b;\n"
+                "  assign b = a;\n"
+                "  assign y = a;\n"
+                "endmodule\n",
+                "assignment cycle");
+}
+
+TEST(ImportErrors, PortWithoutDirection)
+{
+    expectError("module t (a, y);\n"
+                "  input a;\n"
+                "  assign y = a;\n"
+                "endmodule\n",
+                "has no input/output declaration");
+}
+
+TEST(ImportErrors, UnconnectedPin)
+{
+    expectError("module t (input a, output y);\n"
+                "  INV_X1 u0 (.A(), .Y(y));\n"
+                "endmodule\n",
+                "is unconnected");
+}
+
+// ------------------------------------------------ JSON loader errors
+
+TEST(JsonErrors, RejectsEditsAndTruncation)
+{
+    // A well-formed document for a tiny netlist...
+    Netlist nl;
+    GateId a = nl.addInput("a");
+    GateId g = nl.addGate(CellType::INV, Module::Alu, a);
+    nl.addOutput("y", g);
+    std::string text = netlistToJsonText(nl);
+    ASSERT_TRUE(netlistFromJsonText(text).ok);
+
+    // ...edited without updating the hash: rejected.
+    size_t pos = text.find("\"alu\"");
+    ASSERT_NE(pos, std::string::npos);
+    std::string edited = text;
+    edited.replace(pos, 5, "\"sfr\"");
+    NetlistJsonResult res = netlistFromJsonText(edited);
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("content hash mismatch"),
+              std::string::npos)
+        << res.error;
+
+    // Truncation is malformed JSON.
+    EXPECT_FALSE(
+        netlistFromJsonText(text.substr(0, text.size() / 2)).ok);
+}
+
+TEST(JsonErrors, BadDocuments)
+{
+    auto err = [](const std::string &text) {
+        NetlistJsonResult res = netlistFromJsonText(text);
+        EXPECT_FALSE(res.ok) << text;
+        return res.error;
+    };
+    EXPECT_NE(err("[1,2]").find("not an object"), std::string::npos);
+    EXPECT_NE(err("{\"format\":\"nope\"}").find("format"),
+              std::string::npos);
+    EXPECT_NE(
+        err("{\"format\":\"bespoke-netlist\",\"version\":9}")
+            .find("version"),
+        std::string::npos);
+    EXPECT_NE(err("{\"format\":\"bespoke-netlist\",\"version\":1}")
+                  .find("gates"),
+              std::string::npos);
+    // Unknown cell name.
+    EXPECT_NE(
+        err("{\"format\":\"bespoke-netlist\",\"version\":1,"
+            "\"gates\":[[\"FOO\",\"X1\",\"glue\",0,[]]],"
+            "\"ports\":[]}")
+            .find("unknown cell"),
+        std::string::npos);
+    // Arity mismatch.
+    EXPECT_NE(
+        err("{\"format\":\"bespoke-netlist\",\"version\":1,"
+            "\"gates\":[[\"INPUT\",\"X1\",\"glue\",0,[]],"
+            "[\"NAND2\",\"X1\",\"glue\",0,[0]]],"
+            "\"ports\":[[\"a\",0]]}")
+            .find("takes 2 fanins, got 1"),
+        std::string::npos);
+    // Dangling fanin id.
+    EXPECT_NE(
+        err("{\"format\":\"bespoke-netlist\",\"version\":1,"
+            "\"gates\":[[\"INPUT\",\"X1\",\"glue\",0,[]],"
+            "[\"INV\",\"X1\",\"glue\",0,[7]]],"
+            "\"ports\":[[\"a\",0]]}")
+            .find("out of range"),
+        std::string::npos);
+}
+
+} // namespace
+} // namespace bespoke

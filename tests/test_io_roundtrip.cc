@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Interchange round-trip identity tests.
+ *
+ * The JSON format must reproduce a netlist *exactly* (ids, ports,
+ * debug names) and serialize deterministically; the Verilog
+ * export/import round trip renumbers gates but must preserve the
+ * design up to isomorphism — same canonical form, same contentHash().
+ * Both properties are pinned on the generated cores and on fuzzed
+ * random netlists, and contentHash() is checked to be invariant under
+ * renumbering and sensitive to every field that defines the design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bespoke/equiv_check.hh"
+#include "src/cpu/bsp430.hh"
+#include "src/io/isomorphism.hh"
+#include "src/io/netlist_json.hh"
+#include "src/io/verilog_import.hh"
+#include "src/netlist/verilog_export.hh"
+#include "src/util/rng.hh"
+#include "src/workloads/workload.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+Module
+randModule(Rng &rng)
+{
+    return static_cast<Module>(rng.below(kNumModules));
+}
+
+/**
+ * Random DAG of library cells: bus and scalar inputs, shared ties,
+ * mixed drives/modules/reset values, flop feedback cycles, dead
+ * logic, and debug names — everything the interchange must carry.
+ */
+Netlist
+randomNetlist(Rng &rng)
+{
+    Netlist nl;
+    std::vector<GateId> pool;
+
+    int nin = rng.range(1, 3);
+    for (int i = 0; i < nin; i++) {
+        if (rng.chance(1, 2)) {
+            int w = rng.range(2, 6);
+            for (int b = 0; b < w; b++)
+                pool.push_back(
+                    nl.addInput("in" + std::to_string(i) + "[" +
+                                std::to_string(b) + "]"));
+        } else {
+            pool.push_back(nl.addInput("si" + std::to_string(i)));
+        }
+    }
+    if (rng.chance(1, 2))
+        pool.push_back(nl.tie(false, randModule(rng)));
+    if (rng.chance(1, 2))
+        pool.push_back(nl.tie(true, randModule(rng)));
+
+    static const CellType kComb[] = {
+        CellType::BUF,   CellType::INV,   CellType::AND2,
+        CellType::AND3,  CellType::OR2,   CellType::OR3,
+        CellType::NAND2, CellType::NAND3, CellType::NOR2,
+        CellType::NOR3,  CellType::XOR2,  CellType::XNOR2,
+        CellType::MUX2,  CellType::AOI21, CellType::OAI21,
+    };
+
+    std::vector<GateId> flops;
+    int ngates = rng.range(15, 60);
+    for (int i = 0; i < ngates; i++) {
+        CellType type;
+        if (rng.chance(1, 5)) {
+            type = rng.chance(1, 2) ? CellType::DFF : CellType::DFFE;
+        } else {
+            type = kComb[rng.below(sizeof(kComb) / sizeof(kComb[0]))];
+        }
+        GateId in[3] = {kNoGate, kNoGate, kNoGate};
+        for (int p = 0; p < cellNumInputs(type); p++)
+            in[p] = pool[rng.below(static_cast<uint32_t>(pool.size()))];
+        GateId id = nl.addGate(type, randModule(rng), in[0], in[1],
+                               in[2]);
+        nl.gateRef(id).drive = static_cast<Drive>(rng.below(3));
+        if (cellSequential(type)) {
+            if (rng.chance(1, 2))
+                nl.setResetValue(id, true);
+            flops.push_back(id);
+        }
+        if (rng.chance(1, 8))
+            nl.setName(id, "dbg" + std::to_string(id));
+        pool.push_back(id);
+    }
+
+    // Sequential feedback: rewire some flop D pins forward in the
+    // pool. Flops are sources, so this cannot create a comb loop.
+    for (GateId f : flops) {
+        if (rng.chance(1, 2))
+            nl.setFanin(
+                f, 0,
+                pool[rng.below(static_cast<uint32_t>(pool.size()))]);
+    }
+
+    int nout = rng.range(1, 4);
+    for (int i = 0; i < nout; i++) {
+        GateId src = pool[rng.below(static_cast<uint32_t>(pool.size()))];
+        nl.addOutput("out" + std::to_string(i), src,
+                     randModule(rng));
+    }
+    return nl;
+}
+
+/** Rebuild `src` under a random gate-id permutation. */
+Netlist
+renumbered(const Netlist &src, Rng &rng)
+{
+    std::vector<GateId> perm(src.size());
+    for (GateId i = 0; i < src.size(); i++)
+        perm[i] = i;
+    for (size_t i = perm.size(); i > 1; i--)
+        std::swap(perm[i - 1],
+                  perm[rng.below(static_cast<uint32_t>(i))]);
+
+    std::vector<GateId> newId(src.size());
+    for (GateId n = 0; n < src.size(); n++)
+        newId[perm[n]] = n;
+
+    Netlist out;
+    for (GateId n = 0; n < src.size(); n++) {
+        const Gate &g = src.gate(perm[n]);
+        GateId in[3] = {kNoGate, kNoGate, kNoGate};
+        for (int p = 0; p < g.numInputs(); p++)
+            in[p] = newId[g.in[p]];
+        GateId id = out.addGate(g.type, g.module, in[0], in[1], in[2]);
+        out.gateRef(id).drive = g.drive;
+        if (g.resetValue)
+            out.setResetValue(id, true);
+    }
+    for (const auto &[name, id] : src.ports())
+        out.registerPort(name, newId[id]);
+    return out;
+}
+
+/** Exact (id-level) equality, as the JSON round trip must provide. */
+void
+expectExactlyEqual(const Netlist &a, const Netlist &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (GateId i = 0; i < a.size(); i++) {
+        const Gate &ga = a.gate(i);
+        const Gate &gb = b.gate(i);
+        ASSERT_EQ(ga.type, gb.type) << "gate " << i;
+        ASSERT_EQ(ga.drive, gb.drive) << "gate " << i;
+        ASSERT_EQ(ga.module, gb.module) << "gate " << i;
+        ASSERT_EQ(ga.resetValue, gb.resetValue) << "gate " << i;
+        for (int p = 0; p < ga.numInputs(); p++)
+            ASSERT_EQ(ga.in[p], gb.in[p])
+                << "gate " << i << " pin " << p;
+    }
+    ASSERT_EQ(a.ports().size(), b.ports().size());
+    for (const auto &[name, id] : a.ports()) {
+        ASSERT_TRUE(b.hasPort(name)) << name;
+        ASSERT_EQ(b.port(name), id) << name;
+    }
+    ASSERT_EQ(a.gateNames().size(), b.gateNames().size());
+    for (const auto &[id, name] : a.gateNames())
+        ASSERT_EQ(b.name(id), name) << "gate " << id;
+    ASSERT_EQ(a.contentHash(), b.contentHash());
+}
+
+void
+checkJsonRoundTrip(const Netlist &nl)
+{
+    std::string text = netlistToJsonText(nl);
+    NetlistJsonResult res = netlistFromJsonText(text);
+    ASSERT_TRUE(res.ok) << res.error;
+    expectExactlyEqual(nl, res.netlist);
+    // Deterministic serialization: same netlist -> same bytes.
+    EXPECT_EQ(text, netlistToJsonText(res.netlist));
+}
+
+void
+checkVerilogRoundTrip(const Netlist &nl)
+{
+    std::ostringstream os;
+    exportVerilog(nl, "dut", os);
+    VerilogImportResult res = importVerilog(os.str());
+    ASSERT_TRUE(res.ok) << res.format("<export>");
+    EXPECT_EQ(res.moduleName, "dut");
+
+    IsoResult iso = netlistIsomorphic(nl, res.netlist);
+    EXPECT_TRUE(iso.isomorphic) << iso.why;
+    EXPECT_EQ(nl.contentHash(), res.netlist.contentHash());
+
+    // The bespoke_module attributes must carry the per-module
+    // breakdown across the round trip.
+    for (int m = 0; m < kNumModules; m++) {
+        Module mod = static_cast<Module>(m);
+        EXPECT_EQ(nl.moduleStats(mod).numCells,
+                  res.netlist.moduleStats(mod).numCells)
+            << moduleName(mod);
+    }
+}
+
+TEST(IoRoundTrip, JsonExactOnCores)
+{
+    checkJsonRoundTrip(buildBsp430());
+    checkJsonRoundTrip(buildBsp430(nullptr, CpuConfig::extended()));
+}
+
+TEST(IoRoundTrip, VerilogIsomorphicOnCores)
+{
+    checkVerilogRoundTrip(buildBsp430());
+    checkVerilogRoundTrip(buildBsp430(nullptr, CpuConfig::extended()));
+}
+
+class IoRoundTripFuzz : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(IoRoundTripFuzz, JsonExact)
+{
+    Rng rng(GetParam());
+    for (int t = 0; t < 10; t++)
+        checkJsonRoundTrip(randomNetlist(rng));
+}
+
+TEST_P(IoRoundTripFuzz, VerilogIsomorphic)
+{
+    Rng rng(GetParam() + 1000);
+    for (int t = 0; t < 10; t++)
+        checkVerilogRoundTrip(randomNetlist(rng));
+}
+
+TEST_P(IoRoundTripFuzz, ContentHashInvariantUnderRenumbering)
+{
+    Rng rng(GetParam() + 2000);
+    for (int t = 0; t < 10; t++) {
+        Netlist nl = randomNetlist(rng);
+        Netlist shuffled = renumbered(nl, rng);
+        EXPECT_EQ(nl.contentHash(), shuffled.contentHash());
+        IsoResult iso = netlistIsomorphic(nl, shuffled);
+        EXPECT_TRUE(iso.isomorphic) << iso.why;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripFuzz,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+/** Every field that defines the design must show up in the hash. */
+TEST(IoRoundTrip, MutationsChangeHashAndBreakIsomorphism)
+{
+    Rng rng(99);
+    Netlist nl = randomNetlist(rng);
+    uint64_t h0 = nl.contentHash();
+
+    auto findGate = [&](auto &&pred) -> GateId {
+        for (GateId i = 0; i < nl.size(); i++) {
+            if (pred(nl.gate(i)))
+                return i;
+        }
+        return kNoGate;
+    };
+    auto expectChanged = [&](Netlist &mut, const char *what) {
+        EXPECT_NE(mut.contentHash(), h0) << what;
+        EXPECT_FALSE(netlistIsomorphic(nl, mut).isomorphic) << what;
+    };
+
+    {
+        GateId g = findGate([](const Gate &g) {
+            return g.type == CellType::NAND2 || g.type == CellType::AND2 ||
+                   g.type == CellType::OR2 || g.type == CellType::XOR2;
+        });
+        if (g != kNoGate) {
+            // Same arity, different function.
+            Netlist mut = nl;
+            mut.gateRef(g).type = CellType::NOR2;
+            expectChanged(mut, "cell type");
+        }
+    }
+    {
+        GateId g = findGate(
+            [](const Gate &g) { return !cellPseudo(g.type); });
+        ASSERT_NE(g, kNoGate);
+        Netlist mut = nl;
+        mut.gateRef(g).drive =
+            nl.gate(g).drive == Drive::X1 ? Drive::X4 : Drive::X1;
+        expectChanged(mut, "drive strength");
+    }
+    {
+        GateId g = findGate(
+            [](const Gate &g) { return !cellPseudo(g.type); });
+        Netlist mut = nl;
+        mut.gateRef(g).module = nl.gate(g).module == Module::Alu
+                                    ? Module::RF
+                                    : Module::Alu;
+        expectChanged(mut, "module label");
+    }
+    {
+        GateId g = findGate(
+            [](const Gate &g) { return cellSequential(g.type); });
+        if (g != kNoGate) {
+            Netlist mut = nl;
+            mut.gateRef(g).resetValue = !nl.gate(g).resetValue;
+            expectChanged(mut, "reset value");
+        }
+    }
+    {
+        GateId g = findGate([](const Gate &g) {
+            return g.numInputs() >= 2 && g.in[0] != g.in[1];
+        });
+        if (g != kNoGate) {
+            Netlist mut = nl;
+            GateId a = nl.gate(g).in[0];
+            mut.setFanin(g, 0, nl.gate(g).in[1]);
+            mut.setFanin(g, 1, a);
+            expectChanged(mut, "pin order");
+        }
+    }
+}
+
+/**
+ * The pseudo-gate module labels are bookkeeping the interchange does
+ * not carry; they must NOT affect the identity.
+ */
+TEST(IoRoundTrip, PseudoGateModulesExcludedFromIdentity)
+{
+    Rng rng(123);
+    Netlist nl = randomNetlist(rng);
+    Netlist mut = renumbered(nl, rng);
+    for (GateId i = 0; i < mut.size(); i++) {
+        if (cellPseudo(mut.gate(i).type))
+            mut.gateRef(i).module = Module::Dbg;
+    }
+    EXPECT_EQ(nl.contentHash(), mut.contentHash());
+    EXPECT_TRUE(netlistIsomorphic(nl, mut).isomorphic);
+}
+
+/**
+ * End-to-end wiring into the verifier: a core that went out through
+ * Verilog and came back in must be symbolically equivalent to the
+ * freshly built one on a real program.
+ */
+TEST(IoRoundTrip, ImportedCoreIsSymbolicallyEquivalent)
+{
+    Netlist core = buildBsp430();
+    std::ostringstream os;
+    exportVerilog(core, "bsp430", os);
+    VerilogImportResult res = importVerilog(os.str());
+    ASSERT_TRUE(res.ok) << res.format("<export>");
+
+    const Workload &w = workloadByName("div");
+    AsmProgram prog = w.assembleProgram();
+    EquivResult eq =
+        checkSymbolicEquivalence(core, res.netlist, prog);
+    EXPECT_TRUE(eq.equivalent) << eq.firstMismatch;
+    EXPECT_TRUE(eq.completed);
+}
+
+/** Structural idioms beyond what exportVerilog() emits (Yosys-style). */
+TEST(IoRoundTrip, AcceptsStructuralIdioms)
+{
+    // Non-ANSI ports, body direction decls, constants on pins,
+    // instance output driving a port bit directly, skipped foreign
+    // attributes, multi-name wire decls.
+    const char *text = R"(
+module top (clk, rst_n, a, y, z);
+  input clk;
+  input rst_n;
+  input [1:0] a;
+  output [1:0] y;
+  output z;
+  wire w0, w1;
+  (* src = "top.v:3", keep *)
+  (* bespoke_module = "alu" *)
+  NAND2_X2 u0 (.A(a[0]), .B(a[1]), .Y(w0));
+  DFF_X1 #(.RVAL(1'b1)) u1 (.CLK(clk), .RSTN(rst_n), .D(w0), .Q(w1));
+  assign y[0] = w1;
+  XOR2_X1 u2 (.A(w1), .B(1'b1), .Y(y[1]));
+  assign z = 1'b0;
+endmodule
+)";
+    VerilogImportResult res = importVerilog(text);
+    ASSERT_TRUE(res.ok) << res.format("<inline>");
+    const Netlist &nl = res.netlist;
+
+    // 2 inputs (clk/rst_n are implicit), 3 outputs, 3 cells + 2 ties.
+    EXPECT_EQ(nl.inputIds().size(), 2u);
+    EXPECT_EQ(nl.outputIds().size(), 3u);
+    EXPECT_EQ(nl.moduleStats(Module::Alu).numCells, 1u);
+
+    GateId dffId = nl.gate(nl.port("y[0]")).in[0]; // OUTPUT <- DFF
+    const Gate &dff = nl.gate(dffId);
+    EXPECT_EQ(dff.type, CellType::DFF);
+    EXPECT_TRUE(dff.resetValue);
+    const Gate &nand2 = nl.gate(dff.in[0]);
+    EXPECT_EQ(nand2.type, CellType::NAND2);
+    EXPECT_EQ(nand2.drive, Drive::X2);
+    EXPECT_EQ(nand2.module, Module::Alu);
+    EXPECT_EQ(nl.gate(nl.gate(nl.port("z")).in[0]).type,
+              CellType::TIE0);
+
+    // And it round-trips through our own exporter.
+    checkVerilogRoundTrip(nl);
+    checkJsonRoundTrip(nl);
+}
+
+} // namespace
+} // namespace bespoke

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Netlist interchange command-line tool.
+ *
+ * Moves gate-level netlists across the system boundary in both
+ * directions and runs the bespoke transformation on imported ones:
+ *
+ *   bespoke_io export  [--core default|extended] -o FILE
+ *       Build the baseline core and write it (.v or .json by file
+ *       extension).
+ *   bespoke_io convert -i FILE -o FILE
+ *       Import (validating), then re-export in the other format.
+ *   bespoke_io hash    -i FILE | --core default|extended
+ *       Print the canonical content hash.
+ *   bespoke_io tailor  -i FILE --app NAME -o FILE
+ *                      [--checkpoint-dir DIR] [--verify] [--threads N]
+ *       Import an external netlist, run activity analysis for the
+ *       application on it, cut & stitch, re-size, and export the
+ *       bespoke result. --verify additionally proves the result
+ *       symbolically equivalent to the imported original for the
+ *       application. --checkpoint-dir caches the analysis artifact
+ *       keyed by (netlist hash, program hash, options hash).
+ *   bespoke_io check   -i FILE --app NAME [--against FILE]
+ *       Symbolic equivalence of an imported netlist against a freshly
+ *       built baseline core (or a second imported file) for one
+ *       application.
+ *
+ * Exit codes: 0 success, 1 validation/equivalence failure, 2 usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/activity_analysis.hh"
+#include "src/bespoke/checkpoint.hh"
+#include "src/bespoke/equiv_check.hh"
+#include "src/cpu/bsp430.hh"
+#include "src/io/netlist_json.hh"
+#include "src/io/verilog_import.hh"
+#include "src/netlist/verilog_export.hh"
+#include "src/timing/sta.hh"
+#include "src/transform/bespoke_transform.hh"
+#include "src/util/logging.hh"
+#include "src/workloads/workload.hh"
+
+using namespace bespoke;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const std::string &msg = "")
+{
+    if (!msg.empty())
+        std::fprintf(stderr, "bespoke_io: %s\n", msg.c_str());
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  bespoke_io export  [--core default|extended] -o FILE\n"
+        "  bespoke_io convert -i FILE -o FILE\n"
+        "  bespoke_io hash    -i FILE | --core default|extended\n"
+        "  bespoke_io tailor  -i FILE --app NAME -o FILE\n"
+        "                     [--checkpoint-dir DIR] [--verify]"
+        " [--threads N]\n"
+        "  bespoke_io check   -i FILE --app NAME [--against FILE]\n"
+        "formats are chosen by file extension: .v structural Verilog,"
+        " .json canonical JSON\n");
+    std::exit(2);
+}
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "bespoke_io: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fail("cannot read '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Import a netlist from .v or .json, hard-failing with diagnostics. */
+Netlist
+importFile(const std::string &path)
+{
+    std::string text = readFile(path);
+    if (endsWith(path, ".v")) {
+        VerilogImportResult res = importVerilog(text);
+        if (!res.ok)
+            fail(res.format(path));
+        return std::move(res.netlist);
+    }
+    NetlistJsonResult res = netlistFromJsonText(text);
+    if (!res.ok)
+        fail(path + ": " + res.error);
+    return std::move(res.netlist);
+}
+
+void
+exportFile(const Netlist &nl, const std::string &path,
+           const std::string &module_name)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fail("cannot write '" + path + "'");
+    if (endsWith(path, ".v"))
+        exportVerilog(nl, module_name, out);
+    else
+        out << netlistToJsonText(nl) << "\n";
+    if (!out)
+        fail("write to '" + path + "' failed");
+}
+
+void
+printStats(const char *label, const Netlist &nl)
+{
+    NetlistStats s = nl.stats();
+    std::printf("%s: %zu cells (%zu flops), %.0f um^2, hash %016llx\n",
+                label, s.numCells, s.numSequential, s.area,
+                static_cast<unsigned long long>(nl.contentHash()));
+}
+
+struct Args
+{
+    std::string in;
+    std::string out;
+    std::string against;
+    std::string app;
+    std::string core;
+    std::string checkpointDir;
+    bool verify = false;
+    int threads = 1;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage("flag '" + arg + "' needs a value");
+            return argv[++i];
+        };
+        if (arg == "-i" || arg == "--in")
+            a.in = value();
+        else if (arg == "-o" || arg == "--out")
+            a.out = value();
+        else if (arg == "--against")
+            a.against = value();
+        else if (arg == "--app")
+            a.app = value();
+        else if (arg == "--core")
+            a.core = value();
+        else if (arg == "--checkpoint-dir")
+            a.checkpointDir = value();
+        else if (arg == "--verify")
+            a.verify = true;
+        else if (arg == "--threads")
+            a.threads = std::atoi(value().c_str());
+        else
+            usage("unknown flag '" + arg + "'");
+    }
+    return a;
+}
+
+Netlist
+buildCore(const std::string &core)
+{
+    CpuConfig cfg;
+    if (core == "extended")
+        cfg = CpuConfig::extended();
+    else if (!core.empty() && core != "default")
+        usage("--core must be 'default' or 'extended'");
+    Netlist nl = buildBsp430(nullptr, cfg);
+    sizeForLoads(nl);
+    return nl;
+}
+
+int
+cmdExport(const Args &a)
+{
+    if (a.out.empty())
+        usage("export needs -o FILE");
+    Netlist nl = buildCore(a.core);
+    exportFile(nl, a.out, "bsp430_core");
+    printStats(a.out.c_str(), nl);
+    return 0;
+}
+
+int
+cmdConvert(const Args &a)
+{
+    if (a.in.empty() || a.out.empty())
+        usage("convert needs -i FILE and -o FILE");
+    Netlist nl = importFile(a.in);
+    exportFile(nl, a.out, "bespoke_core");
+    printStats(a.out.c_str(), nl);
+    return 0;
+}
+
+int
+cmdHash(const Args &a)
+{
+    Netlist nl = a.in.empty() ? buildCore(a.core) : importFile(a.in);
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(nl.contentHash()));
+    return 0;
+}
+
+/** Analysis with an optional checkpoint store in front of it. */
+AnalysisResult
+analyzeWithStore(const Netlist &nl, const AsmProgram &prog,
+                 const AnalysisOptions &opts,
+                 const CheckpointStore &store)
+{
+    CheckpointKey key{nl.contentHash(), hashProgram(prog),
+                      hashAnalysisOptions(opts)};
+    JsonValue doc;
+    if (store.load(key, "analysis", &doc)) {
+        AnalysisResult r;
+        std::string err;
+        if (analysisFromJson(doc, nl, &r, &err))
+            return r;
+        bespoke_warn("checkpoint: ", err, "; re-analyzing");
+    }
+    AnalysisResult r = analyzeActivity(nl, prog, opts);
+    if (r.completed)
+        store.save(key, "analysis", analysisToJson(r));
+    return r;
+}
+
+int
+cmdTailor(const Args &a)
+{
+    if (a.in.empty() || a.out.empty() || a.app.empty())
+        usage("tailor needs -i FILE, --app NAME, and -o FILE");
+    Netlist original = importFile(a.in);
+    printStats("imported", original);
+
+    const Workload &app = workloadByName(a.app);
+    AsmProgram prog = app.assembleProgram();
+    AnalysisOptions opts;
+    opts.threads = a.threads;
+    CheckpointStore store(a.checkpointDir);
+
+    AnalysisResult r = analyzeWithStore(original, prog, opts, store);
+    if (!r.completed)
+        fail("analysis hit its caps; the toggle set is incomplete");
+    std::printf("analysis: %llu paths, %llu cycles, %zu cells provably"
+                " untoggled\n",
+                static_cast<unsigned long long>(r.pathsExplored),
+                static_cast<unsigned long long>(r.cyclesSimulated),
+                r.untoggledCells());
+
+    CutStats cut;
+    Netlist bespoke_nl = cutAndStitch(original, *r.activity, &cut);
+    sizeForLoads(bespoke_nl);
+    std::printf("cut: %zu -> %zu cells\n", cut.gatesBefore,
+                cut.gatesAfter);
+
+    if (a.verify) {
+        EquivResult eq =
+            checkSymbolicEquivalence(original, bespoke_nl, prog, opts);
+        if (!eq.equivalent || !eq.completed)
+            fail("equivalence check failed: " + eq.firstMismatch);
+        std::printf("verified: %llu outputs compared across %llu"
+                    " paths\n",
+                    static_cast<unsigned long long>(eq.outputsCompared),
+                    static_cast<unsigned long long>(eq.pathsExplored));
+    }
+
+    exportFile(bespoke_nl, a.out, "bespoke_" + a.app);
+    printStats(a.out.c_str(), bespoke_nl);
+    return 0;
+}
+
+int
+cmdCheck(const Args &a)
+{
+    if (a.in.empty() || a.app.empty())
+        usage("check needs -i FILE and --app NAME");
+    Netlist candidate = importFile(a.in);
+    Netlist reference =
+        a.against.empty() ? buildCore(a.core) : importFile(a.against);
+
+    const Workload &app = workloadByName(a.app);
+    AsmProgram prog = app.assembleProgram();
+    AnalysisOptions opts;
+    opts.threads = a.threads;
+    EquivResult eq =
+        checkSymbolicEquivalence(reference, candidate, prog, opts);
+    if (!eq.equivalent || !eq.completed)
+        fail("NOT equivalent for '" + a.app + "': " + eq.firstMismatch);
+    std::printf("equivalent for '%s': %llu outputs compared across"
+                " %llu paths\n",
+                a.app.c_str(),
+                static_cast<unsigned long long>(eq.outputsCompared),
+                static_cast<unsigned long long>(eq.pathsExplored));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    Args a = parseArgs(argc, argv);
+    if (cmd == "export")
+        return cmdExport(a);
+    if (cmd == "convert")
+        return cmdConvert(a);
+    if (cmd == "hash")
+        return cmdHash(a);
+    if (cmd == "tailor")
+        return cmdTailor(a);
+    if (cmd == "check")
+        return cmdCheck(a);
+    usage("unknown command '" + cmd + "'");
+}
