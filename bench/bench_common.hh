@@ -14,10 +14,16 @@
  *                    default 1). Table values are thread-count
  *                    independent, so baselines recorded at --threads 1
  *                    stay valid.
+ *   --lanes N        LaneSim batch width for the activity analysis
+ *                    (1..64, default 1 = scalar). Like --threads, the
+ *                    table values are lane-width independent.
  *   --checkpoint-dir DIR  persist flow stage artifacts in DIR and
  *                    reuse them on later runs (content-hashed keys;
  *                    see src/bespoke/checkpoint.hh). Results are
  *                    identical with or without it.
+ *   --checkpoint-max-bytes N  cap the checkpoint store at N bytes;
+ *                    each save evicts least-recently-used artifacts
+ *                    until it fits (0 = no cap, the default).
  *
  * Table values are compared exactly (they are deterministic); wall
  * clock is compared against a tolerance band (current must stay below
@@ -128,14 +134,39 @@ class BenchIO
                 threads_ = static_cast<int>(v);
                 continue;
             }
+            std::string lval;
+            if (take_path("--lanes", lval)) {
+                char *end = nullptr;
+                long v = lval == kAutoPath
+                             ? -1
+                             : std::strtol(lval.c_str(), &end, 10);
+                if (v < 1 || v > 64 || (end && *end != '\0'))
+                    die("--lanes needs an integer in [1, 64]");
+                lanes_ = static_cast<int>(v);
+                continue;
+            }
             if (take_path("--checkpoint-dir", checkpointDir_)) {
                 if (checkpointDir_ == kAutoPath)
                     die("--checkpoint-dir requires a path");
                 continue;
             }
+            std::string cval;
+            if (take_path("--checkpoint-max-bytes", cval)) {
+                char *end = nullptr;
+                long long v =
+                    cval == kAutoPath
+                        ? -1
+                        : std::strtoll(cval.c_str(), &end, 10);
+                if (v < 0 || (end && *end != '\0'))
+                    die("--checkpoint-max-bytes needs a non-negative "
+                        "integer");
+                checkpointMaxBytes_ = static_cast<uint64_t>(v);
+                continue;
+            }
             die("unknown bench flag '" + arg +
                 "' (expected --quick, --json PATH, --check [PATH], "
-                "--threads N, --checkpoint-dir DIR)");
+                "--threads N, --lanes N, --checkpoint-dir DIR, "
+                "--checkpoint-max-bytes N)");
         }
         if (checkMode_ && checkPath_ == kAutoPath) {
             const char *dir = std::getenv("BESPOKE_BASELINE_DIR");
@@ -152,8 +183,12 @@ class BenchIO
     const std::string &name() const { return name_; }
     /** --threads value for AnalysisOptions::threads (default 1). */
     int threads() const { return threads_; }
+    /** --lanes value for AnalysisOptions::laneWidth (default 1). */
+    int lanes() const { return lanes_; }
     /** --checkpoint-dir value for FlowOptions::checkpointDir ("" off). */
     const std::string &checkpointDir() const { return checkpointDir_; }
+    /** --checkpoint-max-bytes for FlowOptions::checkpointMaxBytes. */
+    uint64_t checkpointMaxBytes() const { return checkpointMaxBytes_; }
 
     /**
      * Print a table and record it under `key`. Columns listed in
@@ -199,6 +234,19 @@ class BenchIO
     }
 
     /**
+     * Record an informational counter (work done, not results
+     * computed: gate evaluations, lane utilization, ...). Counters go
+     * to the JSON document but are never compared by --check — they
+     * legitimately vary with --threads/--lanes while every table and
+     * metric stays identical.
+     */
+    void
+    counter(const std::string &key, double value)
+    {
+        counters_.set(key, JsonValue::number(value));
+    }
+
+    /**
      * Write JSON / run the baseline diff as requested; returns the
      * process exit code (0 ok, 1 baseline mismatch).
      */
@@ -214,6 +262,7 @@ class BenchIO
         doc.set("wall_seconds", JsonValue::number(wall));
         doc.set("tables", std::move(tables_));
         doc.set("metrics", std::move(metrics_));
+        doc.set("counters", std::move(counters_));
 
         if (!jsonPath_.empty()) {
             std::ofstream os(jsonPath_);
@@ -389,8 +438,11 @@ class BenchIO
     bool checkMode_ = false;
     bool ok_ = true;
     std::string jsonPath_, checkPath_, checkpointDir_;
+    uint64_t checkpointMaxBytes_ = 0;
+    int lanes_ = 1;
     JsonValue tables_ = JsonValue::object();
     JsonValue metrics_ = JsonValue::object();
+    JsonValue counters_ = JsonValue::object();
     std::vector<std::pair<std::string, std::vector<int>>> volatileCols_;
     std::chrono::steady_clock::time_point start_;
 };

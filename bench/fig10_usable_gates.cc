@@ -57,10 +57,14 @@ main(int argc, char **argv)
     const std::vector<Workload> &apps = workloads();
     AnalysisOptions aopts;
     aopts.threads = 1;
+    aopts.laneWidth = io.lanes();
     struct AppRow
     {
         size_t toggledPerModule[kNumModules] = {};
         size_t toggledTotal = 0;
+        uint64_t gatesEvaluated = 0;
+        uint64_t laneSweeps = 0;
+        uint64_t laneCycles = 0;
         bool completed = false;
     };
     std::vector<AppRow> rows(apps.size());
@@ -70,6 +74,9 @@ main(int argc, char **argv)
             AnalysisResult r = analyzeActivity(nl, apps[a], aopts);
             AppRow &row = rows[a];
             row.completed = r.completed;
+            row.gatesEvaluated = r.gatesEvaluated;
+            row.laneSweeps = r.laneSweeps;
+            row.laneCycles = r.laneCycles;
             for (GateId i = 0; i < nl.size(); i++) {
                 const Gate &g = nl.gate(i);
                 if (cellPseudo(g.type) || !r.activity->toggled(i))
@@ -80,6 +87,24 @@ main(int argc, char **argv)
         });
     }
     pool.drain();
+
+    // Work counters (JSON only; --check ignores them, they vary with
+    // --lanes while every percentage stays identical).
+    uint64_t gates_evaluated = 0, lane_sweeps = 0, lane_cycles = 0;
+    for (const AppRow &row : rows) {
+        gates_evaluated += row.gatesEvaluated;
+        lane_sweeps += row.laneSweeps;
+        lane_cycles += row.laneCycles;
+    }
+    io.counter("gates_evaluated", static_cast<double>(gates_evaluated));
+    io.counter("lane_width", io.lanes());
+    io.counter("lane_sweeps", static_cast<double>(lane_sweeps));
+    io.counter("lane_cycles", static_cast<double>(lane_cycles));
+    if (lane_sweeps > 0) {
+        io.counter("lanes_utilized_avg",
+                   static_cast<double>(lane_cycles) /
+                       static_cast<double>(lane_sweeps));
+    }
 
     for (size_t a = 0; a < apps.size(); a++) {
         const AppRow &row = rows[a];

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     FlowOptions opts;
     opts.analysis.threads = io.threads();
     opts.checkpointDir = io.checkpointDir();
+    opts.checkpointMaxBytes = io.checkpointMaxBytes();
     if (io.quick())
         opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);

@@ -28,6 +28,7 @@ main(int argc, char **argv)
     FlowOptions opts;
     opts.analysis.threads = io.threads();
     opts.checkpointDir = io.checkpointDir();
+    opts.checkpointMaxBytes = io.checkpointMaxBytes();
     opts.powerInputsPerWorkload = 1;
     BespokeFlow flow(opts);
     const std::vector<Workload> &apps = workloads();

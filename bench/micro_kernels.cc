@@ -13,6 +13,7 @@
 #include "src/analysis/activity_analysis.hh"
 #include "src/bespoke/flow.hh"
 #include "src/cpu/bsp430.hh"
+#include "src/sim/lane_sim.hh"
 #include "src/verify/runner.hh"
 
 namespace
@@ -49,20 +50,55 @@ BM_GateSimCycle(benchmark::State &state)
 BENCHMARK(BM_GateSimCycle);
 
 void
+BM_LaneSimCycle(benchmark::State &state)
+{
+    // 64 concrete scenarios per sweep on the bit-plane engine; items
+    // processed counts gate*lane evaluations, so items/s here vs.
+    // BM_GateSimCycle is the raw per-scenario speedup of plane packing
+    // (before the event-driven engine's dirty-set advantage).
+    const Workload &w = workloadByName("intFilt");
+    AsmProgram prog = w.assembleProgram();
+    std::shared_ptr<const SocContext> ctx = SocContext::make(core());
+    LaneSoc soc(ctx, prog);
+    Soc seed(ctx, prog, /*ram_unknown=*/false);
+    Rng rng(1);
+    WorkloadInput in = w.genInput(rng);
+    for (size_t i = 0; i < in.ramWords.size(); i++) {
+        seed.pokeRamWord(static_cast<uint16_t>(kInputBase + 2 * i),
+                         SWord::of(in.ramWords[i]));
+    }
+    for (int lane = 0; lane < LaneSim::kLanes; lane++)
+        soc.loadLane(lane, seed.sim().seqState(), seed.envState(), 0);
+    soc.setGpioIn(SWord::of(0));
+    soc.setIrqExt(Logic::Zero);
+    for (auto _ : state) {
+        soc.evalOnly();
+        soc.finishCycle(~0ull);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(core().size()) *
+                            LaneSim::kLanes);
+}
+BENCHMARK(BM_LaneSimCycle);
+
+void
 BM_ActivityAnalysis(benchmark::State &state)
 {
     const Workload &w = workloadByName("div");
     AsmProgram prog = w.assembleProgram();
     AnalysisOptions opts;
     opts.threads = static_cast<int>(state.range(0));
+    opts.laneWidth = static_cast<int>(state.range(1));
     for (auto _ : state) {
         AnalysisResult r = analyzeActivity(core(), prog, opts);
         benchmark::DoNotOptimize(r.untoggledCells());
     }
 }
 BENCHMARK(BM_ActivityAnalysis)
-    ->Arg(1)
-    ->Arg(0)  // 0 = one worker per hardware thread
+    ->Args({1, 1})
+    ->Args({1, 64})  // lane-batched frontier exploration
+    ->Args({0, 1})   // threads 0 = one worker per hardware thread
+    ->Args({0, 64})
     ->Unit(benchmark::kMillisecond);
 
 void

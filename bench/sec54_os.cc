@@ -26,6 +26,7 @@ main(int argc, char **argv)
     FlowOptions opts;
     opts.analysis.threads = io.threads();
     opts.checkpointDir = io.checkpointDir();
+    opts.checkpointMaxBytes = io.checkpointMaxBytes();
     BespokeFlow flow(opts);
     const Netlist &nl = flow.baseline();
     double total = static_cast<double>(nl.numCells());

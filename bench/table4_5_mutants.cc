@@ -27,6 +27,7 @@ main(int argc, char **argv)
     FlowOptions opts;
     opts.analysis.threads = io.threads();
     opts.checkpointDir = io.checkpointDir();
+    opts.checkpointMaxBytes = io.checkpointMaxBytes();
     BespokeFlow flow(opts);
 
     // The paper's six mutant-rich benchmarks.

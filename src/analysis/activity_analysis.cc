@@ -88,6 +88,23 @@ resolveAnalysisThreads(const AnalysisOptions &opts)
     return std::min(threads, 256);
 }
 
+int
+resolveAnalysisLanes(const AnalysisOptions &opts)
+{
+    int lanes = opts.laneWidth;
+    if (const char *env = std::getenv("BESPOKE_ANALYSIS_LANES")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) {
+            lanes = static_cast<int>(std::min(v, 64l));
+        } else {
+            bespoke_warn("ignoring invalid BESPOKE_ANALYSIS_LANES=",
+                         env);
+        }
+    }
+    return std::clamp(lanes, 1, 64);
+}
+
 AnalysisResult
 analyzeActivity(const Netlist &netlist, const AsmProgram &prog,
                 const AnalysisOptions &opts)
@@ -129,11 +146,15 @@ analyzeActivity(const Netlist &netlist, const AsmProgram &prog,
     res.merges = frontier.merges();
     res.completed = !frontier.capped();
     res.threadsUsed = threads;
+    res.lanesUsed = ctx.lanes;
     res.frontierPeak = frontier.frontierPeak();
     res.maxForkDepth = frontier.maxForkDepth();
     res.workerStats.reserve(threads);
     for (auto &w : workers) {
         res.forks += w->forks();
+        res.gatesEvaluated += w->gatesEvaluated();
+        res.laneSweeps += w->laneSweeps();
+        res.laneCycles += w->laneCycles();
         res.workerStats.push_back(
             WorkerStats{w->pathsExplored(), w->cyclesSimulated()});
     }

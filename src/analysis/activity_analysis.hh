@@ -71,6 +71,18 @@ struct AnalysisOptions
      * spirit as BESPOKE_FULL_EVAL).
      */
     int threads = 1;
+    /**
+     * Frontier states simulated at once per worker, on the bit-plane
+     * packed LaneSim (1..64). 1 (the default) keeps every path on the
+     * scalar engine and reproduces it bit for bit; wider widths batch
+     * independent frontier states into uint64_t lanes and hand a lane
+     * back to the scalar engine only when it reaches a fork or merge
+     * point. The toggle fixpoint is the same either way (pinned by
+     * tests); path/cycle counters can differ from the serial schedule.
+     * The BESPOKE_ANALYSIS_LANES environment variable, when set,
+     * overrides this field process-wide.
+     */
+    int laneWidth = 1;
 };
 
 /**
@@ -79,6 +91,12 @@ struct AnalysisOptions
  * the hardware thread count.
  */
 int resolveAnalysisThreads(const AnalysisOptions &opts);
+
+/**
+ * The lane width analyzeActivity() will actually use for `opts`:
+ * applies the BESPOKE_ANALYSIS_LANES override, clamped to [1, 64].
+ */
+int resolveAnalysisLanes(const AnalysisOptions &opts);
 
 /** Per-worker share of one analysis, for load-balance observability. */
 struct WorkerStats
@@ -102,6 +120,18 @@ struct AnalysisResult
     /** @name Exploration observability */
     /// @{
     int threadsUsed = 1;
+    /** Resolved LaneSim batch width (1 = pure scalar exploration). */
+    int lanesUsed = 1;
+    /**
+     * Gate evaluations across all workers: scalar evaluations plus
+     * lane-sim gate visits (one visit evaluates every lane at once).
+     */
+    uint64_t gatesEvaluated = 0;
+    /** Full 64-lane evaluation sweeps performed. */
+    uint64_t laneSweeps = 0;
+    /** Lane-cycles simulated on the lane engine (sum of popcounts of
+     *  the active-lane mask over all sweeps). */
+    uint64_t laneCycles = 0;
     /** High-water mark of the pending-work frontier. */
     uint64_t frontierPeak = 0;
     /** Deepest fork nesting reached by any explored path. */

@@ -59,6 +59,34 @@ Frontier::pop(WorkItem &out)
     }
 }
 
+size_t
+Frontier::popMore(size_t max, std::vector<WorkItem> &out)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    size_t n = 0;
+    while (n < max && !stack_.empty() && !stopped_ &&
+           paths_ < maxPaths_ &&
+           cycles_.load(std::memory_order_relaxed) < maxTotalCycles_) {
+        out.push_back(std::move(stack_.back()));
+        stack_.pop_back();
+        paths_++;
+        active_++;
+        n++;
+    }
+    return n;
+}
+
+void
+Frontier::declareCycleCap()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (!stopped_)
+        bespoke_warn("activity analysis hit exploration cap");
+    capped_.store(true, std::memory_order_relaxed);
+    stopped_ = true;
+    cv_.notify_all();
+}
+
 void
 Frontier::finishItem()
 {

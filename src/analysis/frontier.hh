@@ -76,6 +76,15 @@ class Frontier
 
     /** Mark the last popped item fully explored. */
     void finishItem();
+
+    /**
+     * Non-blocking bulk pop, used by lane-batching workers to fill
+     * free lanes: appends up to `max` items to `out`, stopping early
+     * when the stack drains or a budget is reached (the next blocking
+     * pop() then declares the cap, exactly as in the serial engine).
+     * Every popped item must be balanced by finishItem().
+     */
+    size_t popMore(size_t max, std::vector<WorkItem> &out);
     /// @}
 
     /** @name Budgets */
@@ -84,6 +93,11 @@ class Frontier
     void chargeCycle()
     {
         cycles_.fetch_add(1, std::memory_order_relaxed);
+    }
+    /** Charge n simulated cycles (one lane sweep charges per lane). */
+    void chargeCycles(uint64_t n)
+    {
+        cycles_.fetch_add(n, std::memory_order_relaxed);
     }
     uint64_t cycles() const
     {
@@ -94,6 +108,14 @@ class Frontier
     {
         return capped_.load(std::memory_order_relaxed);
     }
+    /**
+     * Record that the cycle budget stopped the exploration. pop()
+     * declares the cap on its own when work is still queued; a
+     * lane-batching worker whose batch drained the stack must declare
+     * it explicitly when it abandons in-flight lanes, or the frontier
+     * would report a clean quiescent finish.
+     */
+    void declareCycleCap();
     /// @}
 
     /**

@@ -1,6 +1,7 @@
 #include "src/analysis/path_explorer.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/util/logging.hh"
 #include "src/verify/runner.hh"
@@ -33,7 +34,7 @@ ExplorationContext::ExplorationContext(const Netlist &netlist,
                                        const AsmProgram &prog,
                                        const AnalysisOptions &opts)
     : soc(SocContext::make(netlist)), prog(prog), opts(opts),
-      haltAddrs(haltAddresses(prog))
+      lanes(resolveAnalysisLanes(opts)), haltAddrs(haltAddresses(prog))
 {
     std::sort(haltAddrs.begin(), haltAddrs.end());
 }
@@ -50,6 +51,8 @@ PathExplorer::PathExplorer(const ExplorationContext &ctx,
       soc_(ctx.soc, ctx.prog, /*ram_unknown=*/true, ctx.opts.simMode),
       tracker_(ctx.soc->netlist)
 {
+    if (ctx.lanes > 1)
+        laneSoc_ = std::make_unique<LaneSoc>(ctx.soc, ctx.prog);
 }
 
 void
@@ -59,6 +62,11 @@ PathExplorer::prepare()
     soc_.setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X : Logic::Zero);
     soc_.reset();
     tracker_.captureInitial(soc_.sim());
+    if (laneSoc_) {
+        laneSoc_->setGpioIn(SWord::allX());
+        laneSoc_->setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X
+                                                     : Logic::Zero);
+    }
 }
 
 WorkItem
@@ -72,6 +80,10 @@ PathExplorer::initialItem()
 void
 PathExplorer::run()
 {
+    if (laneSoc_) {
+        runLanes();
+        return;
+    }
     WorkItem item;
     while (frontier_.pop(item)) {
         paths_++;
@@ -79,6 +91,15 @@ PathExplorer::run()
         runPath(item.state);
         frontier_.finishItem();
     }
+}
+
+uint64_t
+PathExplorer::gatesEvaluated() const
+{
+    uint64_t n = soc_.sim().gatesEvaluatedTotal();
+    if (laneSoc_)
+        n += laneSoc_->sim().gateVisitsTotal();
+    return n;
 }
 
 MachineState
@@ -196,7 +217,8 @@ PathExplorer::forkRec(const MachineState &pre,
  * over-approximation.
  */
 void
-PathExplorer::enumerateSymbolicPc(SWord pc)
+PathExplorer::enumerateSymbolicPc(SWord pc, const MachineState &base,
+                                  uint32_t depth)
 {
     const std::vector<int> &pc_seq_index = ctx_.soc->pcSeqIndex;
     int x_bits = 0;
@@ -209,7 +231,6 @@ PathExplorer::enumerateSymbolicPc(SWord pc)
                            "enumerate");
         }
     }
-    MachineState base = capture();
     auto push_candidate = [&](uint16_t cand) {
         // Candidate must be a real instruction head.
         if ((cand & 1) || !ctx_.prog.addrToLine.count(cand))
@@ -220,7 +241,7 @@ PathExplorer::enumerateSymbolicPc(SWord pc)
                 (cand >> b) & 1 ? Logic::One : Logic::Zero);
         }
         s.lastFetchPc = cand;
-        frontier_.push(WorkItem{std::move(s), curDepth_ + 1});
+        frontier_.push(WorkItem{std::move(s), depth + 1});
     };
 
     if (x_bits <= 8) {
@@ -264,7 +285,7 @@ PathExplorer::runPath(const MachineState &start)
                 // Algorithm 1, line 29: enumerate the possible
                 // concrete PCs (e.g. a merged return address on
                 // the stack) and fork the tree per candidate.
-                enumerateSymbolicPc(pc);
+                enumerateSymbolicPc(pc, capture(), curDepth_);
                 return;
             }
             lastFetchPc_ = pc.val;
@@ -314,6 +335,221 @@ PathExplorer::runPath(const MachineState &start)
         soc_.finishCycle();
         chargeCycle();
     }
+}
+
+void
+PathExplorer::runLanes()
+{
+    const size_t width = static_cast<size_t>(ctx_.lanes);
+    WorkItem item;
+    std::vector<WorkItem> batch;
+    while (frontier_.pop(item)) {
+        batch.clear();
+        batch.push_back(std::move(item));
+        frontier_.popMore(width - 1, batch);
+        paths_ += batch.size();
+        if (batch.size() == 1) {
+            // A lone state gains nothing from plane packing; the
+            // scalar event-driven engine is faster for it.
+            curDepth_ = batch[0].depth;
+            runPath(batch[0].state);
+            frontier_.finishItem();
+            continue;
+        }
+        laneSweep(std::move(batch));
+    }
+}
+
+/**
+ * Simulate a batch of independent frontier states, one per LaneSim
+ * lane, until every lane has retired. Straight-line cycles (the vast
+ * majority) run fully lane-parallel; the moment a lane reaches
+ * anything that needs the fork/merge discipline — a symbolic PC, an X
+ * decision, a taken control transfer that prunes or widens — its state
+ * is captured and the event is handled by the exact scalar machinery,
+ * so the exploration discipline is shared with the serial engine
+ * rather than reimplemented. Freed lanes are refilled from the
+ * frontier at the end of every cycle.
+ */
+void
+PathExplorer::laneSweep(std::vector<WorkItem> batch)
+{
+    LaneSoc &ls = *laneSoc_;
+    const size_t width = static_cast<size_t>(ctx_.lanes);
+    std::array<uint32_t, LaneSim::kLanes> depth{};
+    std::array<int, LaneSim::kLanes> haltCnt{};
+    uint64_t active = 0;   ///< lanes being simulated and observed
+    uint64_t control = 0;  ///< active lanes not in a halt countdown
+
+    auto load = [&](int lane, WorkItem &it) {
+        ls.loadLane(lane, it.state.seq, it.state.env,
+                    it.state.lastFetchPc);
+        depth[lane] = it.depth;
+        haltCnt[lane] = -1;
+        active |= 1ull << lane;
+        control |= 1ull << lane;
+    };
+    for (size_t i = 0; i < batch.size(); i++)
+        load(static_cast<int>(i), batch[i]);
+
+    // Retiring a lane = this worker stops simulating it; whatever
+    // continuation it has was already pushed to the frontier or run to
+    // completion on the scalar engine.
+    auto retire = [&](int lane) {
+        active &= ~(1ull << lane);
+        control &= ~(1ull << lane);
+        frontier_.finishItem();
+    };
+
+    auto captureLane = [&](int lane) {
+        MachineState s;
+        s.seq = ls.seqLane(lane);
+        s.env = ls.envLane(lane);
+        s.lastFetchPc = ls.lastFetchPc(lane);
+        return s;
+    };
+
+    while (active) {
+        if (frontier_.cycles() >= ctx_.opts.maxTotalCycles) {
+            // Abandon every in-flight lane. The batch may have drained
+            // the whole stack, in which case nobody would be left to
+            // notice the blown budget — declare it here.
+            frontier_.declareCycleCap();
+            uint64_t m = active;
+            while (m) {
+                retire(std::countr_zero(m));
+                m &= m - 1;
+            }
+            return;
+        }
+
+        ls.evalOnly();
+        tracker_.observe(ls.sim(), active);
+        laneSweeps_++;
+
+        // Lanes whose 6-cycle halt observation window just completed
+        // (the scalar engine observes the final eval and returns
+        // without finishing that cycle; so do we).
+        uint64_t halting = active & ~control;
+        while (halting) {
+            int lane = std::countr_zero(halting);
+            halting &= halting - 1;
+            if (haltCnt[lane] == 0)
+                retire(lane);
+        }
+
+        // Instruction fetch: symbolic PCs fork one continuation per
+        // candidate; halt addresses start the observation countdown.
+        uint64_t fetch = ls.stFetchOneMask() & control;
+        while (fetch) {
+            int lane = std::countr_zero(fetch);
+            fetch &= fetch - 1;
+            SWord pc = ls.pc(lane);
+            if (!pc.fullyKnown()) {
+                enumerateSymbolicPc(pc, captureLane(lane),
+                                    depth[lane]);
+                retire(lane);
+                continue;
+            }
+            ls.setLastFetchPc(lane, pc.val);
+            if (ctx_.isHaltPc(pc.val)) {
+                haltCnt[lane] = 6;
+                control &= ~(1ull << lane);
+            }
+        }
+
+        // X control decisions: hand the lane over to the scalar
+        // engine, which owns the fork/merge-table discipline.
+        // runPath() restores and re-evaluates the captured state, so
+        // it sees exactly what the lane saw (the repeated observation
+        // is an idempotent OR into the toggle set) and carries the
+        // path through fork resolution and beyond.
+        uint64_t deciding = ls.decisionXMask() & control;
+        while (deciding) {
+            int lane = std::countr_zero(deciding);
+            deciding &= deciding - 1;
+            MachineState s = captureLane(lane);
+            curDepth_ = depth[lane];
+            runPath(s);
+            retire(lane);
+        }
+
+        if (ls.ctlXferXMask() & control)
+            bespoke_fatal("ctl_xfer is X outside a decision fork");
+
+        // Taken control transfers: the conservative-table discipline,
+        // one shard-locked mergePoint per lane, same as serial.
+        uint64_t xfer = ls.ctlXferOneMask() & control;
+        while (xfer) {
+            int lane = std::countr_zero(xfer);
+            xfer &= xfer - 1;
+            MachineState cur = captureLane(lane);
+            bool widened;
+            if (frontier_.mergePoint(
+                    tableKey(ls.lastFetchPc(lane), DecKind::CtlXfer),
+                    cur, widened)) {
+                retire(lane);  // subsumed: prune
+                continue;
+            }
+            if (widened) {
+                continueWidened(cur, depth[lane]);
+                retire(lane);
+            }
+            // Neither pruned nor widened: the lane simply continues.
+        }
+
+        if (!active)
+            break;
+
+        ls.finishCycle(active);
+        uint64_t n = std::popcount(active);
+        cycles_ += n;
+        laneCycles_ += n;
+        frontier_.chargeCycles(n);
+        uint64_t counting = active & ~control;
+        while (counting) {
+            int lane = std::countr_zero(counting);
+            counting &= counting - 1;
+            if (haltCnt[lane] > 0)
+                haltCnt[lane]--;
+        }
+
+        // Refill freed lanes so the batch stays as wide as the
+        // frontier allows.
+        size_t free = width - std::popcount(active);
+        if (free > 0) {
+            batch.clear();
+            frontier_.popMore(free, batch);
+            paths_ += batch.size();
+            int lane = 0;
+            for (WorkItem &it : batch) {
+                while (active & (1ull << lane))
+                    lane++;
+                load(lane, it);
+            }
+        }
+    }
+}
+
+void
+PathExplorer::continueWidened(const MachineState &cur, uint32_t depth)
+{
+    curDepth_ = depth;
+    restore(cur);
+    soc_.sim().clearForces();
+    soc_.evalOnly();
+    tracker_.observe(soc_.sim());
+    bool forked = false;
+    if (!resolveDecisions(forked))
+        return;
+    if (forked)
+        return;
+    // The scalar engine would loop straight into the next cycle here;
+    // deferring the post-latch state through the frontier is the same
+    // computation (work items are self-describing machine states).
+    soc_.finishCycle();
+    chargeCycle();
+    frontier_.push(WorkItem{capture(), depth});
 }
 
 } // namespace bespoke

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/analysis/frontier.hh"
+#include "src/sim/lane_sim.hh"
 #include "src/sim/sim_context.hh"
 
 namespace bespoke
@@ -46,6 +47,8 @@ struct ExplorationContext
     std::shared_ptr<const SocContext> soc;
     const AsmProgram &prog;
     AnalysisOptions opts;
+    /** Resolved LaneSim batch width (1 = scalar-only exploration). */
+    int lanes;
     /** Sorted `jmp .` addresses; membership via binary search. */
     std::vector<uint16_t> haltAddrs;
 
@@ -80,6 +83,10 @@ class PathExplorer
     uint64_t pathsExplored() const { return paths_; }
     uint64_t cyclesSimulated() const { return cycles_; }
     uint64_t forks() const { return forks_; }
+    /** Scalar gate evaluations plus lane-sim gate visits. */
+    uint64_t gatesEvaluated() const;
+    uint64_t laneSweeps() const { return laneSweeps_; }
+    uint64_t laneCycles() const { return laneCycles_; }
     /// @}
 
   private:
@@ -96,8 +103,24 @@ class PathExplorer
     bool resolveDecisions(bool &forked);
     void forkRec(const MachineState &pre,
                  const std::vector<std::pair<GateId, Logic>> &forces);
-    void enumerateSymbolicPc(SWord pc);
+    void enumerateSymbolicPc(SWord pc, const MachineState &base,
+                             uint32_t depth);
     void runPath(const MachineState &start);
+
+    /** @name Lane-batched exploration (ctx.lanes > 1) */
+    /// @{
+    /** Worker loop popping whole batches onto the LaneSim. */
+    void runLanes();
+    /** Simulate one batch of frontier states lane-parallel. */
+    void laneSweep(std::vector<WorkItem> batch);
+    /**
+     * Continue a path that was widened at a ctl-xfer merge point:
+     * replays the scalar engine's post-widening tail (re-evaluate,
+     * resolve any surfaced decisions, finish the cycle) and pushes the
+     * post-latch state back to the frontier instead of looping inline.
+     */
+    void continueWidened(const MachineState &cur, uint32_t depth);
+    /// @}
 
     /** Simulated one cycle to completion: charge both budgets. */
     void chargeCycle()
@@ -110,12 +133,16 @@ class PathExplorer
     Frontier &frontier_;
     const int workerId_;
     Soc soc_;
+    /** Lane-batched sibling of soc_; only built when ctx.lanes > 1. */
+    std::unique_ptr<LaneSoc> laneSoc_;
     ActivityTracker tracker_;
     uint16_t lastFetchPc_ = 0;
     uint32_t curDepth_ = 0;  ///< fork depth of the current path
     uint64_t paths_ = 0;
     uint64_t cycles_ = 0;
     uint64_t forks_ = 0;
+    uint64_t laneSweeps_ = 0;
+    uint64_t laneCycles_ = 0;
 };
 
 } // namespace bespoke

@@ -25,7 +25,7 @@ hashApps(const std::vector<const Workload *> &apps)
 
 BespokeFlow::BespokeFlow(FlowOptions opts)
     : opts_(std::move(opts)), baseline_(buildBsp430()),
-      store_(opts_.checkpointDir)
+      store_(opts_.checkpointDir, opts_.checkpointMaxBytes)
 {
     sizeForLoads(baseline_, opts_.timing);
     TimingReport rep = analyzeTiming(baseline_, opts_.timing);

@@ -64,6 +64,12 @@ struct FlowOptions
      * stage, a repeated run short-circuits entirely. "" disables.
      */
     std::string checkpointDir;
+    /**
+     * Cap on the checkpoint store's total size: every save evicts
+     * least-recently-used artifacts until the store fits. 0 = no cap.
+     * Like checkpointDir, excluded from hashFlowOptions().
+     */
+    uint64_t checkpointMaxBytes = 0;
 };
 
 class BespokeFlow

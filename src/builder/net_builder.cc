@@ -248,9 +248,15 @@ AddResult
 NetBuilder::adder(const Bus &a, const Bus &b, GateId carryIn)
 {
     bespoke_assert(!a.empty() && a.size() == b.size());
-    return adderKind_ == AdderKind::CarryLookahead
-               ? adderCla(a, b, carryIn)
-               : adderRipple(a, b, carryIn);
+    switch (adderKind_) {
+    case AdderKind::CarryLookahead:
+        return adderCla(a, b, carryIn);
+    case AdderKind::CarrySelect:
+        return adderCsel(a, b, carryIn);
+    case AdderKind::Ripple:
+        break;
+    }
+    return adderRipple(a, b, carryIn);
 }
 
 AddResult
@@ -321,6 +327,58 @@ NetBuilder::adderCla(const Bus &a, const Bus &b, GateId carryIn)
         r.sum[base] = xor2(p[base], cin);
         for (size_t j = 1; j < k; j++)
             r.sum[base + j] = xor2(p[base + j], r.carries[base + j - 1]);
+        cin = r.carries[base + k - 1];
+    }
+    r.carryOut = r.carries[n - 1];
+    return r;
+}
+
+AddResult
+NetBuilder::adderCsel(const Bus &a, const Bus &b, GateId carryIn)
+{
+    // Duplicated-sum carry select in 4-bit groups. The first group
+    // ripples from the true carry-in; every later group ripples its
+    // sums and carries twice, once assuming carry-in 0 and once
+    // assuming carry-in 1 (sharing the propagate/generate terms), and
+    // the previous group's resolved carry mux-selects the real future.
+    // The resolved carry chain therefore advances one MUX2 per group
+    // hop. X-monotonicity is inherited from the primitives: a known
+    // select picks a fully computed branch, and MUX2 with an X select
+    // still resolves when both speculative branches agree.
+    size_t n = a.size();
+    AddResult r;
+    r.sum.resize(n);
+    r.carries.resize(n);
+    GateId cin = carryIn;  // resolved carry into the current group
+    for (size_t base = 0; base < n; base += 4) {
+        size_t k = std::min<size_t>(4, n - base);
+        if (base == 0) {
+            GateId carry = cin;
+            for (size_t j = 0; j < k; j++) {
+                GateId p = xor2(a[j], b[j]);
+                r.sum[j] = xor2(p, carry);
+                carry = or2(and2(a[j], b[j]), and2(p, carry));
+                r.carries[j] = carry;
+            }
+            cin = carry;
+            continue;
+        }
+        GateId c0 = tie0(), c1 = tie1();
+        GateId sum0[4], sum1[4], car0[4], car1[4];
+        for (size_t j = 0; j < k; j++) {
+            GateId p = xor2(a[base + j], b[base + j]);
+            GateId g = and2(a[base + j], b[base + j]);
+            sum0[j] = xor2(p, c0);
+            c0 = or2(g, and2(p, c0));
+            car0[j] = c0;
+            sum1[j] = xor2(p, c1);
+            c1 = or2(g, and2(p, c1));
+            car1[j] = c1;
+        }
+        for (size_t j = 0; j < k; j++) {
+            r.sum[base + j] = mux2(cin, sum0[j], sum1[j]);
+            r.carries[base + j] = mux2(cin, car0[j], car1[j]);
+        }
         cin = r.carries[base + k - 1];
     }
     r.carryOut = r.carries[n - 1];

@@ -46,9 +46,23 @@ struct Token
 {
     Tok kind = Tok::End;
     std::string text;
+    /**
+     * True for `\escaped ` identifiers. The backslash is stripped from
+     * `text` (the standard makes `\foo ` and `foo` the same
+     * identifier) but the flag keeps escaped identifiers from matching
+     * keywords: `\module ` is an ordinary name, never a keyword.
+     */
+    bool escaped = false;
     int line = 1;
     int col = 1;
 };
+
+/** Token text as the user wrote it (backslash restored), for errors. */
+std::string
+shown(const Token &t)
+{
+    return t.escaped ? "\\" + t.text : t.text;
+}
 
 std::vector<Token>
 lex(const std::string &text)
@@ -122,6 +136,7 @@ lex(const std::string &text)
             if (i == start)
                 failAt(t.line, t.col, "empty escaped identifier");
             t.kind = Tok::Ident;
+            t.escaped = true;
             t.text = text.substr(start, i - start);
             toks.push_back(std::move(t));
             continue;
@@ -272,12 +287,19 @@ struct Assign
     Expr rhs;
 };
 
+struct WireDecl
+{
+    int width = 0; ///< 0 = scalar
+    int line = 0;
+    int col = 0;
+};
+
 struct Design
 {
     std::string moduleName;
     std::vector<PortDecl> ports;              ///< header order
     std::map<std::string, size_t> portIndex;  ///< base -> ports index
-    std::unordered_map<std::string, int> wires; ///< base -> width
+    std::unordered_map<std::string, WireDecl> wires;
     std::vector<Assign> assigns;
     std::vector<Instance> instances;
 };
@@ -315,7 +337,8 @@ class Parser
     }
     bool peekKeyword(const std::string &k) const
     {
-        return peek().kind == Tok::Ident && peek().text == k;
+        return peek().kind == Tok::Ident && !peek().escaped &&
+               peek().text == k;
     }
     bool acceptPunct(const std::string &p)
     {
@@ -330,7 +353,7 @@ class Parser
         const Token &t = get();
         if (t.kind != kind)
             failAt(t.line, t.col,
-                   "expected " + what + ", got '" + t.text + "'");
+                   "expected " + what + ", got '" + shown(t) + "'");
         return t;
     }
     void expectPunct(const std::string &p)
@@ -338,14 +361,14 @@ class Parser
         const Token &t = get();
         if (t.kind != Tok::Punct || t.text != p)
             failAt(t.line, t.col,
-                   "expected '" + p + "', got '" + t.text + "'");
+                   "expected '" + p + "', got '" + shown(t) + "'");
     }
     void expectKeyword(const std::string &k)
     {
         const Token &t = get();
-        if (t.kind != Tok::Ident || t.text != k)
+        if (t.kind != Tok::Ident || t.escaped || t.text != k)
             failAt(t.line, t.col,
-                   "expected '" + k + "', got '" + t.text + "'");
+                   "expected '" + k + "', got '" + shown(t) + "'");
     }
 
     /** stoi with the failure turned into a diagnostic. */
@@ -522,7 +545,7 @@ class Parser
                 design_.portIndex.count(name.text))
                 failAt(name.line, name.col,
                        "'" + name.text + "' is already declared");
-            design_.wires[name.text] = width;
+            design_.wires[name.text] = {width, name.line, name.col};
             if (acceptPunct("=")) {
                 if (width != 0)
                     failAt(name.line, name.col,
@@ -776,7 +799,39 @@ class Builder
                 failAt(p.line, p.col,
                        "port '" + p.base +
                            "' has no input/output declaration");
+            checkEscapedCollision(p.base, p.line, p.col);
         }
+        for (const auto &[name, w] : d_.wires)
+            checkEscapedCollision(name, w.line, w.col);
+    }
+
+    /**
+     * Nets are keyed by name, with bit b of vector v keyed "v[b]" — the
+     * one spelling an escaped identifier can also take (Yosys emits
+     * `wire \cnt[3] ;` for flattened single bits). A scalar `\v[b] `
+     * next to a vector `v` wide enough to contain bit b would silently
+     * share a driver slot, so that pairing is rejected here; an escaped
+     * `\cnt[3] ` with no such vector stays an ordinary scalar net.
+     * Order-independent (runs after the whole module is parsed).
+     */
+    void checkEscapedCollision(const std::string &name, int line,
+                               int col)
+    {
+        size_t open = name.find('[');
+        if (open == std::string::npos || open == 0 ||
+            name.back() != ']')
+            return;
+        std::string idx = name.substr(open + 1,
+                                      name.size() - open - 2);
+        if (idx.empty() || idx.size() > 9 ||
+            idx.find_first_not_of("0123456789") != std::string::npos)
+            return;
+        std::string base = name.substr(0, open);
+        int width = declaredWidth(base);
+        if (width > 0 && std::stoi(idx) < width)
+            failAt(line, col,
+                   "escaped net '\\" + name + "' collides with bit " +
+                       idx + " of vector '" + base + "'");
     }
 
     /** Declared width of a net base; -1 when undeclared. */
@@ -787,7 +842,7 @@ class Builder
             return d_.ports[pit->second].width;
         auto wit = d_.wires.find(base);
         if (wit != d_.wires.end())
-            return wit->second;
+            return wit->second.width;
         return -1;
     }
 

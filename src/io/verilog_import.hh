@@ -16,7 +16,15 @@
  *    (`NAND2_X1 u12 (.A(n1), .B(n2), .Y(n3));`), an optional
  *    `#(.RVAL(1'b0))` parameter on sequential cells, and an optional
  *    `(* bespoke_module = "alu" *)` attribute carrying the module
- *    label (defaults to glue; other attributes are skipped).
+ *    label (defaults to glue; other attributes are skipped);
+ *  - escaped identifiers (`\foo[3] `, backslash to the next
+ *    whitespace) anywhere a name may appear. `\name ` and `name` are
+ *    the same identifier per the standard, and an escaped identifier
+ *    never matches a keyword. A scalar escaped net spelled like a bit
+ *    of a coexisting vector (`\v[3] ` next to `wire [7:0] v`) is
+ *    rejected — the two would alias one net — while the common
+ *    Yosys flattening idiom (`wire \cnt[3] ;` with no vector `cnt`)
+ *    imports as an ordinary scalar.
  *
  * The clock and reset are implicit in the netlist model: the nets
  * feeding DFF/DFFE `.CLK`/`.RSTN` pins (and any scalar input ports

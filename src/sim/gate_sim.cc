@@ -111,19 +111,36 @@ GateSim::busWord(const std::vector<GateId> &bus_ids) const
 void
 GateSim::evalCombFull()
 {
-    const std::vector<Gate> &gates = nl_.gates();
-    Logic in[3];
-    for (GateId id : prep_->order) {
-        const Gate &g = gates[id];
-        int n = g.numInputs();
-        for (int p = 0; p < n; p++)
-            in[p] = static_cast<Logic>(val_[g.in[p]]);
-        Logic out = evalCell(g.type, in);
-        if (anyForce_ && forced_[id])
-            out = static_cast<Logic>(forced_[id] - 1);
-        val_[id] = static_cast<uint8_t>(out);
+    // Compiled eval program: one table lookup per gate, no Netlist
+    // access, no per-cell branching. The force check is hoisted out of
+    // the common (no active forces) sweep.
+    const uint8_t *lut = prep_->lut.data();
+    const uint32_t *fanin = prep_->fanin.data();
+    const uint8_t *op = prep_->opcode.data();
+    uint8_t *val = val_.data();
+    if (!anyForce_) {
+        for (GateId id : prep_->order) {
+            const uint32_t *f = &fanin[3 * id];
+            unsigned idx = val[f[0]] * 9u + val[f[1]] * 3u + val[f[2]];
+            val[id] = lut[(static_cast<unsigned>(op[id])
+                           << SimPrep::kLutShift) |
+                          idx];
+        }
+    } else {
+        const uint8_t *forced = forced_.data();
+        for (GateId id : prep_->order) {
+            const uint32_t *f = &fanin[3 * id];
+            unsigned idx = val[f[0]] * 9u + val[f[1]] * 3u + val[f[2]];
+            uint8_t out = lut[(static_cast<unsigned>(op[id])
+                               << SimPrep::kLutShift) |
+                              idx];
+            if (forced[id])
+                out = forced[id] - 1;
+            val[id] = out;
+        }
     }
     gatesEvaluated_ = prep_->order.size();
+    gatesEvaluatedTotal_ += prep_->order.size();
 }
 
 void
@@ -140,8 +157,10 @@ GateSim::evalCombEvent()
         return;
     }
 
-    const std::vector<Gate> &gates = nl_.gates();
-    Logic in[3];
+    const uint8_t *lut = prep_->lut.data();
+    const uint32_t *fanin = prep_->fanin.data();
+    const uint8_t *op = prep_->opcode.data();
+    uint8_t *val = val_.data();
     uint64_t evaluated = 0;
     for (std::vector<GateId> &bucket : buckets_) {
         // markFanoutsDirty() only appends to strictly higher levels
@@ -149,26 +168,27 @@ GateSim::evalCombEvent()
         // this bucket is complete when the sweep reaches it.
         for (GateId id : bucket) {
             queued_[id] = 0;
-            Logic out;
+            uint8_t nv;
             if (anyForce_ && forced_[id]) {
-                out = static_cast<Logic>(forced_[id] - 1);
+                nv = forced_[id] - 1;
             } else {
-                const Gate &g = gates[id];
-                int n = g.numInputs();
-                for (int p = 0; p < n; p++)
-                    in[p] = static_cast<Logic>(val_[g.in[p]]);
-                out = evalCell(g.type, in);
+                const uint32_t *f = &fanin[3 * id];
+                unsigned idx =
+                    val[f[0]] * 9u + val[f[1]] * 3u + val[f[2]];
+                nv = lut[(static_cast<unsigned>(op[id])
+                          << SimPrep::kLutShift) |
+                         idx];
             }
             evaluated++;
-            uint8_t nv = static_cast<uint8_t>(out);
-            if (val_[id] != nv) {
-                val_[id] = nv;
+            if (val[id] != nv) {
+                val[id] = nv;
                 markFanoutsDirty(id);
             }
         }
         bucket.clear();
     }
     gatesEvaluated_ = evaluated;
+    gatesEvaluatedTotal_ += evaluated;
 }
 
 void

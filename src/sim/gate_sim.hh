@@ -45,6 +45,8 @@
 namespace bespoke
 {
 
+class LaneSim;
+
 /** Snapshot of all sequential state (one byte-coded Logic per flop). */
 using SeqState = std::vector<uint8_t>;
 
@@ -116,6 +118,9 @@ class GateSim
     /** Gates evaluated by the last evalComb() (perf introspection). */
     uint64_t gatesEvaluated() const { return gatesEvaluated_; }
 
+    /** Lifetime gate-evaluation count across every evalComb(). */
+    uint64_t gatesEvaluatedTotal() const { return gatesEvaluatedTotal_; }
+
   private:
     void evalCombFull();
     void evalCombEvent();
@@ -138,6 +143,7 @@ class GateSim
     std::vector<uint8_t> queued_;   ///< dirty-set membership flag
     bool fullPassPending_ = true;   ///< first eval after reset is full
     uint64_t gatesEvaluated_ = 0;
+    uint64_t gatesEvaluatedTotal_ = 0;
 };
 
 /**
@@ -156,6 +162,12 @@ class ActivityTracker
 
     /** Accumulate toggles from the sim's current values. */
     void observe(const GateSim &sim);
+
+    /**
+     * Lane-vectorized observation: accumulate toggles from every lane
+     * in `lanes` at once (defined in lane_sim.cc).
+     */
+    void observe(const LaneSim &sim, uint64_t lanes);
 
     bool initialCaptured() const { return initialCaptured_; }
     bool toggled(GateId id) const { return toggled_[id] != 0; }

@@ -1,0 +1,423 @@
+#include "src/sim/lane_sim.hh"
+
+#include "src/isa/isa.hh"
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+namespace
+{
+
+/** One three-valued signal as 64 (val, known) lane bits. */
+struct Planes
+{
+    uint64_t v;  ///< known-One lanes (always a subset of k)
+    uint64_t k;  ///< known lanes
+};
+
+// Kleene connectives on bit planes. Every op keeps the canonical
+// invariant v ⊆ k (an X lane has v = 0), which the correctness of
+// the compositions below relies on: v is exactly "known One" and
+// k & ~v is exactly "known Zero".
+
+inline Planes
+pNot(Planes a)
+{
+    return {a.k & ~a.v, a.k};
+}
+
+inline Planes
+pAnd(Planes a, Planes b)
+{
+    // Known when both are known, or either side is a known Zero.
+    return {a.v & b.v,
+            (a.k & b.k) | (a.k & ~a.v) | (b.k & ~b.v)};
+}
+
+inline Planes
+pOr(Planes a, Planes b)
+{
+    // Known when both are known, or either side is a known One.
+    return {a.v | b.v, (a.k & b.k) | a.v | b.v};
+}
+
+inline Planes
+pXor(Planes a, Planes b)
+{
+    uint64_t k = a.k & b.k;
+    return {(a.v ^ b.v) & k, k};
+}
+
+inline Planes
+pXnor(Planes a, Planes b)
+{
+    uint64_t k = a.k & b.k;
+    return {~(a.v ^ b.v) & k, k};
+}
+
+/** logicMux semantics: sel X yields a0 when a0 == a1 and both known. */
+inline Planes
+pMux(Planes a0, Planes a1, Planes sel)
+{
+    uint64_t sel1 = sel.v;
+    uint64_t sel0 = sel.k & ~sel.v;
+    uint64_t eq = a0.k & a1.k & ~(a0.v ^ a1.v);
+    uint64_t k = (sel1 & a1.k) | (sel0 & a0.k) | (~sel.k & eq);
+    uint64_t v = (sel1 & a1.v) | (sel0 & a0.v) | (~sel.k & eq & a0.v);
+    return {v, k};
+}
+
+} // namespace
+
+LaneSim::LaneSim(const Netlist &netlist,
+                 std::shared_ptr<const SimPrep> prep)
+    : nl_(netlist), prep_(std::move(prep)),
+      val_(netlist.size(), 0), known_(netlist.size(), 0),
+      forceMask_(netlist.size(), 0), forceVal_(netlist.size(), 0)
+{
+    if (!prep_)
+        prep_ = std::make_shared<const SimPrep>(netlist);
+    bespoke_assert(prep_->isComb.size() == netlist.size(),
+                   "SimPrep was built for a different netlist");
+}
+
+void
+LaneSim::reset()
+{
+    const uint8_t *op = prep_->opcode.data();
+    for (GateId i = 0; i < nl_.size(); i++) {
+        switch (static_cast<CellType>(op[i])) {
+          case CellType::TIE0:
+            val_[i] = 0;
+            known_[i] = ~0ull;
+            break;
+          case CellType::TIE1:
+            val_[i] = ~0ull;
+            known_[i] = ~0ull;
+            break;
+          default:
+            val_[i] = 0;
+            known_[i] = 0;
+        }
+    }
+    for (GateId id : prep_->seqIds) {
+        bool rv = nl_.gate(id).resetValue;
+        val_[id] = rv ? ~0ull : 0;
+        known_[id] = ~0ull;
+    }
+    clearAllForces();
+}
+
+void
+LaneSim::setInput(GateId id, int lane, Logic v)
+{
+    bespoke_assert(nl_.gate(id).type == CellType::INPUT,
+                   "setInput on non-input gate ", id);
+    uint64_t m = 1ull << lane;
+    if (v == Logic::X) {
+        val_[id] &= ~m;
+        known_[id] &= ~m;
+    } else {
+        known_[id] |= m;
+        if (v == Logic::One)
+            val_[id] |= m;
+        else
+            val_[id] &= ~m;
+    }
+}
+
+void
+LaneSim::setInputAll(GateId id, Logic v)
+{
+    bespoke_assert(nl_.gate(id).type == CellType::INPUT,
+                   "setInput on non-input gate ", id);
+    if (v == Logic::X) {
+        val_[id] = 0;
+        known_[id] = 0;
+    } else {
+        known_[id] = ~0ull;
+        val_[id] = v == Logic::One ? ~0ull : 0;
+    }
+}
+
+void
+LaneSim::setInputPlanes(GateId id, uint64_t val, uint64_t known)
+{
+    bespoke_assert(nl_.gate(id).type == CellType::INPUT,
+                   "setInput on non-input gate ", id);
+    bespoke_assert((val & ~known) == 0, "val plane not masked by known");
+    val_[id] = val;
+    known_[id] = known;
+}
+
+SWord
+LaneSim::busWord(const std::vector<GateId> &bus_ids, int lane) const
+{
+    bespoke_assert(bus_ids.size() <= 16);
+    SWord w;
+    for (size_t i = 0; i < bus_ids.size(); i++)
+        w.setBit(static_cast<int>(i), value(bus_ids[i], lane));
+    return w;
+}
+
+void
+LaneSim::evalComb()
+{
+    const uint8_t *op = prep_->opcode.data();
+    const uint32_t *fanin = prep_->fanin.data();
+    uint64_t *val = val_.data();
+    uint64_t *known = known_.data();
+
+    auto get = [&](uint32_t id) -> Planes {
+        return {val[id], known[id]};
+    };
+
+    for (GateId id : prep_->order) {
+        const uint32_t *f = &fanin[3 * id];
+        Planes a = get(f[0]);
+        Planes out;
+        switch (static_cast<CellType>(op[id])) {
+          case CellType::OUTPUT:
+          case CellType::BUF:
+            out = a;
+            break;
+          case CellType::INV:
+            out = pNot(a);
+            break;
+          case CellType::AND2:
+            out = pAnd(a, get(f[1]));
+            break;
+          case CellType::AND3:
+            out = pAnd(pAnd(a, get(f[1])), get(f[2]));
+            break;
+          case CellType::OR2:
+            out = pOr(a, get(f[1]));
+            break;
+          case CellType::OR3:
+            out = pOr(pOr(a, get(f[1])), get(f[2]));
+            break;
+          case CellType::NAND2:
+            out = pNot(pAnd(a, get(f[1])));
+            break;
+          case CellType::NAND3:
+            out = pNot(pAnd(pAnd(a, get(f[1])), get(f[2])));
+            break;
+          case CellType::NOR2:
+            out = pNot(pOr(a, get(f[1])));
+            break;
+          case CellType::NOR3:
+            out = pNot(pOr(pOr(a, get(f[1])), get(f[2])));
+            break;
+          case CellType::XOR2:
+            out = pXor(a, get(f[1]));
+            break;
+          case CellType::XNOR2:
+            out = pXnor(a, get(f[1]));
+            break;
+          case CellType::MUX2:
+            out = pMux(a, get(f[1]), get(f[2]));
+            break;
+          case CellType::AOI21:
+            out = pNot(pOr(pAnd(a, get(f[1])), get(f[2])));
+            break;
+          case CellType::OAI21:
+            out = pNot(pAnd(pOr(a, get(f[1])), get(f[2])));
+            break;
+          case CellType::TIE0:
+            out = {0, ~0ull};
+            break;
+          case CellType::TIE1:
+            out = {~0ull, ~0ull};
+            break;
+          default:
+            bespoke_fatal("non-combinational cell in eval order");
+        }
+        if (anyForce_ && forceMask_[id]) {
+            uint64_t fm = forceMask_[id];
+            out.v = (out.v & ~fm) | (forceVal_[id] & fm);
+            out.k |= fm;
+        }
+        val[id] = out.v;
+        known[id] = out.k;
+    }
+    gateVisitsTotal_ += prep_->order.size();
+}
+
+void
+LaneSim::latchSequential()
+{
+    // Two passes, like GateSim: all D inputs are read before any Q
+    // changes so direct Q->D wires see the pre-edge value.
+    size_t n = prep_->seqIds.size();
+    std::vector<Planes> next(n);
+    for (size_t i = 0; i < n; i++) {
+        GateId id = prep_->seqIds[i];
+        const uint32_t *f = &prep_->fanin[3 * id];
+        Planes d = {val_[f[0]], known_[f[0]]};
+        if (static_cast<CellType>(prep_->opcode[id]) == CellType::DFF) {
+            next[i] = d;
+        } else {
+            Planes q = {val_[id], known_[id]};
+            Planes en = {val_[f[1]], known_[f[1]]};
+            next[i] = pMux(q, d, en);
+        }
+    }
+    for (size_t i = 0; i < n; i++) {
+        GateId id = prep_->seqIds[i];
+        val_[id] = next[i].v;
+        known_[id] = next[i].k;
+    }
+}
+
+void
+LaneSim::force(GateId id, uint64_t lanes, uint64_t value)
+{
+    if (!lanes)
+        return;
+    if (!forceMask_[id] && !forceVal_[id])
+        forcedIds_.push_back(id);
+    forceMask_[id] |= lanes;
+    forceVal_[id] = (forceVal_[id] & ~lanes) | (value & lanes);
+    anyForce_ = true;
+}
+
+void
+LaneSim::clearForces(uint64_t lanes)
+{
+    size_t keep = 0;
+    for (size_t i = 0; i < forcedIds_.size(); i++) {
+        GateId id = forcedIds_[i];
+        forceMask_[id] &= ~lanes;
+        forceVal_[id] &= forceMask_[id];
+        if (forceMask_[id])
+            forcedIds_[keep++] = id;
+        else
+            forceVal_[id] = 0;
+    }
+    forcedIds_.resize(keep);
+    anyForce_ = !forcedIds_.empty();
+}
+
+void
+LaneSim::restoreSeqLane(int lane, const SeqState &s)
+{
+    bespoke_assert(s.size() == prep_->seqIds.size());
+    uint64_t m = 1ull << lane;
+    for (size_t i = 0; i < s.size(); i++) {
+        GateId id = prep_->seqIds[i];
+        Logic v = static_cast<Logic>(s[i]);
+        if (v == Logic::X) {
+            val_[id] &= ~m;
+            known_[id] &= ~m;
+        } else {
+            known_[id] |= m;
+            if (v == Logic::One)
+                val_[id] |= m;
+            else
+                val_[id] &= ~m;
+        }
+    }
+}
+
+SeqState
+LaneSim::seqStateLane(int lane) const
+{
+    SeqState s(prep_->seqIds.size());
+    for (size_t i = 0; i < s.size(); i++)
+        s[i] = static_cast<uint8_t>(value(prep_->seqIds[i], lane));
+    return s;
+}
+
+void
+ActivityTracker::observe(const LaneSim &sim, uint64_t lanes)
+{
+    bespoke_assert(initialCaptured_);
+    if (!lanes)
+        return;
+    size_t n = toggled_.size();
+    const uint8_t *init = initial_.data();
+    uint8_t *tog = toggled_.data();
+    for (size_t i = 0; i < n; i++) {
+        // Broadcast the scalar initial Logic to planes; a lane has
+        // toggled iff its (val, known) pair differs from it. Gates
+        // whose initial value was X are pre-marked by captureInitial,
+        // so the extra work here for them is harmless.
+        uint64_t iv = init[i] == static_cast<uint8_t>(Logic::One)
+                          ? ~0ull
+                          : 0;
+        uint64_t ik = init[i] == static_cast<uint8_t>(Logic::X)
+                          ? 0
+                          : ~0ull;
+        uint64_t diff = (sim.valPlane(static_cast<GateId>(i)) ^ iv) |
+                        (sim.knownPlane(static_cast<GateId>(i)) ^ ik);
+        tog[i] |= (diff & lanes) != 0;
+    }
+}
+
+LaneSoc::LaneSoc(std::shared_ptr<const SocContext> ctx,
+                 const AsmProgram &prog)
+    : ctx_(std::move(ctx)), prog_(prog),
+      sim_(ctx_->netlist, ctx_->prep)
+{
+    sim_.reset();
+    for (EnvState &e : env_) {
+        e.ram.assign(kRamSize / 2, SWord::allX());
+        e.rdata = SWord::allX();
+    }
+}
+
+void
+LaneSoc::loadLane(int lane, const SeqState &seq, const EnvState &env,
+                  uint16_t last_fetch_pc)
+{
+    sim_.restoreSeqLane(lane, seq);
+    env_[lane] = env;
+    lastFetchPc_[lane] = last_fetch_pc;
+}
+
+void
+LaneSoc::evalOnly()
+{
+    // Uniform pins once, per-lane memory read data transposed into
+    // planes bit by bit.
+    for (size_t b = 0; b < ctx_->pGpioIn.size(); b++)
+        sim_.setInputAll(ctx_->pGpioIn[b], gpioIn_.bit(static_cast<int>(b)));
+    sim_.setInputAll(ctx_->pIrqExt, irqExt_);
+    for (size_t b = 0; b < ctx_->pMemRdata.size(); b++) {
+        uint16_t m = static_cast<uint16_t>(1u << b);
+        uint64_t v = 0, k = 0;
+        for (int lane = 0; lane < kLanes; lane++) {
+            const SWord &rd = env_[lane].rdata;
+            if (rd.known & m) {
+                k |= 1ull << lane;
+                if (rd.val & m)
+                    v |= 1ull << lane;
+            }
+        }
+        sim_.setInputPlanes(ctx_->pMemRdata[b], v, k);
+    }
+    sim_.evalComb();
+}
+
+void
+LaneSoc::finishCycle(uint64_t lanes)
+{
+    for (int lane = 0; lane < kLanes; lane++) {
+        if (!(lanes & (1ull << lane)))
+            continue;
+        Logic en = sim_.value(ctx_->pMemEn, lane);
+        Logic wen0 = sim_.value(ctx_->pMemWen0, lane);
+        Logic wen1 = sim_.value(ctx_->pMemWen1, lane);
+        if (en == Logic::Zero && wen0 == Logic::Zero &&
+            wen1 == Logic::Zero) {
+            continue;
+        }
+        sampleMemory(env_[lane], prog_, en, wen0, wen1,
+                     sim_.busWord(ctx_->pMemAddr, lane),
+                     sim_.busWord(ctx_->pMemWdata, lane));
+    }
+    sim_.latchSequential();
+}
+
+} // namespace bespoke

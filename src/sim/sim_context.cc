@@ -50,6 +50,62 @@ SimPrep::SimPrep(const Netlist &netlist)
         for (int p = 0; p < ni; p++)
             foData[cursor[g.in[p]]++] = id;
     }
+
+    // Compiled eval program: opcode byte + padded fanin triple per
+    // gate. Pins past the cell's fanin count repeat pin 0 (any valid
+    // net id works — the truth table is insensitive to them), keeping
+    // the evaluation loop free of a per-gate fanin-count branch.
+    opcode.resize(n);
+    fanin.resize(3 * n);
+    for (GateId id = 0; id < n; id++) {
+        const Gate &g = gates[id];
+        opcode[id] = static_cast<uint8_t>(g.type);
+        int ni = g.numInputs();
+        for (int p = 0; p < 3; p++)
+            fanin[3 * id + p] = p < ni ? g.in[p] : (ni ? g.in[0] : id);
+    }
+
+    // Kleene truth tables, one 27-entry row per cell type (padded to
+    // 32 so the row index is a shift). Rows are filled by exhaustive
+    // calls to the reference evalCell(), so the table-driven kernel
+    // cannot diverge from the switch-based semantics. Sequential and
+    // INPUT pseudo-cells never reach the eval loop; their rows are X.
+    lut.assign(static_cast<size_t>(kNumCellTypes) << kLutShift,
+               static_cast<uint8_t>(Logic::X));
+    for (int t = 0; t < kNumCellTypes; t++) {
+        CellType type = static_cast<CellType>(t);
+        if (type == CellType::INPUT || cellSequential(type))
+            continue;
+        for (int a = 0; a < 3; a++) {
+            for (int b = 0; b < 3; b++) {
+                for (int c = 0; c < 3; c++) {
+                    Logic in[3] = {static_cast<Logic>(a),
+                                   static_cast<Logic>(b),
+                                   static_cast<Logic>(c)};
+                    lut[(static_cast<size_t>(t) << kLutShift) |
+                        static_cast<size_t>(a * 9 + b * 3 + c)] =
+                        static_cast<uint8_t>(evalCell(type, in));
+                }
+            }
+        }
+    }
+
+    // Level buckets over the evaluation order. levelize() emits gates
+    // in breadth-first (level-ascending) order; assert that here since
+    // the bucketed kernels depend on it.
+    levelHead.assign(numLevels + 1, 0);
+    for (GateId id : order)
+        levelHead[level[id] + 1]++;
+    for (uint32_t l = 0; l < numLevels; l++)
+        levelHead[l + 1] += levelHead[l];
+    {
+        uint32_t prev = 0;
+        for (GateId id : order) {
+            bespoke_assert(level[id] >= prev,
+                           "levelize() order is not level-grouped");
+            prev = level[id];
+        }
+    }
 }
 
 SocContext::SocContext(const Netlist &nl)

@@ -29,6 +29,17 @@ namespace bespoke
 /**
  * Evaluation-order and event-propagation data for one netlist (the
  * part of GateSim's setup that does not depend on simulator state).
+ *
+ * Beyond the order/levels/fanout CSR, the prep carries a *compiled
+ * eval program*: a flat SoA image of the combinational netlist that
+ * the simulators execute without touching Netlist at all. Per gate
+ * there is one opcode byte (the CellType) and three fanin net ids
+ * (unused pins padded with pin 0 so the inner loop is branch-free);
+ * the cell functions themselves are folded into a 27-entry lookup
+ * table per opcode (3 Kleene values ^ 3 pins, padded to 32 entries so
+ * the row index is a shift). The tables are built by exhaustively
+ * calling evalCell(), so table-driven evaluation is bit-identical to
+ * the switch-based reference by construction.
  */
 struct SimPrep
 {
@@ -41,6 +52,23 @@ struct SimPrep
     std::vector<uint32_t> foHead; ///< CSR index into foData (size n+1)
     std::vector<GateId> foData;   ///< combinational consumers per net
     uint32_t numLevels = 1;       ///< bucket count (max level + 1)
+
+    /** @name Compiled eval program */
+    /// @{
+    /** CellType per gate, the opcode of the eval program. */
+    std::vector<uint8_t> opcode;
+    /** 3 fanin net ids per gate, flat at fanin[3*id]; pins beyond the
+     *  cell's fanin count repeat pin 0 (the LUT ignores them). */
+    std::vector<uint32_t> fanin;
+    /** Kleene truth tables: lut[(op << kLutShift) | (a*9 + b*3 + c)]
+     *  with a/b/c the byte-coded Logic values of pins 0..2. */
+    std::vector<uint8_t> lut;
+    static constexpr int kLutShift = 5;  ///< 27 entries padded to 32
+    /** CSR over `order` by topological level: gates of level l occupy
+     *  order[levelHead[l] .. levelHead[l+1]). Levels 0 (sources) are
+     *  empty; size numLevels + 1. */
+    std::vector<uint32_t> levelHead;
+    /// @}
 };
 
 /**

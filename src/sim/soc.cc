@@ -76,8 +76,17 @@ Soc::sampleMemoryRequest()
     if (en == Logic::Zero && wen0 == Logic::Zero && wen1 == Logic::Zero)
         return;
 
-    SWord addr = sim_.busWord(ctx_->pMemAddr);
-    SWord wdata = sim_.busWord(ctx_->pMemWdata);
+    sampleMemory(env_, prog_, en, wen0, wen1,
+                 sim_.busWord(ctx_->pMemAddr),
+                 sim_.busWord(ctx_->pMemWdata));
+}
+
+void
+sampleMemory(EnvState &env, const AsmProgram &prog, Logic en,
+             Logic wen0, Logic wen1, SWord addr, SWord wdata)
+{
+    if (en == Logic::Zero && wen0 == Logic::Zero && wen1 == Logic::Zero)
+        return;
 
     // --- Writes (byte lanes) ---
     auto lane_write = [&](SWord &word, Logic wen, int lane) {
@@ -100,7 +109,7 @@ Soc::sampleMemoryRequest()
         if (addr.anyX()) {
             // Unknown destination: every RAM word may have been
             // (partially) overwritten.
-            for (SWord &w : env_.ram) {
+            for (SWord &w : env.ram) {
                 SWord neww0 = w, neww1 = w;
                 lane_write(neww0, Logic::X, 0);
                 lane_write(neww1, Logic::X, 1);
@@ -109,7 +118,7 @@ Soc::sampleMemoryRequest()
         } else {
             uint16_t a = addr.val;
             if (isRamAddr(a)) {
-                SWord &w = env_.ram[(a - kRamBase) >> 1];
+                SWord &w = env.ram[(a - kRamBase) >> 1];
                 lane_write(w, wen0, 0);
                 lane_write(w, wen1, 1);
             } else if (isPeriphAddr(a)) {
@@ -131,9 +140,9 @@ Soc::sampleMemoryRequest()
         } else {
             uint16_t a = static_cast<uint16_t>(addr.val & ~1u);
             if (isRomAddr(a)) {
-                data = SWord::of(prog_.romWord(a));
+                data = SWord::of(prog.romWord(a));
             } else if (isRamAddr(a)) {
-                data = env_.ram[(a - kRamBase) >> 1];
+                data = env.ram[(a - kRamBase) >> 1];
             } else if (isPeriphAddr(a)) {
                 data = SWord::allX();  // routed inside the netlist
             } else {
@@ -142,9 +151,9 @@ Soc::sampleMemoryRequest()
         }
         if (en == Logic::X) {
             // Request may or may not have happened: hold vs new data.
-            env_.rdata = SWord::merge(env_.rdata, data);
+            env.rdata = SWord::merge(env.rdata, data);
         } else {
-            env_.rdata = data;
+            env.rdata = data;
         }
     }
 }

@@ -41,6 +41,15 @@ struct EnvState
     bool substateOf(const EnvState &c) const;
 };
 
+/**
+ * One memory-port transaction against a behavioral environment: the
+ * shared core of Soc::sampleMemoryRequest(), also applied per lane by
+ * LaneSoc so scalar and lane-parallel memory semantics (including the
+ * conservative symbolic-address handling) cannot diverge.
+ */
+void sampleMemory(EnvState &env, const AsmProgram &prog, Logic en,
+                  Logic wen0, Logic wen1, SWord addr, SWord wdata);
+
 class Soc
 {
   public:

@@ -101,6 +101,61 @@ TEST(AnalysisParallel, ThreadedMatchesSerialUntoggledSet)
     }
 }
 
+TEST(AnalysisParallel, LaneBatchedMatchesSerialUntoggledSet)
+{
+    // The 64-lane bit-plane engine (AnalysisOptions::laneWidth) takes
+    // a different schedule through the widening tables, so the
+    // path/cycle counters legitimately differ from the serial golden
+    // values — but the toggle fixpoint must be identical, alone and
+    // combined with worker threads.
+    for (const char *name : {"div", "tHold", "rle", "binSearch"}) {
+        SCOPED_TRACE(name);
+        AnalysisResult serial = analyze(name, 1);
+        ASSERT_TRUE(serial.completed);
+        for (int threads : {1, 4}) {
+            SCOPED_TRACE(threads);
+            AnalysisOptions opts;
+            opts.laneWidth = 64;
+            AnalysisResult lane = analyze(name, threads, opts);
+            ASSERT_TRUE(lane.completed);
+            EXPECT_EQ(lane.lanesUsed, 64);
+            EXPECT_GT(lane.gatesEvaluated, 0u);
+            for (GateId i = 0; i < core().size(); i++) {
+                ASSERT_EQ(lane.activity->toggled(i),
+                          serial.activity->toggled(i))
+                    << "gate " << i;
+                if (!serial.activity->toggled(i)) {
+                    ASSERT_EQ(lane.activity->initialValue(i),
+                              serial.activity->initialValue(i))
+                        << "gate " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(AnalysisParallel, LaneEnvVarOverridesLaneWidth)
+{
+    AnalysisOptions opts;
+    opts.laneWidth = 1;
+
+    ::setenv("BESPOKE_ANALYSIS_LANES", "64", 1);
+    EXPECT_EQ(resolveAnalysisLanes(opts), 64);
+    AnalysisResult r =
+        analyzeActivity(core(), workloadByName("binSearch"), opts);
+    EXPECT_EQ(r.lanesUsed, 64);
+
+    // Out-of-range values clamp; garbage is ignored with a warning.
+    ::setenv("BESPOKE_ANALYSIS_LANES", "1000", 1);
+    EXPECT_EQ(resolveAnalysisLanes(opts), 64);
+    ::setenv("BESPOKE_ANALYSIS_LANES", "wide", 1);
+    EXPECT_EQ(resolveAnalysisLanes(opts), 1);
+
+    ::unsetenv("BESPOKE_ANALYSIS_LANES");
+    opts.laneWidth = 7;
+    EXPECT_EQ(resolveAnalysisLanes(opts), 7);
+}
+
 TEST(AnalysisParallel, PathCapYieldsIncompleteButUsableResult)
 {
     AnalysisResult full = analyze("div", 1);
@@ -118,8 +173,9 @@ TEST(AnalysisParallel, PathCapYieldsIncompleteButUsableResult)
         // full exploration proves toggleable... in the other direction:
         // anything the capped run saw toggle really does toggle.
         for (GateId i = 0; i < core().size(); i++) {
-            if (r.activity->toggled(i))
+            if (r.activity->toggled(i)) {
                 EXPECT_TRUE(full.activity->toggled(i)) << "gate " << i;
+            }
         }
         EXPECT_GE(r.untoggledCells(), full.untoggledCells());
     }

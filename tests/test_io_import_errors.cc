@@ -326,6 +326,89 @@ TEST(ImportErrors, UnconnectedPin)
 
 // ------------------------------------------------ JSON loader errors
 
+TEST(ImportEscaped, EscapedIdentifiersAreOrdinaryNames)
+{
+    // `\name ` and `name` are the same identifier (the output is
+    // declared escaped and assigned unescaped); `\u.0 ` and
+    // `\cnt[3] ` are only spellable escaped; `\wire ` is a net, not a
+    // keyword. No vector `cnt` exists, so `\cnt[3] ` is a scalar.
+    VerilogImportResult res = importVerilog(
+        "module \\top (input \\a , input b, output \\y );\n"
+        "  wire \\cnt[3] ;\n"
+        "  wire \\wire ;\n"
+        "  NAND2_X1 \\u.0 (.A(\\a ), .B(b), .Y(\\cnt[3] ));\n"
+        "  INV_X1 u1 (.A(\\cnt[3] ), .Y(\\wire ));\n"
+        "  assign y = \\wire ;\n"
+        "endmodule\n");
+    ASSERT_TRUE(res.ok) << res.format("<inline>");
+    EXPECT_EQ(res.moduleName, "top");
+    EXPECT_EQ(res.netlist.inputIds().size(), 2u);
+    EXPECT_EQ(res.netlist.outputIds().size(), 1u);
+    // The escaped input port keeps its plain name.
+    EXPECT_NE(res.netlist.port("a"), kNoGate);
+    // An escaped identifier followed by a bit select still selects:
+    // `\v [2]` is bit 2 of the vector v.
+    VerilogImportResult sel = importVerilog(
+        "module t (input [3:0] v, output y);\n"
+        "  assign y = \\v [2];\n"
+        "endmodule\n");
+    ASSERT_TRUE(sel.ok) << sel.format("<inline>");
+}
+
+TEST(ImportErrors, EscapedIdentifierIsNeverAKeyword)
+{
+    VerilogImportResult res = expectError(
+        "\\module t (input a, output y);\nendmodule\n",
+        "expected 'module', got '\\module'");
+    EXPECT_EQ(res.line, 1);
+    EXPECT_EQ(res.col, 1);
+}
+
+TEST(ImportErrors, EmptyEscapedIdentifier)
+{
+    VerilogImportResult res =
+        expectError("module t (input \\ a, output y);\n"
+                    "endmodule\n",
+                    "empty escaped identifier");
+    EXPECT_EQ(res.line, 1);
+    EXPECT_EQ(res.col, 17);
+}
+
+TEST(ImportErrors, EscapedNetCollidingWithVectorBit)
+{
+    // `\v[3] ` next to `input [7:0] v` would alias the drivers_ key
+    // of the vector's bit 3; rejected with the escaped decl's
+    // position, in both declaration orders.
+    VerilogImportResult res = expectError(
+        "module t (input [7:0] v, output y);\n"
+        "  wire \\v[3] ;\n"
+        "  assign y = v[3];\n"
+        "endmodule\n",
+        "escaped net '\\v[3]' collides with bit 3 of vector 'v'");
+    EXPECT_EQ(res.line, 2);
+    EXPECT_EQ(res.col, 8);
+    EXPECT_EQ(res.format("t.v"),
+              "t.v:2:8: escaped net '\\v[3]' collides with bit 3 of "
+              "vector 'v'");
+
+    expectError("module t (input a, output \\q[0] );\n"
+                "  wire [1:0] q;\n"
+                "  assign q[0] = a;\n"
+                "  assign q[1] = a;\n"
+                "  assign \\q[0]  = a;\n"
+                "endmodule\n",
+                "collides with bit 0 of vector 'q'");
+
+    // Out of the vector's range there is no aliasing: accepted.
+    VerilogImportResult ok = importVerilog(
+        "module t (input [7:0] v, output y);\n"
+        "  wire \\v[8] ;\n"
+        "  INV_X1 u0 (.A(v[0]), .Y(\\v[8] ));\n"
+        "  assign y = \\v[8] ;\n"
+        "endmodule\n");
+    EXPECT_TRUE(ok.ok) << ok.format("<inline>");
+}
+
 TEST(JsonErrors, RejectsEditsAndTruncation)
 {
     // A well-formed document for a tiny netlist...
