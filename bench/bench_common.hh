@@ -17,6 +17,11 @@
  *   --lanes N        LaneSim batch width for the activity analysis
  *                    (1..64, default 1 = scalar). Like --threads, the
  *                    table values are lane-width independent.
+ *   --plane-bits W   bit-plane word width for lane-batched replays
+ *                    (64/128/256/512; default 0 = resolvePlaneBits,
+ *                    i.e. BESPOKE_PLANE_BITS or 64). Execution
+ *                    strategy only — table values are identical at
+ *                    every width.
  *   --checkpoint-dir DIR  persist flow stage artifacts in DIR and
  *                    reuse them on later runs (content-hashed keys;
  *                    see src/bespoke/checkpoint.hh). Results are
@@ -145,6 +150,18 @@ class BenchIO
                 lanes_ = static_cast<int>(v);
                 continue;
             }
+            std::string pval;
+            if (take_path("--plane-bits", pval)) {
+                char *end = nullptr;
+                long v = pval == kAutoPath
+                             ? -1
+                             : std::strtol(pval.c_str(), &end, 10);
+                if ((end && *end != '\0') ||
+                    (v != 64 && v != 128 && v != 256 && v != 512))
+                    die("--plane-bits needs 64, 128, 256, or 512");
+                planeBits_ = static_cast<int>(v);
+                continue;
+            }
             if (take_path("--checkpoint-dir", checkpointDir_)) {
                 if (checkpointDir_ == kAutoPath)
                     die("--checkpoint-dir requires a path");
@@ -165,8 +182,8 @@ class BenchIO
             }
             die("unknown bench flag '" + arg +
                 "' (expected --quick, --json PATH, --check [PATH], "
-                "--threads N, --lanes N, --checkpoint-dir DIR, "
-                "--checkpoint-max-bytes N)");
+                "--threads N, --lanes N, --plane-bits W, "
+                "--checkpoint-dir DIR, --checkpoint-max-bytes N)");
         }
         if (checkMode_ && checkPath_ == kAutoPath) {
             const char *dir = std::getenv("BESPOKE_BASELINE_DIR");
@@ -185,6 +202,8 @@ class BenchIO
     int threads() const { return threads_; }
     /** --lanes value for AnalysisOptions::laneWidth (default 1). */
     int lanes() const { return lanes_; }
+    /** --plane-bits value for batched replays (0 = resolve default). */
+    int planeBits() const { return planeBits_; }
     /** --checkpoint-dir value for FlowOptions::checkpointDir ("" off). */
     const std::string &checkpointDir() const { return checkpointDir_; }
     /** --checkpoint-max-bytes for FlowOptions::checkpointMaxBytes. */
@@ -440,6 +459,7 @@ class BenchIO
     std::string jsonPath_, checkPath_, checkpointDir_;
     uint64_t checkpointMaxBytes_ = 0;
     int lanes_ = 1;
+    int planeBits_ = 0;
     JsonValue tables_ = JsonValue::object();
     JsonValue metrics_ = JsonValue::object();
     JsonValue counters_ = JsonValue::object();

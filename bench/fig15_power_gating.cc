@@ -24,6 +24,9 @@ main(int argc, char **argv)
 
     FlowOptions opts;
     opts.analysis.threads = io.threads();
+    opts.analysis.laneWidth = io.lanes();
+    opts.analysis.planeBits = io.planeBits();
+    opts.planeBits = io.planeBits();
     opts.checkpointDir = io.checkpointDir();
     opts.checkpointMaxBytes = io.checkpointMaxBytes();
     opts.powerInputsPerWorkload = inputs;
@@ -33,7 +36,8 @@ main(int argc, char **argv)
                  "bespoke power savings %", "bespoke advantage (x)"});
     for (const Workload &w : workloads()) {
         GatingResult g = evaluateOracleGating(
-            flow.baseline(), w, inputs, 77, opts.power, opts.timing);
+            flow.baseline(), w, inputs, 77, opts.power, opts.timing,
+            io.planeBits());
         DesignMetrics base = flow.measureBaseline({&w});
         BespokeDesign d = flow.tailor(w);
         double bespoke_save =

@@ -49,17 +49,21 @@ BM_GateSimCycle(benchmark::State &state)
 }
 BENCHMARK(BM_GateSimCycle);
 
+template <int W>
 void
 BM_LaneSimCycle(benchmark::State &state)
 {
-    // 64 concrete scenarios per sweep on the bit-plane engine; items
-    // processed counts gate*lane evaluations, so items/s here vs.
-    // BM_GateSimCycle is the raw per-scenario speedup of plane packing
-    // (before the event-driven engine's dirty-set advantage).
+    // W concrete scenarios per sweep on the bit-plane engine; items
+    // processed counts gate*lane evaluations (items/s = gate·lane/s),
+    // so items/s here vs. BM_GateSimCycle is the raw per-scenario
+    // speedup of plane packing (before the event-driven engine's
+    // dirty-set advantage), and across widths it shows how multi-word
+    // planes amortize the per-gate fixed costs — the widest plane
+    // should clear at least twice the 64-bit plane's rate.
     const Workload &w = workloadByName("intFilt");
     AsmProgram prog = w.assembleProgram();
     std::shared_ptr<const SocContext> ctx = SocContext::make(core());
-    LaneSoc soc(ctx, prog);
+    LaneSocT<W> soc(ctx, prog);
     Soc seed(ctx, prog, /*ram_unknown=*/false);
     Rng rng(1);
     WorkloadInput in = w.genInput(rng);
@@ -67,19 +71,22 @@ BM_LaneSimCycle(benchmark::State &state)
         seed.pokeRamWord(static_cast<uint16_t>(kInputBase + 2 * i),
                          SWord::of(in.ramWords[i]));
     }
-    for (int lane = 0; lane < LaneSim::kLanes; lane++)
+    for (int lane = 0; lane < W; lane++)
         soc.loadLane(lane, seed.sim().seqState(), seed.envState(), 0);
     soc.setGpioIn(SWord::of(0));
     soc.setIrqExt(Logic::Zero);
+    using Mask = LaneMask<W>;
     for (auto _ : state) {
         soc.evalOnly();
-        soc.finishCycle(~0ull);
+        soc.finishCycle(laneOnes<Mask>());
     }
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(core().size()) *
-                            LaneSim::kLanes);
+                            static_cast<int64_t>(core().size()) * W);
 }
-BENCHMARK(BM_LaneSimCycle);
+BENCHMARK_TEMPLATE(BM_LaneSimCycle, 64);
+BENCHMARK_TEMPLATE(BM_LaneSimCycle, 128);
+BENCHMARK_TEMPLATE(BM_LaneSimCycle, 256);
+BENCHMARK_TEMPLATE(BM_LaneSimCycle, 512);
 
 void
 BM_ActivityAnalysis(benchmark::State &state)

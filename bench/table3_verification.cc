@@ -33,6 +33,8 @@ main(int argc, char **argv)
 
     FlowOptions opts;
     opts.analysis.threads = io.threads();
+    opts.analysis.laneWidth = io.lanes();
+    opts.analysis.planeBits = io.planeBits();
     opts.checkpointDir = io.checkpointDir();
     opts.checkpointMaxBytes = io.checkpointMaxBytes();
     opts.powerInputsPerWorkload = 1;
@@ -60,11 +62,18 @@ main(int argc, char **argv)
         ToggleCounter toggles(d.netlist);
         bool outputs_ok = true;
         t0 = std::chrono::steady_clock::now();
-        for (const WorkloadInput &in : cov.inputs) {
-            IssRun ir = runWorkloadIss(w, in);
-            GateRun gr =
-                runWorkloadGate(d.netlist, w, prog, in, &toggles);
-            RunDiff diff = compareRuns(ir, gr, w);
+        // Gate-level runs batch lane-parallel; every scenario feeds
+        // the one shared toggle counter (ingested in input order, so
+        // the counts equal the historical sequential loop's). The ISS
+        // oracle stays scalar — it is not a gate simulation.
+        std::vector<GateScenario> scen(cov.inputs.size());
+        for (size_t i = 0; i < cov.inputs.size(); i++)
+            scen[i] = {&prog, &cov.inputs[i], &toggles};
+        std::vector<GateRun> grs =
+            runScenarioGateBatch(d.netlist, w, scen, io.planeBits());
+        for (size_t i = 0; i < cov.inputs.size(); i++) {
+            IssRun ir = runWorkloadIss(w, cov.inputs[i]);
+            RunDiff diff = compareRuns(ir, grs[i], w);
             outputs_ok &= diff.ok;
         }
         double per_input_secs =

@@ -83,6 +83,16 @@ struct AnalysisOptions
      * overrides this field process-wide.
      */
     int laneWidth = 1;
+    /**
+     * Lane-plane width in bits for the batched engine (64/128/256/512;
+     * 0 resolves through BESPOKE_PLANE_BITS, defaulting to 64). Widths
+     * above 64 widen each worker's batch to one frontier state per
+     * plane bit, amortizing the per-gate-visit fixed costs across more
+     * lanes. Like laneWidth/threads this is an execution knob, not an
+     * input: the toggle fixpoint is width-independent, so it is
+     * excluded from hashAnalysisOptions.
+     */
+    int planeBits = 0;
 };
 
 /**

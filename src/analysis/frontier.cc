@@ -59,6 +59,41 @@ Frontier::pop(WorkItem &out)
     }
 }
 
+bool
+Frontier::popBatch(size_t max, std::vector<WorkItem> &out)
+{
+    out.clear();
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        if (stack_.empty() && active_ == 0) {
+            cv_.notify_all();
+            return false;
+        }
+        if (stopped_)
+            return false;
+        if (!stack_.empty()) {
+            if (paths_ >= maxPaths_ ||
+                cycles_.load(std::memory_order_relaxed) >=
+                    maxTotalCycles_) {
+                bespoke_warn("activity analysis hit exploration cap");
+                capped_.store(true, std::memory_order_relaxed);
+                stopped_ = true;
+                cv_.notify_all();
+                return false;
+            }
+            while (out.size() < max && !stack_.empty() &&
+                   paths_ < maxPaths_) {
+                out.push_back(std::move(stack_.back()));
+                stack_.pop_back();
+                paths_++;
+                active_++;
+            }
+            return true;
+        }
+        cv_.wait(lk);
+    }
+}
+
 size_t
 Frontier::popMore(size_t max, std::vector<WorkItem> &out)
 {

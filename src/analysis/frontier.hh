@@ -78,11 +78,27 @@ class Frontier
     void finishItem();
 
     /**
-     * Non-blocking bulk pop, used by lane-batching workers to fill
-     * free lanes: appends up to `max` items to `out`, stopping early
-     * when the stack drains or a budget is reached (the next blocking
-     * pop() then declares the cap, exactly as in the serial engine).
-     * Every popped item must be balanced by finishItem().
+     * Blocking batch pop: clears `out`, waits like pop() until work is
+     * available (or the exploration is over — same false-return
+     * conditions), then drains up to `max` items in one critical
+     * section, in exact LIFO order. At threads = 1 this is identical
+     * to pop() followed by popMore(max - 1); under concurrency it
+     * fixes the under-fill those two separate lock acquisitions had at
+     * the quiescence edge, where a second batching worker could wake
+     * between them and leave both workers holding splinter batches of
+     * a frontier that fit entirely in one (pinned, with drain order,
+     * by tests/test_frontier_batch.cc). Every popped item must be
+     * balanced by finishItem().
+     */
+    bool popBatch(size_t max, std::vector<WorkItem> &out);
+
+    /**
+     * Non-blocking bulk pop, used by lane-batching workers to refill
+     * lanes freed mid-sweep (they hold live lanes, so they cannot
+     * block): appends up to `max` items to `out`, stopping early when
+     * the stack drains or a budget is reached (the next blocking
+     * popBatch() then declares the cap, exactly as in the serial
+     * engine). Every popped item must be balanced by finishItem().
      */
     size_t popMore(size_t max, std::vector<WorkItem> &out);
     /// @}

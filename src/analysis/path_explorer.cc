@@ -34,7 +34,12 @@ ExplorationContext::ExplorationContext(const Netlist &netlist,
                                        const AsmProgram &prog,
                                        const AnalysisOptions &opts)
     : soc(SocContext::make(netlist)), prog(prog), opts(opts),
-      lanes(resolveAnalysisLanes(opts)), haltAddrs(haltAddresses(prog))
+      lanes(resolveAnalysisLanes(opts)),
+      planeWidth(resolvePlaneBits(opts.planeBits)),
+      batchLanes(lanes <= 1      ? 1
+                 : planeWidth > 64 ? planeWidth
+                                   : lanes),
+      haltAddrs(haltAddresses(prog))
 {
     std::sort(haltAddrs.begin(), haltAddrs.end());
 }
@@ -51,8 +56,6 @@ PathExplorer::PathExplorer(const ExplorationContext &ctx,
       soc_(ctx.soc, ctx.prog, /*ram_unknown=*/true, ctx.opts.simMode),
       tracker_(ctx.soc->netlist)
 {
-    if (ctx.lanes > 1)
-        laneSoc_ = std::make_unique<LaneSoc>(ctx.soc, ctx.prog);
 }
 
 void
@@ -62,11 +65,6 @@ PathExplorer::prepare()
     soc_.setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X : Logic::Zero);
     soc_.reset();
     tracker_.captureInitial(soc_.sim());
-    if (laneSoc_) {
-        laneSoc_->setGpioIn(SWord::allX());
-        laneSoc_->setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X
-                                                     : Logic::Zero);
-    }
 }
 
 WorkItem
@@ -80,7 +78,7 @@ PathExplorer::initialItem()
 void
 PathExplorer::run()
 {
-    if (laneSoc_) {
+    if (ctx_.lanes > 1) {
         runLanes();
         return;
     }
@@ -96,10 +94,7 @@ PathExplorer::run()
 uint64_t
 PathExplorer::gatesEvaluated() const
 {
-    uint64_t n = soc_.sim().gatesEvaluatedTotal();
-    if (laneSoc_)
-        n += laneSoc_->sim().gateVisitsTotal();
-    return n;
+    return soc_.sim().gatesEvaluatedTotal() + laneGateVisits_;
 }
 
 MachineState
@@ -340,13 +335,25 @@ PathExplorer::runPath(const MachineState &start)
 void
 PathExplorer::runLanes()
 {
-    const size_t width = static_cast<size_t>(ctx_.lanes);
-    WorkItem item;
+    const size_t cap = static_cast<size_t>(ctx_.batchLanes);
+    // One lazily built engine per plane width; reused across batches
+    // (construction allocates four planes per net).
+    std::unique_ptr<LaneSocT<64>> ls64;
+    std::unique_ptr<LaneSocT<128>> ls128;
+    std::unique_ptr<LaneSocT<256>> ls256;
+    std::unique_ptr<LaneSocT<512>> ls512;
+    auto sweep = [&]<int W>(std::unique_ptr<LaneSocT<W>> &ls,
+                            std::vector<WorkItem> b) {
+        if (!ls) {
+            ls = std::make_unique<LaneSocT<W>>(ctx_.soc, ctx_.prog);
+            ls->setGpioIn(SWord::allX());
+            ls->setIrqExt(ctx_.opts.irqLineUnknown ? Logic::X
+                                                   : Logic::Zero);
+        }
+        laneSweep<W>(*ls, std::move(b));
+    };
     std::vector<WorkItem> batch;
-    while (frontier_.pop(item)) {
-        batch.clear();
-        batch.push_back(std::move(item));
-        frontier_.popMore(width - 1, batch);
+    while (frontier_.popBatch(cap, batch)) {
         paths_ += batch.size();
         if (batch.size() == 1) {
             // A lone state gains nothing from plane packing; the
@@ -356,8 +363,22 @@ PathExplorer::runLanes()
             frontier_.finishItem();
             continue;
         }
-        laneSweep(std::move(batch));
+        // Narrowest width that fits the batch (cap already limits the
+        // batch to ctx.planeWidth, so the else arm is well-bounded).
+        const size_t need = batch.size();
+        if (need <= 64)
+            sweep(ls64, std::move(batch));
+        else if (need <= 128)
+            sweep(ls128, std::move(batch));
+        else if (need <= 256)
+            sweep(ls256, std::move(batch));
+        else
+            sweep(ls512, std::move(batch));
     }
+    laneGateVisits_ += (ls64 ? ls64->sim().gateVisitsTotal() : 0) +
+                       (ls128 ? ls128->sim().gateVisitsTotal() : 0) +
+                       (ls256 ? ls256->sim().gateVisitsTotal() : 0) +
+                       (ls512 ? ls512->sim().gateVisitsTotal() : 0);
 }
 
 /**
@@ -371,23 +392,27 @@ PathExplorer::runLanes()
  * rather than reimplemented. Freed lanes are refilled from the
  * frontier at the end of every cycle.
  */
+template <int W>
 void
-PathExplorer::laneSweep(std::vector<WorkItem> batch)
+PathExplorer::laneSweep(LaneSocT<W> &ls, std::vector<WorkItem> batch)
 {
-    LaneSoc &ls = *laneSoc_;
-    const size_t width = static_cast<size_t>(ctx_.lanes);
-    std::array<uint32_t, LaneSim::kLanes> depth{};
-    std::array<int, LaneSim::kLanes> haltCnt{};
-    uint64_t active = 0;   ///< lanes being simulated and observed
-    uint64_t control = 0;  ///< active lanes not in a halt countdown
+    using Mask = LaneMask<W>;
+    // Refill up to this engine's own lane count (the batch may have
+    // been sized for a wider plane than the one it landed on).
+    const size_t width =
+        std::min<size_t>(W, static_cast<size_t>(ctx_.batchLanes));
+    std::array<uint32_t, W> depth{};
+    std::array<int, W> haltCnt{};
+    Mask active{};   ///< lanes being simulated and observed
+    Mask control{};  ///< active lanes not in a halt countdown
 
     auto load = [&](int lane, WorkItem &it) {
         ls.loadLane(lane, it.state.seq, it.state.env,
                     it.state.lastFetchPc);
         depth[lane] = it.depth;
         haltCnt[lane] = -1;
-        active |= 1ull << lane;
-        control |= 1ull << lane;
+        laneSet(active, lane);
+        laneSet(control, lane);
     };
     for (size_t i = 0; i < batch.size(); i++)
         load(static_cast<int>(i), batch[i]);
@@ -396,8 +421,8 @@ PathExplorer::laneSweep(std::vector<WorkItem> batch)
     // continuation it has was already pushed to the frontier or run to
     // completion on the scalar engine.
     auto retire = [&](int lane) {
-        active &= ~(1ull << lane);
-        control &= ~(1ull << lane);
+        laneClear(active, lane);
+        laneClear(control, lane);
         frontier_.finishItem();
     };
 
@@ -409,17 +434,14 @@ PathExplorer::laneSweep(std::vector<WorkItem> batch)
         return s;
     };
 
-    while (active) {
+    while (laneAny(active)) {
         if (frontier_.cycles() >= ctx_.opts.maxTotalCycles) {
             // Abandon every in-flight lane. The batch may have drained
             // the whole stack, in which case nobody would be left to
             // notice the blown budget — declare it here.
             frontier_.declareCycleCap();
-            uint64_t m = active;
-            while (m) {
-                retire(std::countr_zero(m));
-                m &= m - 1;
-            }
+            const Mask doomed = active;  // retire() edits `active`
+            forEachLane(doomed, [&](int lane) { retire(lane); });
             return;
         }
 
@@ -430,33 +452,29 @@ PathExplorer::laneSweep(std::vector<WorkItem> batch)
         // Lanes whose 6-cycle halt observation window just completed
         // (the scalar engine observes the final eval and returns
         // without finishing that cycle; so do we).
-        uint64_t halting = active & ~control;
-        while (halting) {
-            int lane = std::countr_zero(halting);
-            halting &= halting - 1;
+        const Mask halting = active & ~control;
+        forEachLane(halting, [&](int lane) {
             if (haltCnt[lane] == 0)
                 retire(lane);
-        }
+        });
 
         // Instruction fetch: symbolic PCs fork one continuation per
         // candidate; halt addresses start the observation countdown.
-        uint64_t fetch = ls.stFetchOneMask() & control;
-        while (fetch) {
-            int lane = std::countr_zero(fetch);
-            fetch &= fetch - 1;
+        const Mask fetch = ls.stFetchOneMask() & control;
+        forEachLane(fetch, [&](int lane) {
             SWord pc = ls.pc(lane);
             if (!pc.fullyKnown()) {
                 enumerateSymbolicPc(pc, captureLane(lane),
                                     depth[lane]);
                 retire(lane);
-                continue;
+                return;
             }
             ls.setLastFetchPc(lane, pc.val);
             if (ctx_.isHaltPc(pc.val)) {
                 haltCnt[lane] = 6;
-                control &= ~(1ull << lane);
+                laneClear(control, lane);
             }
-        }
+        });
 
         // X control decisions: hand the lane over to the scalar
         // engine, which owns the fork/merge-table discipline.
@@ -464,66 +482,60 @@ PathExplorer::laneSweep(std::vector<WorkItem> batch)
         // it sees exactly what the lane saw (the repeated observation
         // is an idempotent OR into the toggle set) and carries the
         // path through fork resolution and beyond.
-        uint64_t deciding = ls.decisionXMask() & control;
-        while (deciding) {
-            int lane = std::countr_zero(deciding);
-            deciding &= deciding - 1;
+        const Mask deciding = ls.decisionXMask() & control;
+        forEachLane(deciding, [&](int lane) {
             MachineState s = captureLane(lane);
             curDepth_ = depth[lane];
             runPath(s);
             retire(lane);
-        }
+        });
 
-        if (ls.ctlXferXMask() & control)
+        if (laneAny(ls.ctlXferXMask() & control))
             bespoke_fatal("ctl_xfer is X outside a decision fork");
 
         // Taken control transfers: the conservative-table discipline,
         // one shard-locked mergePoint per lane, same as serial.
-        uint64_t xfer = ls.ctlXferOneMask() & control;
-        while (xfer) {
-            int lane = std::countr_zero(xfer);
-            xfer &= xfer - 1;
+        const Mask xfer = ls.ctlXferOneMask() & control;
+        forEachLane(xfer, [&](int lane) {
             MachineState cur = captureLane(lane);
             bool widened;
             if (frontier_.mergePoint(
                     tableKey(ls.lastFetchPc(lane), DecKind::CtlXfer),
                     cur, widened)) {
                 retire(lane);  // subsumed: prune
-                continue;
+                return;
             }
             if (widened) {
                 continueWidened(cur, depth[lane]);
                 retire(lane);
             }
             // Neither pruned nor widened: the lane simply continues.
-        }
+        });
 
-        if (!active)
+        if (!laneAny(active))
             break;
 
         ls.finishCycle(active);
-        uint64_t n = std::popcount(active);
+        uint64_t n = laneCount(active);
         cycles_ += n;
         laneCycles_ += n;
         frontier_.chargeCycles(n);
-        uint64_t counting = active & ~control;
-        while (counting) {
-            int lane = std::countr_zero(counting);
-            counting &= counting - 1;
+        const Mask counting = active & ~control;
+        forEachLane(counting, [&](int lane) {
             if (haltCnt[lane] > 0)
                 haltCnt[lane]--;
-        }
+        });
 
         // Refill freed lanes so the batch stays as wide as the
         // frontier allows.
-        size_t free = width - std::popcount(active);
+        size_t free = width - laneCount(active);
         if (free > 0) {
             batch.clear();
             frontier_.popMore(free, batch);
             paths_ += batch.size();
             int lane = 0;
             for (WorkItem &it : batch) {
-                while (active & (1ull << lane))
+                while (laneTest(active, lane))
                     lane++;
                 load(lane, it);
             }

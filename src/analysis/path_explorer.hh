@@ -49,6 +49,15 @@ struct ExplorationContext
     AnalysisOptions opts;
     /** Resolved LaneSim batch width (1 = scalar-only exploration). */
     int lanes;
+    /** Resolved plane width in bits (64/128/256/512). */
+    int planeWidth;
+    /**
+     * Frontier states one worker batches per sweep: `lanes` on 64-bit
+     * planes, the full plane width above (a wider word exists to carry
+     * more states; capping it at `lanes` would just simulate dead
+     * lanes).
+     */
+    int batchLanes;
     /** Sorted `jmp .` addresses; membership via binary search. */
     std::vector<uint16_t> haltAddrs;
 
@@ -109,10 +118,19 @@ class PathExplorer
 
     /** @name Lane-batched exploration (ctx.lanes > 1) */
     /// @{
-    /** Worker loop popping whole batches onto the LaneSim. */
+    /**
+     * Worker loop popping whole batches onto a lane engine whose
+     * plane width is chosen per batch: the narrowest instantiated
+     * width that fits the popped batch, capped by ctx.planeWidth.
+     * Empty lanes cost plane words regardless of occupancy, so a
+     * shallow frontier runs on 64-bit planes even at --plane-bits 512;
+     * wide planes engage exactly when the frontier is deep enough to
+     * fill them. Engines are built lazily and reused across batches.
+     */
     void runLanes();
     /** Simulate one batch of frontier states lane-parallel. */
-    void laneSweep(std::vector<WorkItem> batch);
+    template <int W>
+    void laneSweep(LaneSocT<W> &ls, std::vector<WorkItem> batch);
     /**
      * Continue a path that was widened at a ctl-xfer merge point:
      * replays the scalar engine's post-widening tail (re-evaluate,
@@ -133,9 +151,9 @@ class PathExplorer
     Frontier &frontier_;
     const int workerId_;
     Soc soc_;
-    /** Lane-batched sibling of soc_; only built when ctx.lanes > 1. */
-    std::unique_ptr<LaneSoc> laneSoc_;
     ActivityTracker tracker_;
+    /** Gate visits of this worker's (already destroyed) lane engine. */
+    uint64_t laneGateVisits_ = 0;
     uint16_t lastFetchPc_ = 0;
     uint32_t curDepth_ = 0;  ///< fork depth of the current path
     uint64_t paths_ = 0;

@@ -71,18 +71,23 @@ BespokeFlow::measure(const Netlist &netlist,
     m.slackFraction =
         (clockPeriodPs_ - rep.criticalPathPs) / clockPeriodPs_;
 
-    // Switching activity from concrete representative runs. One
-    // simulation context serves every run on this netlist.
+    // Switching activity from concrete representative runs, replayed
+    // lane-parallel per app (bit-identical to the sequential loop: the
+    // batch runner replays cross-run counter boundaries in run order).
+    // One simulation context serves every run on this netlist.
     std::shared_ptr<const SocContext> ctx = SocContext::make(netlist);
     ToggleCounter toggles(netlist);
+    GateBatchObservers obs;
+    obs.toggles = &toggles;
     Rng rng(opts_.powerSeed);
     for (const Workload *w : apps) {
         AsmProgram prog = w->assembleProgram();
-        for (int i = 0; i < opts_.powerInputsPerWorkload; i++) {
-            WorkloadInput in = w->genInput(rng);
-            GateRun run = runWorkloadGate(netlist, *w, prog, in,
-                                          &toggles, nullptr, nullptr,
-                                          ctx);
+        std::vector<WorkloadInput> inputs;
+        for (int i = 0; i < opts_.powerInputsPerWorkload; i++)
+            inputs.push_back(w->genInput(rng));
+        std::vector<GateRun> runs = runWorkloadGateBatch(
+            netlist, *w, prog, inputs, opts_.planeBits, obs, ctx);
+        for (const GateRun &run : runs) {
             if (!run.halted) {
                 bespoke_warn("power run of ", w->name,
                              " did not halt within its cycle budget");

@@ -55,6 +55,13 @@ struct FlowOptions
     /** Concrete runs per workload when measuring switching activity. */
     int powerInputsPerWorkload = 2;
     uint64_t powerSeed = 2024;
+    /**
+     * Lane-plane width for batched power replays (0 = resolvePlaneBits
+     * default). Purely an execution strategy — results are bit-identical
+     * at any width — so it is excluded from hashFlowOptions() and does
+     * not invalidate checkpointed metrics.
+     */
+    int planeBits = 0;
     TimingParams timing;
     PowerParams power;
     /**

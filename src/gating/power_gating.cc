@@ -9,46 +9,29 @@ namespace bespoke
 GatingResult
 evaluateOracleGating(const Netlist &nl, const Workload &w, int inputs,
                      uint64_t seed, const PowerParams &power,
-                     const TimingParams &timing)
+                     const TimingParams &timing, int plane_bits)
 {
     // Per-cycle module activity plus aggregate toggles for the power
-    // model.
+    // model, collected lane-parallel by the batched runner.
     ToggleCounter toggles(nl);
-    std::vector<uint8_t> last(nl.size(), 0);
-    bool first = true;
-    std::array<uint64_t, kNumModules> idle_cycles = {};
-    uint64_t total_cycles = 0;
-
-    auto per_cycle = [&](const GateSim &sim) {
-        const std::vector<uint8_t> &v = sim.values();
-        if (first) {
-            last = v;
-            first = false;
-            return;
-        }
-        bool active[kNumModules] = {};
-        for (GateId i = 0; i < nl.size(); i++) {
-            if (v[i] != last[i])
-                active[static_cast<int>(nl.gate(i).module)] = true;
-            last[i] = v[i];
-        }
-        for (int m = 0; m < kNumModules; m++) {
-            if (!active[m])
-                idle_cycles[m]++;
-        }
-        total_cycles++;
-    };
+    ModuleIdleCounts idle;
+    GateBatchObservers obs;
+    obs.toggles = &toggles;
+    obs.moduleIdle = &idle;
 
     AsmProgram prog = w.assembleProgram();
     Rng rng(seed);
-    for (int i = 0; i < inputs; i++) {
-        WorkloadInput in = w.genInput(rng);
-        first = true;
-        GateRun run = runWorkloadGate(nl, w, prog, in, &toggles,
-                                      nullptr, per_cycle);
+    std::vector<WorkloadInput> in;
+    for (int i = 0; i < inputs; i++)
+        in.push_back(w.genInput(rng));
+    std::vector<GateRun> runs =
+        runWorkloadGateBatch(nl, w, prog, in, plane_bits, obs);
+    for (const GateRun &run : runs) {
         if (!run.halted)
             bespoke_warn("gating run of ", w.name, " did not halt");
     }
+    const std::array<uint64_t, kNumModules> &idle_cycles = idle.idle;
+    const uint64_t total_cycles = idle.totalCycles;
     bespoke_assert(total_cycles > 0);
 
     PowerReport base = computePower(nl, toggles, power, timing);

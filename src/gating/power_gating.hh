@@ -37,14 +37,18 @@ struct GatingResult
 };
 
 /**
- * Evaluate oracle power gating for one workload on a netlist.
+ * Evaluate oracle power gating for one workload on a netlist. The
+ * concrete runs replay lane-parallel through the batched gate runner;
+ * results are bit-identical at any plane width.
  * @param inputs number of concrete input sets to average over.
+ * @param plane_bits lane-plane width (0 = resolvePlaneBits default).
  */
 GatingResult evaluateOracleGating(const Netlist &netlist,
                                   const Workload &w, int inputs,
                                   uint64_t seed,
                                   const PowerParams &power = {},
-                                  const TimingParams &timing = {});
+                                  const TimingParams &timing = {},
+                                  int plane_bits = 0);
 
 } // namespace bespoke
 

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/util/logging.hh"
 
 namespace bespoke
 {
+
+namespace
+{
+
+/**
+ * 0x01 in every byte position of `x` holding a nonzero byte. Lets the
+ * per-cycle observers compare gate-value arrays eight gates at a time
+ * instead of byte-by-byte (the compiler does not vectorize the branchy
+ * originals, and these loops run once per simulated cycle).
+ */
+inline uint64_t
+nonzeroBytes(uint64_t x)
+{
+    uint64_t hi =
+        ((x & 0x7f7f7f7f7f7f7f7fULL) + 0x7f7f7f7f7f7f7f7fULL) | x;
+    return (hi >> 7) & 0x0101010101010101ULL;
+}
+
+} // namespace
 
 GateSim::EvalMode
 GateSim::defaultMode()
@@ -314,8 +334,25 @@ ActivityTracker::observe(const GateSim &sim)
 {
     bespoke_assert(initialCaptured_);
     const std::vector<uint8_t> &v = sim.values();
-    for (size_t i = 0; i < v.size(); i++)
-        toggled_[i] |= (v[i] != initial_[i]);
+    const uint8_t *vp = v.data();
+    const uint8_t *ip = initial_.data();
+    uint8_t *tp = toggled_.data();
+    const size_t n = v.size();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t xv, xi;
+        std::memcpy(&xv, vp + i, 8);
+        std::memcpy(&xi, ip + i, 8);
+        const uint64_t d = nonzeroBytes(xv ^ xi);
+        if (!d)
+            continue;
+        uint64_t xt;
+        std::memcpy(&xt, tp + i, 8);
+        xt |= d;
+        std::memcpy(tp + i, &xt, 8);
+    }
+    for (; i < n; i++)
+        tp[i] |= (vp[i] != ip[i]);
 }
 
 size_t
@@ -349,6 +386,8 @@ ActivityTracker::restore(std::vector<uint8_t> initial,
     initial_ = std::move(initial);
     toggled_ = std::move(toggled);
     initialCaptured_ = true;
+    // Restored toggle bits may be 0 where the list assumed 1.
+    lanePendingValid_ = false;
 }
 
 ToggleCounter::ToggleCounter(const Netlist &netlist)
@@ -366,11 +405,52 @@ ToggleCounter::observe(const GateSim &sim)
         cycles_++;
         return;
     }
-    for (size_t i = 0; i < v.size(); i++) {
-        counts_[i] += (v[i] != last_[i]);
-        last_[i] = v[i];
+    const uint8_t *vp = v.data();
+    uint8_t *lp = last_.data();
+    const size_t n = v.size();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint64_t xv, xl;
+        std::memcpy(&xv, vp + i, 8);
+        std::memcpy(&xl, lp + i, 8);
+        if (xv == xl)
+            continue;
+        for (size_t b = i; b < i + 8; b++)
+            counts_[b] += (vp[b] != lp[b]);
+        std::memcpy(lp + i, &xv, 8);
+    }
+    for (; i < n; i++) {
+        counts_[i] += (vp[i] != lp[i]);
+        lp[i] = vp[i];
     }
     cycles_++;
+}
+
+void
+ToggleCounter::ingestRun(const RunTrace &tr)
+{
+    if (tr.cycles == 0)
+        return;  // never observed: a shared counter would not move
+    bespoke_assert(tr.first.size() == counts_.size() &&
+                       tr.last.size() == counts_.size(),
+                   "run trace size mismatch");
+    if (!first_) {
+        // The transition a shared counter counts when this run's first
+        // observe lands right after the previous run's last one.
+        for (size_t i = 0; i < counts_.size(); i++)
+            counts_[i] += (tr.first[i] != last_[i]);
+    }
+    last_ = tr.last;
+    first_ = false;
+    cycles_ += tr.cycles;
+}
+
+void
+ToggleCounter::addCounts(const std::vector<uint64_t> &add)
+{
+    bespoke_assert(add.size() == counts_.size(), "count size mismatch");
+    for (size_t i = 0; i < add.size(); i++)
+        counts_[i] += add[i];
 }
 
 } // namespace bespoke

@@ -40,12 +40,15 @@
 
 #include "src/logic/logic.hh"
 #include "src/netlist/netlist.hh"
+#include "src/sim/plane.hh"
 #include "src/sim/sim_context.hh"
 
 namespace bespoke
 {
 
-class LaneSim;
+template <int W>
+class LaneSimT;
+using LaneSim = LaneSimT<64>;
 
 /** Snapshot of all sequential state (one byte-coded Logic per flop). */
 using SeqState = std::vector<uint8_t>;
@@ -165,9 +168,11 @@ class ActivityTracker
 
     /**
      * Lane-vectorized observation: accumulate toggles from every lane
-     * in `lanes` at once (defined in lane_sim.cc).
+     * in `lanes` at once (defined in lane_sim.cc; instantiated for
+     * every supported plane width).
      */
-    void observe(const LaneSim &sim, uint64_t lanes);
+    template <int W>
+    void observe(const LaneSimT<W> &sim, LaneMask<W> lanes);
 
     bool initialCaptured() const { return initialCaptured_; }
     bool toggled(GateId id) const { return toggled_[id] != 0; }
@@ -196,6 +201,16 @@ class ActivityTracker
     std::vector<uint8_t> initial_;
     std::vector<uint8_t> toggled_;
     bool initialCaptured_ = false;
+    /**
+     * Gates not yet marked toggled, maintained only by the lane
+     * observe path (the scalar observe's flat byte loop vectorizes and
+     * needs no skip list; the plane diff per gate does not). Lazily
+     * rebuilt; may hold stale ids whose toggle bit was set through the
+     * scalar path or mergeFrom — those are dropped on sight, so the
+     * list is an invariant superset of the untoggled set.
+     */
+    std::vector<uint32_t> lanePending_;
+    bool lanePendingValid_ = false;
 };
 
 /**
@@ -209,6 +224,37 @@ class ToggleCounter
 
     /** Call once per cycle after evalComb+latch; diffs against last. */
     void observe(const GateSim &sim);
+
+    /**
+     * Everything one simulated run contributes to a shared counter,
+     * decomposed so lane-batched runners can replay it exactly: the
+     * full value vectors at the run's first and last observe, and how
+     * many times it was observed. Per-gate within-run transition
+     * counts are order-independent sums and travel separately
+     * (addCounts).
+     */
+    struct RunTrace
+    {
+        std::vector<uint8_t> first;  ///< values at the first observe
+        std::vector<uint8_t> last;   ///< values at the last observe
+        uint64_t cycles = 0;         ///< observes in this run
+    };
+
+    /**
+     * Ingest one completed run's boundary contribution, exactly as if
+     * the run's observes had been issued here in sequence: when a
+     * previous run (or scalar observe) already primed the counter,
+     * the transition between its final values and this run's first
+     * values is counted — the same cross-run boundary transitions a
+     * shared counter sees when runs are replayed back to back. Runs
+     * must be ingested in their original sequential order; a run with
+     * zero observes contributes nothing. Within-run transition counts
+     * are NOT added here — pair with addCounts().
+     */
+    void ingestRun(const RunTrace &tr);
+
+    /** Add pre-summed per-gate transition counts (order-free). */
+    void addCounts(const std::vector<uint64_t> &add);
 
     uint64_t count(GateId id) const { return counts_[id]; }
     uint64_t cycles() const { return cycles_; }

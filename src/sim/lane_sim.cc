@@ -1,5 +1,7 @@
 #include "src/sim/lane_sim.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include "src/isa/isa.hh"
 #include "src/util/logging.hh"
 
@@ -9,72 +11,47 @@ namespace bespoke
 namespace
 {
 
-/** One three-valued signal as 64 (val, known) lane bits. */
-struct Planes
+/**
+ * Widest uint64 SIMD block one native vector register holds under the
+ * enabled ISA. The eval kernel slices multi-word planes into blocks of
+ * this many words; each block's temporaries are exactly one register,
+ * so the kernel neither spills (whole-Plane temporaries at 256/512
+ * bits overflow the register file) nor leaves lanes on the table when
+ * BESPOKE_ENABLE_AVX2 / _AVX512 widen the vector unit.
+ */
+#if defined(__AVX512F__)
+constexpr int kNativeVecWords = 8;
+#elif defined(__AVX2__)
+constexpr int kNativeVecWords = 4;
+#else
+constexpr int kNativeVecWords = 2;
+#endif
+
+/**
+ * A block of NW lane words as a GCC vector: the bitwise Kleene plane
+ * ops (pAnd & co.) instantiate directly over it, and codegen is one
+ * SIMD op per connective independent of the optimizer's autovectorizer
+ * mood. NW = 1 degrades to plain uint64_t (the 64-lane plane).
+ */
+template <int NW>
+struct VecWords
 {
-    uint64_t v;  ///< known-One lanes (always a subset of k)
-    uint64_t k;  ///< known lanes
+    typedef uint64_t type __attribute__((vector_size(8 * NW)));
 };
-
-// Kleene connectives on bit planes. Every op keeps the canonical
-// invariant v ⊆ k (an X lane has v = 0), which the correctness of
-// the compositions below relies on: v is exactly "known One" and
-// k & ~v is exactly "known Zero".
-
-inline Planes
-pNot(Planes a)
+template <>
+struct VecWords<1>
 {
-    return {a.k & ~a.v, a.k};
-}
-
-inline Planes
-pAnd(Planes a, Planes b)
-{
-    // Known when both are known, or either side is a known Zero.
-    return {a.v & b.v,
-            (a.k & b.k) | (a.k & ~a.v) | (b.k & ~b.v)};
-}
-
-inline Planes
-pOr(Planes a, Planes b)
-{
-    // Known when both are known, or either side is a known One.
-    return {a.v | b.v, (a.k & b.k) | a.v | b.v};
-}
-
-inline Planes
-pXor(Planes a, Planes b)
-{
-    uint64_t k = a.k & b.k;
-    return {(a.v ^ b.v) & k, k};
-}
-
-inline Planes
-pXnor(Planes a, Planes b)
-{
-    uint64_t k = a.k & b.k;
-    return {~(a.v ^ b.v) & k, k};
-}
-
-/** logicMux semantics: sel X yields a0 when a0 == a1 and both known. */
-inline Planes
-pMux(Planes a0, Planes a1, Planes sel)
-{
-    uint64_t sel1 = sel.v;
-    uint64_t sel0 = sel.k & ~sel.v;
-    uint64_t eq = a0.k & a1.k & ~(a0.v ^ a1.v);
-    uint64_t k = (sel1 & a1.k) | (sel0 & a0.k) | (~sel.k & eq);
-    uint64_t v = (sel1 & a1.v) | (sel0 & a0.v) | (~sel.k & eq & a0.v);
-    return {v, k};
-}
+    using type = uint64_t;
+};
 
 } // namespace
 
-LaneSim::LaneSim(const Netlist &netlist,
-                 std::shared_ptr<const SimPrep> prep)
+template <int W>
+LaneSimT<W>::LaneSimT(const Netlist &netlist,
+                      std::shared_ptr<const SimPrep> prep)
     : nl_(netlist), prep_(std::move(prep)),
-      val_(netlist.size(), 0), known_(netlist.size(), 0),
-      forceMask_(netlist.size(), 0), forceVal_(netlist.size(), 0)
+      val_(netlist.size()), known_(netlist.size()),
+      forceMask_(netlist.size()), forceVal_(netlist.size())
 {
     if (!prep_)
         prep_ = std::make_shared<const SimPrep>(netlist);
@@ -82,77 +59,83 @@ LaneSim::LaneSim(const Netlist &netlist,
                    "SimPrep was built for a different netlist");
 }
 
+template <int W>
 void
-LaneSim::reset()
+LaneSimT<W>::reset()
 {
+    const Mask ones = laneOnes<Mask>();
     const uint8_t *op = prep_->opcode.data();
     for (GateId i = 0; i < nl_.size(); i++) {
         switch (static_cast<CellType>(op[i])) {
           case CellType::TIE0:
-            val_[i] = 0;
-            known_[i] = ~0ull;
+            val_[i] = Mask{};
+            known_[i] = ones;
             break;
           case CellType::TIE1:
-            val_[i] = ~0ull;
-            known_[i] = ~0ull;
+            val_[i] = ones;
+            known_[i] = ones;
             break;
           default:
-            val_[i] = 0;
-            known_[i] = 0;
+            val_[i] = Mask{};
+            known_[i] = Mask{};
         }
     }
     for (GateId id : prep_->seqIds) {
         bool rv = nl_.gate(id).resetValue;
-        val_[id] = rv ? ~0ull : 0;
-        known_[id] = ~0ull;
+        val_[id] = rv ? ones : Mask{};
+        known_[id] = ones;
     }
     clearAllForces();
 }
 
+template <int W>
 void
-LaneSim::setInput(GateId id, int lane, Logic v)
+LaneSimT<W>::setInput(GateId id, int lane, Logic v)
 {
     bespoke_assert(nl_.gate(id).type == CellType::INPUT,
                    "setInput on non-input gate ", id);
-    uint64_t m = 1ull << lane;
     if (v == Logic::X) {
-        val_[id] &= ~m;
-        known_[id] &= ~m;
+        laneClear(val_[id], lane);
+        laneClear(known_[id], lane);
     } else {
-        known_[id] |= m;
+        laneSet(known_[id], lane);
         if (v == Logic::One)
-            val_[id] |= m;
+            laneSet(val_[id], lane);
         else
-            val_[id] &= ~m;
+            laneClear(val_[id], lane);
     }
 }
 
+template <int W>
 void
-LaneSim::setInputAll(GateId id, Logic v)
+LaneSimT<W>::setInputAll(GateId id, Logic v)
 {
     bespoke_assert(nl_.gate(id).type == CellType::INPUT,
                    "setInput on non-input gate ", id);
     if (v == Logic::X) {
-        val_[id] = 0;
-        known_[id] = 0;
+        val_[id] = Mask{};
+        known_[id] = Mask{};
     } else {
-        known_[id] = ~0ull;
-        val_[id] = v == Logic::One ? ~0ull : 0;
+        known_[id] = laneOnes<Mask>();
+        val_[id] = v == Logic::One ? laneOnes<Mask>() : Mask{};
     }
 }
 
+template <int W>
 void
-LaneSim::setInputPlanes(GateId id, uint64_t val, uint64_t known)
+LaneSimT<W>::setInputPlanes(GateId id, const Mask &val, const Mask &known)
 {
     bespoke_assert(nl_.gate(id).type == CellType::INPUT,
                    "setInput on non-input gate ", id);
-    bespoke_assert((val & ~known) == 0, "val plane not masked by known");
+    bespoke_assert(!laneAny(val & ~known),
+                   "val plane not masked by known");
     val_[id] = val;
     known_[id] = known;
 }
 
+template <int W>
 SWord
-LaneSim::busWord(const std::vector<GateId> &bus_ids, int lane) const
+LaneSimT<W>::busWord(const std::vector<GateId> &bus_ids, int lane) const
 {
     bespoke_assert(bus_ids.size() <= 16);
     SWord w;
@@ -161,105 +144,141 @@ LaneSim::busWord(const std::vector<GateId> &bus_ids, int lane) const
     return w;
 }
 
+template <int W>
 void
-LaneSim::evalComb()
+LaneSimT<W>::evalComb()
 {
-    const uint8_t *op = prep_->opcode.data();
+    // The lane math runs on native-vector-sized blocks of words
+    // (PlanesT over a GCC vector type): block temporaries are single
+    // registers at every width, where whole-Plane expression
+    // temporaries of the 256/512-bit widths would spill to the stack
+    // and erase the amortization wide planes exist for.
+    constexpr int kWords = W / 64;
+    constexpr int kBlock =
+        kWords < kNativeVecWords ? kWords : kNativeVecWords;
+    constexpr int kBlocks = kWords / kBlock;
+    using V = typename VecWords<kBlock>::type;
+    using P = PlanesT<V>;
     const uint32_t *fanin = prep_->fanin.data();
-    uint64_t *val = val_.data();
-    uint64_t *known = known_.data();
+    const GateId *order = prep_->order.data();
+    Mask *val = val_.data();
+    Mask *known = known_.data();
 
-    auto get = [&](uint32_t id) -> Planes {
-        return {val[id], known[id]};
+    auto loadv = [](const Mask &m, int blk) -> V {
+        V v;
+        std::memcpy(&v, reinterpret_cast<const uint64_t *>(&m) +
+                            static_cast<size_t>(blk) * kBlock,
+                    sizeof(V));
+        return v;
+    };
+    auto storev = [](Mask &m, int blk, V v) {
+        std::memcpy(reinterpret_cast<uint64_t *>(&m) +
+                        static_cast<size_t>(blk) * kBlock,
+                    &v, sizeof(V));
     };
 
-    for (GateId id : prep_->order) {
-        const uint32_t *f = &fanin[3 * id];
-        Planes a = get(f[0]);
-        Planes out;
-        switch (static_cast<CellType>(op[id])) {
+    // One dispatch per same-opcode segment; the per-gate loops stay
+    // branch-free (the force-overlay test folds to a constant false
+    // while no forces are active). Values and evaluation order are
+    // identical to a per-gate switch over `order`.
+#define BESPOKE_EVAL_RUN(expr)                                        \
+    for (size_t i = pos; i < end; i++) {                              \
+        const GateId id = order[i];                                   \
+        const uint32_t *f = &fanin[3 * id];                           \
+        (void)f;                                                      \
+        const bool forced = anyForce_ && laneAny(forceMask_[id]);     \
+        for (int j = 0; j < kBlocks; j++) {                           \
+            auto get = [&](uint32_t g) -> P {                         \
+                return {loadv(val[g], j), loadv(known[g], j)};        \
+            };                                                        \
+            (void)get;                                                \
+            P out = (expr);                                           \
+            if (forced) {                                             \
+                const V fm = loadv(forceMask_[id], j);                \
+                out.v = (out.v & ~fm) |                               \
+                        (loadv(forceVal_[id], j) & fm);               \
+                out.k |= fm;                                          \
+            }                                                         \
+            storev(val[id], j, out.v);                                \
+            storev(known[id], j, out.k);                              \
+        }                                                             \
+    }                                                                 \
+    break;
+
+    size_t pos = 0;
+    for (const SimPrep::EvalRun &run : prep_->evalRuns) {
+        const size_t end = pos + run.len;
+        switch (static_cast<CellType>(run.op)) {
           case CellType::OUTPUT:
           case CellType::BUF:
-            out = a;
-            break;
+            BESPOKE_EVAL_RUN(get(f[0]))
           case CellType::INV:
-            out = pNot(a);
-            break;
+            BESPOKE_EVAL_RUN(pNot(get(f[0])))
           case CellType::AND2:
-            out = pAnd(a, get(f[1]));
-            break;
+            BESPOKE_EVAL_RUN(pAnd(get(f[0]), get(f[1])))
           case CellType::AND3:
-            out = pAnd(pAnd(a, get(f[1])), get(f[2]));
-            break;
+            BESPOKE_EVAL_RUN(
+                pAnd(pAnd(get(f[0]), get(f[1])), get(f[2])))
           case CellType::OR2:
-            out = pOr(a, get(f[1]));
-            break;
+            BESPOKE_EVAL_RUN(pOr(get(f[0]), get(f[1])))
           case CellType::OR3:
-            out = pOr(pOr(a, get(f[1])), get(f[2]));
-            break;
+            BESPOKE_EVAL_RUN(
+                pOr(pOr(get(f[0]), get(f[1])), get(f[2])))
           case CellType::NAND2:
-            out = pNot(pAnd(a, get(f[1])));
-            break;
+            BESPOKE_EVAL_RUN(pNot(pAnd(get(f[0]), get(f[1]))))
           case CellType::NAND3:
-            out = pNot(pAnd(pAnd(a, get(f[1])), get(f[2])));
-            break;
+            BESPOKE_EVAL_RUN(
+                pNot(pAnd(pAnd(get(f[0]), get(f[1])), get(f[2]))))
           case CellType::NOR2:
-            out = pNot(pOr(a, get(f[1])));
-            break;
+            BESPOKE_EVAL_RUN(pNot(pOr(get(f[0]), get(f[1]))))
           case CellType::NOR3:
-            out = pNot(pOr(pOr(a, get(f[1])), get(f[2])));
-            break;
+            BESPOKE_EVAL_RUN(
+                pNot(pOr(pOr(get(f[0]), get(f[1])), get(f[2]))))
           case CellType::XOR2:
-            out = pXor(a, get(f[1]));
-            break;
+            BESPOKE_EVAL_RUN(pXor(get(f[0]), get(f[1])))
           case CellType::XNOR2:
-            out = pXnor(a, get(f[1]));
-            break;
+            BESPOKE_EVAL_RUN(pXnor(get(f[0]), get(f[1])))
           case CellType::MUX2:
-            out = pMux(a, get(f[1]), get(f[2]));
-            break;
+            BESPOKE_EVAL_RUN(
+                pMux(get(f[0]), get(f[1]), get(f[2])))
           case CellType::AOI21:
-            out = pNot(pOr(pAnd(a, get(f[1])), get(f[2])));
-            break;
+            BESPOKE_EVAL_RUN(
+                pNot(pOr(pAnd(get(f[0]), get(f[1])), get(f[2]))))
           case CellType::OAI21:
-            out = pNot(pAnd(pOr(a, get(f[1])), get(f[2])));
-            break;
+            BESPOKE_EVAL_RUN(
+                pNot(pAnd(pOr(get(f[0]), get(f[1])), get(f[2]))))
           case CellType::TIE0:
-            out = {0, ~0ull};
-            break;
+            BESPOKE_EVAL_RUN((P{V{}, ~V{}}))
           case CellType::TIE1:
-            out = {~0ull, ~0ull};
-            break;
+            BESPOKE_EVAL_RUN((P{~V{}, ~V{}}))
           default:
             bespoke_fatal("non-combinational cell in eval order");
         }
-        if (anyForce_ && forceMask_[id]) {
-            uint64_t fm = forceMask_[id];
-            out.v = (out.v & ~fm) | (forceVal_[id] & fm);
-            out.k |= fm;
-        }
-        val[id] = out.v;
-        known[id] = out.k;
+        pos = end;
     }
+#undef BESPOKE_EVAL_RUN
     gateVisitsTotal_ += prep_->order.size();
 }
 
+template <int W>
 void
-LaneSim::latchSequential()
+LaneSimT<W>::latchSequential()
 {
+    using P = PlanesT<Mask>;
     // Two passes, like GateSim: all D inputs are read before any Q
     // changes so direct Q->D wires see the pre-edge value.
     size_t n = prep_->seqIds.size();
-    std::vector<Planes> next(n);
+    latchNext_.resize(n);
+    std::vector<P> &next = latchNext_;
     for (size_t i = 0; i < n; i++) {
         GateId id = prep_->seqIds[i];
         const uint32_t *f = &prep_->fanin[3 * id];
-        Planes d = {val_[f[0]], known_[f[0]]};
+        P d = {val_[f[0]], known_[f[0]]};
         if (static_cast<CellType>(prep_->opcode[id]) == CellType::DFF) {
             next[i] = d;
         } else {
-            Planes q = {val_[id], known_[id]};
-            Planes en = {val_[f[1]], known_[f[1]]};
+            P q = {val_[id], known_[id]};
+            P en = {val_[f[1]], known_[f[1]]};
             next[i] = pMux(q, d, en);
         }
     }
@@ -270,58 +289,61 @@ LaneSim::latchSequential()
     }
 }
 
+template <int W>
 void
-LaneSim::force(GateId id, uint64_t lanes, uint64_t value)
+LaneSimT<W>::force(GateId id, const Mask &lanes, const Mask &value)
 {
-    if (!lanes)
+    if (!laneAny(lanes))
         return;
-    if (!forceMask_[id] && !forceVal_[id])
+    if (!laneAny(forceMask_[id]) && !laneAny(forceVal_[id]))
         forcedIds_.push_back(id);
     forceMask_[id] |= lanes;
     forceVal_[id] = (forceVal_[id] & ~lanes) | (value & lanes);
     anyForce_ = true;
 }
 
+template <int W>
 void
-LaneSim::clearForces(uint64_t lanes)
+LaneSimT<W>::clearForces(const Mask &lanes)
 {
     size_t keep = 0;
     for (size_t i = 0; i < forcedIds_.size(); i++) {
         GateId id = forcedIds_[i];
         forceMask_[id] &= ~lanes;
         forceVal_[id] &= forceMask_[id];
-        if (forceMask_[id])
+        if (laneAny(forceMask_[id]))
             forcedIds_[keep++] = id;
         else
-            forceVal_[id] = 0;
+            forceVal_[id] = Mask{};
     }
     forcedIds_.resize(keep);
     anyForce_ = !forcedIds_.empty();
 }
 
+template <int W>
 void
-LaneSim::restoreSeqLane(int lane, const SeqState &s)
+LaneSimT<W>::restoreSeqLane(int lane, const SeqState &s)
 {
     bespoke_assert(s.size() == prep_->seqIds.size());
-    uint64_t m = 1ull << lane;
     for (size_t i = 0; i < s.size(); i++) {
         GateId id = prep_->seqIds[i];
         Logic v = static_cast<Logic>(s[i]);
         if (v == Logic::X) {
-            val_[id] &= ~m;
-            known_[id] &= ~m;
+            laneClear(val_[id], lane);
+            laneClear(known_[id], lane);
         } else {
-            known_[id] |= m;
+            laneSet(known_[id], lane);
             if (v == Logic::One)
-                val_[id] |= m;
+                laneSet(val_[id], lane);
             else
-                val_[id] &= ~m;
+                laneClear(val_[id], lane);
         }
     }
 }
 
+template <int W>
 SeqState
-LaneSim::seqStateLane(int lane) const
+LaneSimT<W>::seqStateLane(int lane) const
 {
     SeqState s(prep_->seqIds.size());
     for (size_t i = 0; i < s.size(); i++)
@@ -329,95 +351,267 @@ LaneSim::seqStateLane(int lane) const
     return s;
 }
 
+template <int W>
 void
-ActivityTracker::observe(const LaneSim &sim, uint64_t lanes)
+LaneSimT<W>::laneValues(int lane, std::vector<uint8_t> &out) const
 {
-    bespoke_assert(initialCaptured_);
-    if (!lanes)
-        return;
-    size_t n = toggled_.size();
-    const uint8_t *init = initial_.data();
-    uint8_t *tog = toggled_.data();
-    for (size_t i = 0; i < n; i++) {
-        // Broadcast the scalar initial Logic to planes; a lane has
-        // toggled iff its (val, known) pair differs from it. Gates
-        // whose initial value was X are pre-marked by captureInitial,
-        // so the extra work here for them is harmless.
-        uint64_t iv = init[i] == static_cast<uint8_t>(Logic::One)
-                          ? ~0ull
-                          : 0;
-        uint64_t ik = init[i] == static_cast<uint8_t>(Logic::X)
-                          ? 0
-                          : ~0ull;
-        uint64_t diff = (sim.valPlane(static_cast<GateId>(i)) ^ iv) |
-                        (sim.knownPlane(static_cast<GateId>(i)) ^ ik);
-        tog[i] |= (diff & lanes) != 0;
-    }
+    out.resize(nl_.size());
+    for (GateId id = 0; id < nl_.size(); id++)
+        out[id] = static_cast<uint8_t>(value(id, lane));
 }
 
-LaneSoc::LaneSoc(std::shared_ptr<const SocContext> ctx,
-                 const AsmProgram &prog)
+template <int W>
+void
+ActivityTracker::observe(const LaneSimT<W> &sim, LaneMask<W> lanes)
+{
+    using Mask = LaneMask<W>;
+    bespoke_assert(initialCaptured_);
+    if (!laneAny(lanes))
+        return;
+    uint8_t *tog = toggled_.data();
+    if (!lanePendingValid_) {
+        lanePending_.clear();
+        for (size_t i = 0; i < toggled_.size(); i++) {
+            if (!tog[i])
+                lanePending_.push_back(static_cast<uint32_t>(i));
+        }
+        lanePendingValid_ = true;
+    }
+    const uint8_t *init = initial_.data();
+    size_t keep = 0;
+    for (uint32_t i : lanePending_) {
+        if (tog[i])
+            continue;  // set through the scalar path meanwhile
+        // Broadcast the scalar initial Logic to planes; a lane has
+        // toggled iff its (val, known) pair differs from it. (Gates
+        // whose initial value was X are pre-marked by captureInitial
+        // and never enter the pending list.)
+        Mask iv = init[i] == static_cast<uint8_t>(Logic::One)
+                      ? laneOnes<Mask>()
+                      : Mask{};
+        Mask ik = init[i] == static_cast<uint8_t>(Logic::X)
+                      ? Mask{}
+                      : laneOnes<Mask>();
+        Mask diff = (sim.valPlane(i) ^ iv) |
+                    (sim.knownPlane(i) ^ ik);
+        if (laneAny(diff & lanes))
+            tog[i] = 1;
+        else
+            lanePending_[keep++] = i;
+    }
+    lanePending_.resize(keep);
+}
+
+template <int W>
+LaneSocT<W>::LaneSocT(std::shared_ptr<const SocContext> ctx,
+                      const AsmProgram &prog)
     : ctx_(std::move(ctx)), prog_(prog),
-      sim_(ctx_->netlist, ctx_->prep)
+      sim_(ctx_->netlist, ctx_->prep), env_(kLanes),
+      lastFetchPc_(kLanes, 0),
+      progLane_(kLanes, &prog_),
+      gpioV_(ctx_->pGpioIn.size()), gpioK_(ctx_->pGpioIn.size())
 {
     sim_.reset();
     for (EnvState &e : env_) {
         e.ram.assign(kRamSize / 2, SWord::allX());
         e.rdata = SWord::allX();
     }
+    setGpioIn(SWord::allX());
+    setIrqExt(Logic::X);
 }
 
+template <int W>
 void
-LaneSoc::loadLane(int lane, const SeqState &seq, const EnvState &env,
-                  uint16_t last_fetch_pc)
+LaneSocT<W>::setGpioIn(SWord w)
+{
+    for (size_t b = 0; b < gpioV_.size(); b++) {
+        Logic v = w.bit(static_cast<int>(b));
+        gpioV_[b] = v == Logic::One ? laneOnes<Mask>() : Mask{};
+        gpioK_[b] = v == Logic::X ? Mask{} : laneOnes<Mask>();
+    }
+}
+
+template <int W>
+void
+LaneSocT<W>::setGpioInLane(int lane, SWord w)
+{
+    for (size_t b = 0; b < gpioV_.size(); b++) {
+        Logic v = w.bit(static_cast<int>(b));
+        if (v == Logic::X) {
+            laneClear(gpioV_[b], lane);
+            laneClear(gpioK_[b], lane);
+        } else {
+            laneSet(gpioK_[b], lane);
+            if (v == Logic::One)
+                laneSet(gpioV_[b], lane);
+            else
+                laneClear(gpioV_[b], lane);
+        }
+    }
+}
+
+template <int W>
+void
+LaneSocT<W>::setIrqExt(Logic v)
+{
+    irqV_ = v == Logic::One ? laneOnes<Mask>() : Mask{};
+    irqK_ = v == Logic::X ? Mask{} : laneOnes<Mask>();
+}
+
+template <int W>
+void
+LaneSocT<W>::setIrqExtLane(int lane, Logic v)
+{
+    if (v == Logic::X) {
+        laneClear(irqV_, lane);
+        laneClear(irqK_, lane);
+    } else {
+        laneSet(irqK_, lane);
+        if (v == Logic::One)
+            laneSet(irqV_, lane);
+        else
+            laneClear(irqV_, lane);
+    }
+}
+
+template <int W>
+void
+LaneSocT<W>::loadLane(int lane, const SeqState &seq, const EnvState &env,
+                      uint16_t last_fetch_pc)
 {
     sim_.restoreSeqLane(lane, seq);
     env_[lane] = env;
     lastFetchPc_[lane] = last_fetch_pc;
 }
 
+template <int W>
 void
-LaneSoc::evalOnly()
+LaneSocT<W>::evalOnly()
 {
-    // Uniform pins once, per-lane memory read data transposed into
-    // planes bit by bit.
-    for (size_t b = 0; b < ctx_->pGpioIn.size(); b++)
-        sim_.setInputAll(ctx_->pGpioIn[b], gpioIn_.bit(static_cast<int>(b)));
-    sim_.setInputAll(ctx_->pIrqExt, irqExt_);
-    for (size_t b = 0; b < ctx_->pMemRdata.size(); b++) {
-        uint16_t m = static_cast<uint16_t>(1u << b);
-        uint64_t v = 0, k = 0;
-        for (int lane = 0; lane < kLanes; lane++) {
-            const SWord &rd = env_[lane].rdata;
-            if (rd.known & m) {
-                k |= 1ull << lane;
-                if (rd.val & m)
-                    v |= 1ull << lane;
+    // GPIO / IRQ planes are maintained by the setters; per-lane memory
+    // read data is transposed into planes every cycle. The transpose
+    // runs word-major, accumulating each 64-lane group in registers —
+    // a read-modify-write of a W-bit plane per lane bit would dominate
+    // the cycle at the wide plane widths.
+    for (size_t b = 0; b < gpioV_.size(); b++)
+        sim_.setInputPlanes(ctx_->pGpioIn[b], gpioV_[b], gpioK_[b]);
+    sim_.setInputPlanes(ctx_->pIrqExt, irqV_, irqK_);
+    const size_t dbits = ctx_->pMemRdata.size();
+    bespoke_assert(dbits <= 16);
+    constexpr int kWords = W / 64;
+    std::array<Mask, 16> rv{}, rk{};
+    for (int j = 0; j < kWords; j++) {
+        uint64_t vw[16] = {}, kw[16] = {};
+        for (int l = 0; l < 64; l++) {
+            const SWord rd = env_[64 * j + l].rdata;
+            for (size_t b = 0; b < dbits; b++) {
+                vw[b] |= static_cast<uint64_t>((rd.val >> b) & 1) << l;
+                kw[b] |= static_cast<uint64_t>((rd.known >> b) & 1)
+                         << l;
             }
         }
-        sim_.setInputPlanes(ctx_->pMemRdata[b], v, k);
+        for (size_t b = 0; b < dbits; b++) {
+            planeWord(rv[b], j) = vw[b];
+            planeWord(rk[b], j) = kw[b];
+        }
     }
+    for (size_t b = 0; b < dbits; b++)
+        sim_.setInputPlanes(ctx_->pMemRdata[b], rv[b], rk[b]);
     sim_.evalComb();
 }
 
+template <int W>
 void
-LaneSoc::finishCycle(uint64_t lanes)
+LaneSocT<W>::finishCycle(const Mask &lanes)
 {
-    for (int lane = 0; lane < kLanes; lane++) {
-        if (!(lanes & (1ull << lane)))
+    // Plane-level skip masks: lanes whose memory port is provably idle
+    // (en = wen0 = wen1 = 0) need no per-lane sampling at all, and
+    // lanes that are definitely not writing skip the wdata bus
+    // transpose — reads (every fetch is one) only need the address.
+    const std::vector<Mask> &vp = sim_.valPlanes();
+    const std::vector<Mask> &kp = sim_.knownPlanes();
+    auto zeroMask = [&](GateId id) { return kp[id] & ~vp[id]; };
+    const Mask wzero =
+        zeroMask(ctx_->pMemWen0) & zeroMask(ctx_->pMemWen1);
+    const Mask idle = zeroMask(ctx_->pMemEn) & wzero;
+    const Mask active = lanes & ~idle;
+    const size_t abits = ctx_->pMemAddr.size();
+    const size_t dbits = ctx_->pMemWdata.size();
+    bespoke_assert(abits <= 16 && dbits <= 16);
+    constexpr int kWords = W / 64;
+    for (int j = 0; j < kWords; j++) {
+        const uint64_t aw = planeWord(active, j);
+        if (!aw)
             continue;
-        Logic en = sim_.value(ctx_->pMemEn, lane);
-        Logic wen0 = sim_.value(ctx_->pMemWen0, lane);
-        Logic wen1 = sim_.value(ctx_->pMemWen1, lane);
-        if (en == Logic::Zero && wen0 == Logic::Zero &&
-            wen1 == Logic::Zero) {
-            continue;
+        // Hoist word j of every bus plane once per 64-lane group; the
+        // per-lane bus transpose then reads registers instead of
+        // re-indexing W-bit planes bit by bit.
+        uint64_t av[16], ak[16], dv[16] = {}, dk[16] = {};
+        for (size_t b = 0; b < abits; b++) {
+            av[b] = planeWord(vp[ctx_->pMemAddr[b]], j);
+            ak[b] = planeWord(kp[ctx_->pMemAddr[b]], j);
         }
-        sampleMemory(env_[lane], prog_, en, wen0, wen1,
-                     sim_.busWord(ctx_->pMemAddr, lane),
-                     sim_.busWord(ctx_->pMemWdata, lane));
+        const uint64_t wz = planeWord(wzero, j);
+        if (aw & ~wz) {
+            for (size_t b = 0; b < dbits; b++) {
+                dv[b] = planeWord(vp[ctx_->pMemWdata[b]], j);
+                dk[b] = planeWord(kp[ctx_->pMemWdata[b]], j);
+            }
+        }
+        const uint64_t env = planeWord(vp[ctx_->pMemEn], j);
+        const uint64_t enk = planeWord(kp[ctx_->pMemEn], j);
+        const uint64_t w0v = planeWord(vp[ctx_->pMemWen0], j);
+        const uint64_t w0k = planeWord(kp[ctx_->pMemWen0], j);
+        const uint64_t w1v = planeWord(vp[ctx_->pMemWen1], j);
+        const uint64_t w1k = planeWord(kp[ctx_->pMemWen1], j);
+        auto logicAt = [](uint64_t v, uint64_t k, int l) {
+            if (!((k >> l) & 1))
+                return Logic::X;
+            return ((v >> l) & 1) ? Logic::One : Logic::Zero;
+        };
+        uint64_t rem = aw;
+        while (rem) {
+            const int l = std::countr_zero(rem);
+            rem &= rem - 1;
+            const int lane = 64 * j + l;
+            SWord addr, wdata;
+            for (size_t b = 0; b < abits; b++) {
+                addr.val |=
+                    static_cast<uint16_t>(((av[b] >> l) & 1) << b);
+                addr.known |=
+                    static_cast<uint16_t>(((ak[b] >> l) & 1) << b);
+            }
+            if (!((wz >> l) & 1)) {
+                for (size_t b = 0; b < dbits; b++) {
+                    wdata.val |=
+                        static_cast<uint16_t>(((dv[b] >> l) & 1) << b);
+                    wdata.known |=
+                        static_cast<uint16_t>(((dk[b] >> l) & 1) << b);
+                }
+            }
+            sampleMemory(env_[lane], *progLane_[lane],
+                         logicAt(env, enk, l), logicAt(w0v, w0k, l),
+                         logicAt(w1v, w1k, l), addr, wdata);
+        }
     }
     sim_.latchSequential();
 }
+
+template class LaneSimT<64>;
+template class LaneSimT<128>;
+template class LaneSimT<256>;
+template class LaneSimT<512>;
+template class LaneSocT<64>;
+template class LaneSocT<128>;
+template class LaneSocT<256>;
+template class LaneSocT<512>;
+template void ActivityTracker::observe<64>(const LaneSimT<64> &,
+                                           LaneMask<64>);
+template void ActivityTracker::observe<128>(const LaneSimT<128> &,
+                                            LaneMask<128>);
+template void ActivityTracker::observe<256>(const LaneSimT<256> &,
+                                            LaneMask<256>);
+template void ActivityTracker::observe<512>(const LaneSimT<512> &,
+                                            LaneMask<512>);
 
 } // namespace bespoke

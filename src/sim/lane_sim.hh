@@ -1,22 +1,32 @@
 /**
  * @file
- * 64-lane bit-plane packed gate simulator.
+ * Width-generic lane-parallel bit-plane gate simulator.
  *
- * LaneSim evaluates up to 64 *independent scenarios* of one netlist
- * per gate visit. Each net stores two uint64_t bit planes — val and
- * known — with lane i in bit i; a lane's three-valued signal is
- * decoded as X when its known bit is 0, else its val bit (val is kept
- * masked by known, the same canonical form SWord uses). All cell
- * functions are composed from bitwise plane operations implementing
- * exact Kleene semantics, so every lane is bit-identical to a scalar
- * GateSim run of the same scenario (pinned by tests/test_lane_sim.cc).
+ * LaneSimT<W> evaluates up to W *independent scenarios* of one netlist
+ * per gate visit. Each net stores two lane planes — val and known —
+ * with lane i in bit i; a lane's three-valued signal is decoded as X
+ * when its known bit is 0, else its val bit (val is kept masked by
+ * known, the same canonical form SWord uses). All cell functions are
+ * composed from bitwise plane operations implementing exact Kleene
+ * semantics (src/sim/plane.hh), so every lane is bit-identical to a
+ * scalar GateSim run of the same scenario (pinned by
+ * tests/test_lane_sim.cc and the tests/diff_harness.hh lockstep
+ * fixture at every width).
+ *
+ * Supported widths are 64/128/256/512 (explicitly instantiated in
+ * lane_sim.cc; select a runtime width with withPlaneBits). At W = 64
+ * the plane is one uint64_t — the historical LaneSim, still available
+ * under that alias. Wider planes amortize the per-gate fixed costs
+ * (dispatch, fanin indexing, force checks) over W/64 words, which is
+ * where the gate·lane/s win comes from (bench/micro_kernels.cc tells
+ * the story across widths).
  *
  * Unlike GateSim there is no event-driven mode: one full topological
- * sweep evaluates all 64 lanes at once, so the per-lane cost of a
- * sweep is 1/64th of a scalar full pass — far below the event-driven
+ * sweep evaluates all W lanes at once, so the per-lane cost of a
+ * sweep is 1/W of a scalar full pass — far below the event-driven
  * scalar cost whenever a handful of lanes are occupied. Callers batch
- * scenarios (activity-analysis frontier states, workload replays)
- * onto lanes and mask out finished lanes.
+ * scenarios (activity-analysis frontier states, workload replays,
+ * mutants) onto lanes and mask out finished lanes.
  *
  * Forcing supports per-lane masks: force(id, lanes, value) overrides
  * the gate's output only in the given lanes, and clearForces(lanes)
@@ -34,18 +44,21 @@
 
 #include "src/isa/assembler.hh"
 #include "src/sim/gate_sim.hh"
+#include "src/sim/plane.hh"
 #include "src/sim/soc.hh"
 
 namespace bespoke
 {
 
-class LaneSim
+template <int W>
+class LaneSimT
 {
   public:
-    static constexpr int kLanes = 64;
+    static constexpr int kLanes = W;
+    using Mask = LaneMask<W>;
 
-    explicit LaneSim(const Netlist &netlist,
-                     std::shared_ptr<const SimPrep> prep = nullptr);
+    explicit LaneSimT(const Netlist &netlist,
+                      std::shared_ptr<const SimPrep> prep = nullptr);
 
     const Netlist &netlist() const { return nl_; }
     const std::shared_ptr<const SimPrep> &prep() const { return prep_; }
@@ -59,22 +72,24 @@ class LaneSim
     /** Drive one input to the same value in every lane. */
     void setInputAll(GateId id, Logic v);
     /** Drive one input's raw planes (val must be masked by known). */
-    void setInputPlanes(GateId id, uint64_t val, uint64_t known);
+    void setInputPlanes(GateId id, const Mask &val, const Mask &known);
     Logic value(GateId id, int lane) const
     {
-        uint64_t m = 1ull << lane;
-        if (!(known_[id] & m))
+        if (!laneTest(known_[id], lane))
             return Logic::X;
-        return (val_[id] & m) ? Logic::One : Logic::Zero;
+        return laneTest(val_[id], lane) ? Logic::One : Logic::Zero;
     }
     /** Collect a bus into one lane's symbolic word (LSB-first ids). */
     SWord busWord(const std::vector<GateId> &bus_ids, int lane) const;
-    uint64_t valPlane(GateId id) const { return val_[id]; }
-    uint64_t knownPlane(GateId id) const { return known_[id]; }
+    const Mask &valPlane(GateId id) const { return val_[id]; }
+    const Mask &knownPlane(GateId id) const { return known_[id]; }
+    /** Raw plane arrays (one mask per net), for bulk observers. */
+    const std::vector<Mask> &valPlanes() const { return val_; }
+    const std::vector<Mask> &knownPlanes() const { return known_; }
     /** Lanes where the net is known One. */
-    uint64_t oneMask(GateId id) const { return val_[id]; }
+    const Mask &oneMask(GateId id) const { return val_[id]; }
     /** Lanes where the net is X. */
-    uint64_t xMask(GateId id) const { return ~known_[id]; }
+    Mask xMask(GateId id) const { return ~known_[id]; }
     /// @}
 
     /** @name Cycle phases (all lanes at once) */
@@ -87,10 +102,10 @@ class LaneSim
     /// @{
     /** Override a net in the given lanes; value bit i is the forced
      *  value of lane i (bits outside `lanes` are ignored). */
-    void force(GateId id, uint64_t lanes, uint64_t value);
+    void force(GateId id, const Mask &lanes, const Mask &value);
     /** Release forces in the given lanes only. */
-    void clearForces(uint64_t lanes);
-    void clearAllForces() { clearForces(~0ull); }
+    void clearForces(const Mask &lanes);
+    void clearAllForces() { clearForces(laneOnes<Mask>()); }
     /// @}
 
     /** @name Per-lane sequential state */
@@ -101,45 +116,72 @@ class LaneSim
     const std::vector<GateId> &seqIds() const { return prep_->seqIds; }
     /// @}
 
-    /** Lifetime gate visits (each visit evaluates all 64 lanes). */
+    /** Extract one lane's full value vector (byte-coded Logic per
+     *  gate), the currency of ToggleCounter run traces. */
+    void laneValues(int lane, std::vector<uint8_t> &out) const;
+
+    /** Lifetime gate visits (each visit evaluates all W lanes). */
     uint64_t gateVisitsTotal() const { return gateVisitsTotal_; }
 
   private:
     const Netlist &nl_;
     std::shared_ptr<const SimPrep> prep_;
-    std::vector<uint64_t> val_;    ///< lane val plane per net
-    std::vector<uint64_t> known_;  ///< lane known plane per net
-    std::vector<uint64_t> forceMask_;  ///< lanes forced per net
-    std::vector<uint64_t> forceVal_;   ///< forced values per net
+    std::vector<Mask> val_;    ///< lane val plane per net
+    std::vector<Mask> known_;  ///< lane known plane per net
+    std::vector<Mask> forceMask_;  ///< lanes forced per net
+    std::vector<Mask> forceVal_;   ///< forced values per net
     std::vector<GateId> forcedIds_;
     bool anyForce_ = false;
     uint64_t gateVisitsTotal_ = 0;
+    /** latchSequential pre-edge scratch (avoids a per-cycle alloc). */
+    std::vector<PlanesT<Mask>> latchNext_;
 };
 
+/** The historical 64-lane engine (single-word planes). */
+using LaneSim = LaneSimT<64>;
+
 /**
- * Lane-parallel SoC: LaneSim plus one behavioral environment (RAM,
- * memory read port, last fetch PC) per lane, sharing one program ROM.
- * The scenario loaded into a lane is a full MachineState, exactly the
- * currency of the activity-analysis frontier. GPIO and the IRQ line
- * are uniform across lanes (the analysis drives them identically).
+ * Lane-parallel SoC: LaneSimT plus one behavioral environment (RAM,
+ * memory read port, last fetch PC) per lane. The scenario loaded into
+ * a lane is a full MachineState, exactly the currency of the
+ * activity-analysis frontier. GPIO and the IRQ line default to
+ * uniform values (the activity analysis drives them identically), but
+ * support per-lane overrides for scenario batching (verify runs with
+ * distinct inputs per lane); the program ROM is shared unless a lane
+ * is given its own image (mutant-per-lane sweeps).
  *
  * Memory behavior per lane is delegated to the same sampleMemory()
  * helper the scalar Soc uses, so symbolic-address conservatism is
  * identical by construction.
  */
-class LaneSoc
+template <int W>
+class LaneSocT
 {
   public:
-    static constexpr int kLanes = LaneSim::kLanes;
+    static constexpr int kLanes = W;
+    using Mask = LaneMask<W>;
 
-    LaneSoc(std::shared_ptr<const SocContext> ctx,
-            const AsmProgram &prog);
+    LaneSocT(std::shared_ptr<const SocContext> ctx,
+             const AsmProgram &prog);
 
-    LaneSim &sim() { return sim_; }
-    const LaneSim &sim() const { return sim_; }
+    LaneSimT<W> &sim() { return sim_; }
+    const LaneSimT<W> &sim() const { return sim_; }
 
-    void setGpioIn(SWord w) { gpioIn_ = w; }
-    void setIrqExt(Logic v) { irqExt_ = v; }
+    void setGpioIn(SWord w);
+    void setIrqExt(Logic v);
+    /** Per-lane overrides (scenario batching). */
+    void setGpioInLane(int lane, SWord w);
+    void setIrqExtLane(int lane, Logic v);
+    /** Give one lane its own program ROM (mutant overlays). The image
+     *  must outlive the LaneSoc; null restores the shared program. */
+    void setProgLane(int lane, const AsmProgram *prog)
+    {
+        progLane_[lane] = prog ? prog : &prog_;
+    }
+    const AsmProgram &progForLane(int lane) const
+    {
+        return *progLane_[lane];
+    }
 
     /** @name Lane lifecycle */
     /// @{
@@ -163,40 +205,51 @@ class LaneSoc
     /** Drive all lanes' inputs and evaluate (no latch). */
     void evalOnly();
     /** Sample memory requests for the given lanes, then latch. */
-    void finishCycle(uint64_t lanes);
+    void finishCycle(const Mask &lanes);
     /// @}
 
     /** @name Lane-vector observability */
     /// @{
-    uint64_t stFetchOneMask() const
+    const Mask &stFetchOneMask() const
     {
         return sim_.oneMask(ctx_->pStFetch);
     }
-    uint64_t decisionXMask() const
+    Mask decisionXMask() const
     {
         return sim_.xMask(ctx_->pDecIrq0) | sim_.xMask(ctx_->pDecIrq1) |
                sim_.xMask(ctx_->pDecBranch);
     }
-    uint64_t ctlXferOneMask() const
+    const Mask &ctlXferOneMask() const
     {
         return sim_.oneMask(ctx_->pCtlXfer);
     }
-    uint64_t ctlXferXMask() const { return sim_.xMask(ctx_->pCtlXfer); }
+    Mask ctlXferXMask() const { return sim_.xMask(ctx_->pCtlXfer); }
     SWord pc(int lane) const
     {
         return sim_.busWord(ctx_->pPcOut, lane);
+    }
+    SWord gpioOut(int lane) const
+    {
+        return sim_.busWord(ctx_->pGpioOut, lane);
     }
     /// @}
 
   private:
     std::shared_ptr<const SocContext> ctx_;
     const AsmProgram &prog_;
-    LaneSim sim_;
-    std::array<EnvState, kLanes> env_;
-    std::array<uint16_t, kLanes> lastFetchPc_{};
-    SWord gpioIn_ = SWord::allX();
-    Logic irqExt_ = Logic::X;
+    LaneSimT<W> sim_;
+    std::vector<EnvState> env_;
+    std::vector<uint16_t> lastFetchPc_;
+    std::vector<const AsmProgram *> progLane_;
+    /** GPIO / IRQ input planes, maintained by the setters so evalOnly
+     *  pays no per-cycle transpose for them (rdata, which changes
+     *  every cycle, is transposed on the fly). */
+    std::vector<Mask> gpioV_, gpioK_;
+    Mask irqV_{}, irqK_{};
 };
+
+/** The historical 64-lane SoC (single-word planes). */
+using LaneSoc = LaneSocT<64>;
 
 } // namespace bespoke
 

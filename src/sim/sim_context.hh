@@ -68,6 +68,20 @@ struct SimPrep
      *  order[levelHead[l] .. levelHead[l+1]). Levels 0 (sources) are
      *  empty; size numLevels + 1. */
     std::vector<uint32_t> levelHead;
+    /**
+     * Same-opcode segments of `order` (which is opcode-sorted within
+     * each level): run r covers order[pos .. pos+len) where pos is the
+     * running sum of earlier lengths, and every gate in it has opcode
+     * `op`. Lets plane evaluation dispatch once per segment and run a
+     * tight per-opcode loop instead of switching per gate. Runs never
+     * span a level boundary.
+     */
+    struct EvalRun
+    {
+        uint8_t op;
+        uint32_t len;
+    };
+    std::vector<EvalRun> evalRuns;
     /// @}
 };
 

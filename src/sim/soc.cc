@@ -76,9 +76,13 @@ Soc::sampleMemoryRequest()
     if (en == Logic::Zero && wen0 == Logic::Zero && wen1 == Logic::Zero)
         return;
 
+    // wdata only matters when a write may happen; reads (the common
+    // case — every fetch is one) skip the 16-bit bus transpose.
+    SWord wdata;
+    if (wen0 != Logic::Zero || wen1 != Logic::Zero)
+        wdata = sim_.busWord(ctx_->pMemWdata);
     sampleMemory(env_, prog_, en, wen0, wen1,
-                 sim_.busWord(ctx_->pMemAddr),
-                 sim_.busWord(ctx_->pMemWdata));
+                 sim_.busWord(ctx_->pMemAddr), wdata);
 }
 
 void
@@ -89,14 +93,21 @@ sampleMemory(EnvState &env, const AsmProgram &prog, Logic en,
         return;
 
     // --- Writes (byte lanes) ---
+    // Whole-byte copy with word-level mask ops: replacing the byte
+    // lane of `word` with wdata's bits is a (val, known) blend under
+    // the byte mask, and a may-write (wen = X) merges that blend with
+    // the unwritten word. Equivalent to bit-by-bit setBit/merge but
+    // O(1) per word — the X-address smear below applies this to every
+    // RAM word per cycle, which is the hot path for runs that spin
+    // with unknown store addresses.
     auto lane_write = [&](SWord &word, Logic wen, int lane) {
         if (wen == Logic::Zero)
             return;
-        SWord neww = word;
-        for (int b = 0; b < 8; b++) {
-            int bit = lane * 8 + b;
-            neww.setBit(bit, wdata.bit(bit));
-        }
+        const uint16_t bm = static_cast<uint16_t>(0xffu << (lane * 8));
+        SWord neww(
+            static_cast<uint16_t>((word.val & ~bm) | (wdata.val & bm)),
+            static_cast<uint16_t>((word.known & ~bm) |
+                                  (wdata.known & bm)));
         if (wen == Logic::One) {
             word = neww;
         } else {

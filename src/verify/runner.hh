@@ -10,6 +10,7 @@
 #ifndef BESPOKE_VERIFY_RUNNER_HH
 #define BESPOKE_VERIFY_RUNNER_HH
 
+#include <array>
 #include <map>
 #include <set>
 
@@ -71,6 +72,67 @@ GateRun runWorkloadGate(const Netlist &netlist, const Workload &w,
                         const std::function<void(const GateSim &)>
                             &per_cycle = nullptr,
                         std::shared_ptr<const SocContext> ctx = nullptr);
+
+/**
+ * Resolve the lane-batch plane width: an explicit positive value wins,
+ * else the BESPOKE_PLANE_BITS environment override, else 64. Invalid
+ * widths (anything but 64/128/256/512) resolve to 64.
+ */
+int resolvePlaneBits(int plane_bits);
+
+/** Per-module idle-cycle counts (oracle power gating, Fig. 15). */
+struct ModuleIdleCounts
+{
+    std::array<uint64_t, kNumModules> idle{};
+    uint64_t totalCycles = 0;
+};
+
+/**
+ * One scenario of a lane batch: a program image, an input, and an
+ * optional private toggle counter (lane-per-mutant sweeps give every
+ * mutant its own). All scenarios of a batch share one workload (input
+ * model, cycle budget, IRQ schedule) and one netlist.
+ */
+struct GateScenario
+{
+    const AsmProgram *prog = nullptr;
+    const WorkloadInput *input = nullptr;
+    ToggleCounter *toggles = nullptr;  ///< per-scenario counter
+};
+
+/** Observers shared by every scenario of a batch. */
+struct GateBatchObservers
+{
+    ToggleCounter *toggles = nullptr;
+    ActivityTracker *activity = nullptr;
+    ModuleIdleCounts *moduleIdle = nullptr;
+};
+
+/**
+ * Run many scenarios of one workload lane-parallel, W per plane sweep
+ * (W = resolvePlaneBits(plane_bits)). Results and every observer are
+ * bit-identical to running the scenarios through runWorkloadGate()
+ * sequentially in vector order with the same shared trackers — the
+ * scalar path IS the fallback, taken whenever a batch is too small to
+ * win from plane packing (fewer than kMinLaneBatch scenarios). Shared
+ * counters see within-run transitions summed order-free plus the
+ * cross-run boundary transitions replayed in sequential order
+ * (ToggleCounter::ingestRun), so the committed power baselines do not
+ * move.
+ */
+constexpr size_t kMinLaneBatch = 4;
+std::vector<GateRun> runScenarioGateBatch(
+    const Netlist &netlist, const Workload &w,
+    const std::vector<GateScenario> &scenarios, int plane_bits = 0,
+    const GateBatchObservers &obs = {},
+    std::shared_ptr<const SocContext> ctx = nullptr);
+
+/** Scenario batch with one shared program: the common verify shape. */
+std::vector<GateRun> runWorkloadGateBatch(
+    const Netlist &netlist, const Workload &w, const AsmProgram &prog,
+    const std::vector<WorkloadInput> &inputs, int plane_bits = 0,
+    const GateBatchObservers &obs = {},
+    std::shared_ptr<const SocContext> ctx = nullptr);
 
 /** Check a gate run against the ISS oracle; fatal-free, returns diff. */
 struct RunDiff

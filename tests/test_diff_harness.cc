@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Differential-testing suite over the diff_harness.hh lockstep
+ * fixture: 200 randomized netlist cases, each driving a LaneSimT
+ * against per-lane scalar GateSim oracles with full-machine-state
+ * comparison every cycle (see the header for the stimulus mix).
+ *
+ * Width selection mirrors the CI matrix: every case runs at the
+ * 64-lane plane; the BESPOKE_PLANE_BITS environment variable (resolved
+ * through resolvePlaneBits, like the tools) additionally points every
+ * eighth case at the configured wide plane — the sanitizer shards run
+ * one suite at 64 and one at 256 bits. A smoke test keeps 128/256/512
+ * covered even when no width is configured.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/verify/runner.hh"
+#include "tests/diff_harness.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+using difftest::runLockstepCase;
+using difftest::runLockstepCaseAt;
+
+class DiffHarness : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(DiffHarness, RandomNetlistLockstep)
+{
+    const uint32_t seed = GetParam();
+    ASSERT_NO_FATAL_FAILURE(runLockstepCase<64>(seed, 24));
+
+    // Every eighth case additionally runs at the environment-selected
+    // wide plane, scaled down: the oracle cost is one scalar sim per
+    // lane, so wide planes buy coverage with fewer cycles.
+    const int env_bits = resolvePlaneBits(0);
+    if (env_bits != 64 && seed % 8 == 0) {
+        ASSERT_NO_FATAL_FAILURE(
+            runLockstepCaseAt(env_bits, seed ^ 0x9e3779b9u, 8));
+    }
+}
+
+// 200 randomized cases (the diff-harness floor pinned by the CI
+// shards; each registers as its own ctest entry).
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffHarness, ::testing::Range(0u, 200u));
+
+// Every instantiated width stays lockstep-covered in a default ctest
+// run, independent of BESPOKE_PLANE_BITS.
+TEST(DiffHarnessWide, Plane128Lockstep)
+{
+    ASSERT_NO_FATAL_FAILURE(runLockstepCase<128>(1001, 12));
+}
+
+TEST(DiffHarnessWide, Plane256Lockstep)
+{
+    ASSERT_NO_FATAL_FAILURE(runLockstepCase<256>(1002, 8));
+}
+
+TEST(DiffHarnessWide, Plane512Lockstep)
+{
+    ASSERT_NO_FATAL_FAILURE(runLockstepCase<512>(1003, 6));
+}
+
+} // namespace
+} // namespace bespoke

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lane-per-mutant sweep equivalence (Tables 4/5 dynamic columns).
+ *
+ * mutantConcreteSweep batches every mutant x input pair onto bit-plane
+ * lanes; the acceptance bar is that every verdict the table reports —
+ * detected / undetected and the switching-power delta — is
+ * bit-identical to running the same mutants one at a time through the
+ * scalar gate runner (opts.forceScalar). The quick suite pins a
+ * representative workload subset at the environment-selected plane
+ * width (so the CI sanitizer shards cover 64- and 256-bit planes); the
+ * full sweep across all 15 paper workloads and every generated mutant
+ * runs when BESPOKE_NIGHTLY is set (nightly workflow).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/bsp430.hh"
+#include "src/mutation/mutant_sweep.hh"
+#include "src/mutation/mutation.hh"
+#include "src/timing/sta.hh"
+#include "src/verify/runner.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+const Netlist &
+core()
+{
+    static Netlist nl = [] {
+        Netlist n = buildBsp430();
+        sizeForLoads(n);
+        return n;
+    }();
+    return nl;
+}
+
+/**
+ * Sweep `w`'s mutants scalar and lane-batched and require verdict
+ * equality: same detected flag, same power delta, per mutant.
+ */
+void
+expectLaneMatchesScalar(const Workload &w, size_t max_mutants,
+                        int inputs_per_mutant, int plane_bits)
+{
+    SCOPED_TRACE(w.name + " @" + std::to_string(plane_bits) + "b");
+    std::vector<Mutant> mutants = generateMutants(w);
+    if (max_mutants && mutants.size() > max_mutants)
+        mutants.resize(max_mutants);
+    if (mutants.empty())
+        return;  // unit workloads may offer nothing to mutate
+
+    MutantPlanePrep prep(core(), w, mutants);
+
+    MutantSweepOptions sopts;
+    sopts.inputsPerMutant = inputs_per_mutant;
+
+    sopts.forceScalar = true;
+    std::vector<MutantVerdict> scalar = mutantConcreteSweep(prep, sopts);
+
+    sopts.forceScalar = false;
+    sopts.planeBits = plane_bits;
+    std::vector<MutantVerdict> lane = mutantConcreteSweep(prep, sopts);
+
+    ASSERT_EQ(scalar.size(), lane.size());
+    ASSERT_EQ(scalar.size(), mutants.size());
+    for (size_t i = 0; i < scalar.size(); i++) {
+        EXPECT_EQ(scalar[i].detected, lane[i].detected)
+            << "mutant " << i << " (" << mutants[i].from << " -> "
+            << mutants[i].to << " at line " << mutants[i].sourceLine
+            << ") verdict differs";
+        // The lane path ingests the same toggle sequence the scalar
+        // path observes, so the power numbers are exactly equal — not
+        // merely close.
+        EXPECT_EQ(scalar[i].powerDeltaPct, lane[i].powerDeltaPct)
+            << "mutant " << i << " power delta differs";
+    }
+}
+
+// Quick ctest slice: cheap workloads from the Table 4/5 set, a dozen
+// mutants each, at the BESPOKE_PLANE_BITS-selected width.
+TEST(MutantLane, QuickVerdictsMatchScalar)
+{
+    const int bits = resolvePlaneBits(0);
+    for (const char *name : {"binSearch", "rle", "tea8"})
+        expectLaneMatchesScalar(workloadByName(name), 6, 2, bits);
+}
+
+// A non-default width stays covered even without the environment.
+TEST(MutantLane, QuickVerdictsMatchScalarWidePlane)
+{
+    expectLaneMatchesScalar(workloadByName("inSort"), 6, 2, 256);
+}
+
+// Full equivalence: every mutant of every paper workload, the bench's
+// input count, both at one-word and multi-word planes. Minutes of
+// scalar reference sweeps — nightly only.
+TEST(MutantLane, FullSweepAllWorkloads)
+{
+    if (!std::getenv("BESPOKE_NIGHTLY"))
+        GTEST_SKIP() << "full mutant equivalence runs in the nightly "
+                        "workflow (set BESPOKE_NIGHTLY to force)";
+    for (const Workload &w : workloads()) {
+        expectLaneMatchesScalar(w, 0, 4, 64);
+        expectLaneMatchesScalar(w, 0, 4, 256);
+    }
+}
+
+} // namespace
+} // namespace bespoke

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Property-based tests for the width-generic Kleene plane connectives
+ * (src/sim/plane.hh), at every instantiated width W ∈ {64, 128, 256,
+ * 512}:
+ *
+ *  - per-lane correspondence: every lane of every plane op decodes to
+ *    exactly the scalar three-valued connective (src/logic) applied to
+ *    that lane's decoded inputs;
+ *  - canonical form: every op keeps val ⊆ known;
+ *  - X-monotonicity: weakening any input lane toward X (dropping known
+ *    bits) can only weaken the output lane toward X — a known output
+ *    value never flips. This is the property the batch runners rely on
+ *    when they conservatively widen lanes;
+ *  - cross-word boundaries: directed single-lane stimulus at lanes 63,
+ *    64, 65 and W-1 pins that multi-word planes don't smear state
+ *    across uint64_t word edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/logic/logic.hh"
+#include "src/sim/plane.hh"
+#include "src/util/rng.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+template <class M>
+M
+randomMask(Rng &rng)
+{
+    auto word = [&rng] {
+        return (static_cast<uint64_t>(rng.next()) << 32) | rng.next();
+    };
+    if constexpr (std::is_same_v<M, uint64_t>) {
+        return word();
+    } else {
+        M m{};
+        for (auto &w : m.w)
+            w = word();
+        return m;
+    }
+}
+
+/** Random canonical (val ⊆ known) plane pair, with plenty of X. */
+template <class M>
+PlanesT<M>
+randomPlanes(Rng &rng)
+{
+    M k = randomMask<M>(rng) | randomMask<M>(rng);  // ~75% known
+    M v = randomMask<M>(rng) & k;
+    return {v, k};
+}
+
+template <class M>
+Logic
+decodeLane(const PlanesT<M> &p, int lane)
+{
+    if (!laneTest(p.k, lane))
+        return Logic::X;
+    return laneTest(p.v, lane) ? Logic::One : Logic::Zero;
+}
+
+template <class M>
+void
+encodeLane(PlanesT<M> &p, int lane, Logic v)
+{
+    laneClear(p.v, lane);
+    laneClear(p.k, lane);
+    if (v != Logic::X) {
+        laneSet(p.k, lane);
+        if (v == Logic::One)
+            laneSet(p.v, lane);
+    }
+}
+
+template <class M>
+bool
+canonical(const PlanesT<M> &p)
+{
+    return !laneAny(p.v & ~p.k);
+}
+
+/** Information order: wherever `weak` is known it agrees with `strong`. */
+template <class M>
+bool
+weakerOrEqual(const PlanesT<M> &weak, const PlanesT<M> &strong)
+{
+    if (laneAny(weak.k & ~strong.k))
+        return false;
+    return !laneAny((weak.v ^ strong.v) & weak.k);
+}
+
+/** Drop known bits of `p` under `drop` (weaken those lanes to X). */
+template <class M>
+PlanesT<M>
+weaken(const PlanesT<M> &p, const M &drop)
+{
+    M k = p.k & ~drop;
+    return {p.v & k, k};
+}
+
+constexpr int kOps = 6;
+
+/** Apply plane op `op` (0..5) to canonical inputs. */
+template <class M>
+PlanesT<M>
+applyPlaneOp(int op, const PlanesT<M> &a, const PlanesT<M> &b,
+             const PlanesT<M> &c)
+{
+    switch (op) {
+    case 0: return pNot(a);
+    case 1: return pAnd(a, b);
+    case 2: return pOr(a, b);
+    case 3: return pXor(a, b);
+    case 4: return pXnor(a, b);
+    default: return pMux(a, b, c);  // a0 = a, a1 = b, sel = c
+    }
+}
+
+Logic
+applyScalarOp(int op, Logic a, Logic b, Logic c)
+{
+    switch (op) {
+    case 0: return logicNot(a);
+    case 1: return logicAnd(a, b);
+    case 2: return logicOr(a, b);
+    case 3: return logicXor(a, b);
+    case 4: return logicNot(logicXor(a, b));
+    default: return logicMux(c, a, b);
+    }
+}
+
+const char *const kOpNames[kOps] = {"not", "and", "or",
+                                    "xor", "xnor", "mux"};
+
+template <int W>
+void
+runPlaneProperties(uint32_t seed, int rounds)
+{
+    using M = LaneMask<W>;
+    Rng rng(seed);
+
+    for (int round = 0; round < rounds; round++) {
+        PlanesT<M> a = randomPlanes<M>(rng);
+        PlanesT<M> b = randomPlanes<M>(rng);
+        PlanesT<M> c = randomPlanes<M>(rng);
+
+        for (int op = 0; op < kOps; op++) {
+            PlanesT<M> r = applyPlaneOp(op, a, b, c);
+            ASSERT_TRUE(canonical(r))
+                << "W=" << W << " " << kOpNames[op]
+                << " broke val ⊆ known, round " << round;
+
+            // Per-lane correspondence with the scalar connective.
+            for (int lane : {0, 1, 63, W > 64 ? 64 : 2,
+                             W > 64 ? 65 : 3, W / 2, W - 1}) {
+                ASSERT_EQ(decodeLane(r, lane),
+                          applyScalarOp(op, decodeLane(a, lane),
+                                        decodeLane(b, lane),
+                                        decodeLane(c, lane)))
+                    << "W=" << W << " " << kOpNames[op] << " lane "
+                    << lane << " round " << round;
+            }
+
+            // X-monotonicity: weakening inputs weakens the output.
+            PlanesT<M> r2 = applyPlaneOp(
+                op, weaken(a, randomMask<M>(rng)),
+                weaken(b, randomMask<M>(rng)),
+                weaken(c, randomMask<M>(rng)));
+            ASSERT_TRUE(canonical(r2));
+            ASSERT_TRUE(weakerOrEqual(r2, r))
+                << "W=" << W << " " << kOpNames[op]
+                << " is not X-monotone, round " << round;
+        }
+    }
+}
+
+/**
+ * Exhaustive single-lane truth check at the word-boundary lanes: every
+ * op, every 3^3 input combination, with all other lanes pinned to a
+ * contrasting background — a value smeared across a word edge (or a
+ * lane>>64 shift bug) flips one of these.
+ */
+template <int W>
+void
+runBoundaryLanes()
+{
+    using M = LaneMask<W>;
+    std::vector<int> lanes = {0, 63, W - 1};
+    if (W > 64) {
+        lanes.push_back(64);
+        lanes.push_back(65);
+        lanes.push_back(W - 64);
+    }
+    constexpr Logic vals[3] = {Logic::Zero, Logic::One, Logic::X};
+
+    for (int lane : lanes) {
+        for (int op = 0; op < kOps; op++) {
+            for (Logic la : vals) {
+                for (Logic lb : vals) {
+                    for (Logic lc : vals) {
+                        // Background: everything known One (maximally
+                        // contrasting with the X/Zero cases).
+                        PlanesT<M> a{laneOnes<M>(), laneOnes<M>()};
+                        PlanesT<M> b = a, c = a;
+                        encodeLane(a, lane, la);
+                        encodeLane(b, lane, lb);
+                        encodeLane(c, lane, lc);
+                        PlanesT<M> r = applyPlaneOp(op, a, b, c);
+                        ASSERT_EQ(decodeLane(r, lane),
+                                  applyScalarOp(op, la, lb, lc))
+                            << "W=" << W << " " << kOpNames[op]
+                            << " lane " << lane;
+                        // Neighbors keep the background result.
+                        for (int d : {-1, 1}) {
+                            int nb = lane + d;
+                            if (nb < 0 || nb >= W || nb == lane)
+                                continue;
+                            ASSERT_EQ(
+                                decodeLane(r, nb),
+                                applyScalarOp(op, Logic::One,
+                                              Logic::One, Logic::One))
+                                << "W=" << W << " " << kOpNames[op]
+                                << " smeared into lane " << nb
+                                << " from " << lane;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PlaneX, Monotonicity64) { runPlaneProperties<64>(11, 300); }
+TEST(PlaneX, Monotonicity128) { runPlaneProperties<128>(12, 200); }
+TEST(PlaneX, Monotonicity256) { runPlaneProperties<256>(13, 150); }
+TEST(PlaneX, Monotonicity512) { runPlaneProperties<512>(14, 100); }
+
+TEST(PlaneX, BoundaryLanes64) { runBoundaryLanes<64>(); }
+TEST(PlaneX, BoundaryLanes128) { runBoundaryLanes<128>(); }
+TEST(PlaneX, BoundaryLanes256) { runBoundaryLanes<256>(); }
+TEST(PlaneX, BoundaryLanes512) { runBoundaryLanes<512>(); }
+
+} // namespace
+} // namespace bespoke
