@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -166,12 +167,29 @@ touchAccess(const std::string &path)
 
 } // namespace
 
-CheckpointStore::CheckpointStore(const std::string &dir,
-                                 uint64_t maxBytes)
-    : dir_(dir), maxBytes_(maxBytes)
+void
+StageLock::release()
+{
+    if (coord_ && !path_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(coord_->m);
+            coord_->inflight.erase(path_);
+        }
+        coord_->done.notify_all();
+    }
+    coord_.reset();
+    path_.clear();
+}
+
+CheckpointStore::CheckpointStore(
+    const std::string &dir, uint64_t maxBytes,
+    std::shared_ptr<CheckpointCoordinator> coord)
+    : dir_(dir), maxBytes_(maxBytes), coord_(std::move(coord))
 {
     if (dir_.empty())
         return;
+    if (!coord_)
+        coord_ = std::make_shared<CheckpointCoordinator>();
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec) {
@@ -180,6 +198,23 @@ CheckpointStore::CheckpointStore(const std::string &dir,
                      "); checkpointing disabled");
         dir_.clear();
     }
+}
+
+StageLock
+CheckpointStore::lockStage(const CheckpointKey &key,
+                           const std::string &stage) const
+{
+    if (!enabled())
+        return {};
+    std::string p = path(key, stage);
+    bool waited = false;
+    std::unique_lock<std::mutex> lk(coord_->m);
+    while (coord_->inflight.count(p)) {
+        waited = true;
+        coord_->done.wait(lk);
+    }
+    coord_->inflight.insert(p);
+    return StageLock(coord_, std::move(p), waited);
 }
 
 std::string
@@ -222,7 +257,13 @@ CheckpointStore::save(const CheckpointKey &key, const std::string &stage,
     if (!enabled())
         return;
     std::string final_path = path(key, stage);
-    std::string tmp_path = final_path + ".tmp";
+    // Writer-unique temp name: two concurrent savers of the same key
+    // must each write their own complete file, not interleave into a
+    // shared one that a racing rename would expose half-written.
+    static std::atomic<uint64_t> save_seq{0};
+    std::string tmp_path = final_path + ".tmp." +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           "." + std::to_string(save_seq.fetch_add(1));
     {
         std::ofstream out(tmp_path, std::ios::binary);
         if (!out) {
@@ -232,6 +273,8 @@ CheckpointStore::save(const CheckpointKey &key, const std::string &stage,
         out << doc.dump(1) << "\n";
         if (!out) {
             bespoke_warn("checkpoint ", tmp_path, ": write failed");
+            std::error_code rmec;
+            std::filesystem::remove(tmp_path, rmec);
             return;
         }
     }
@@ -250,6 +293,9 @@ CheckpointStore::save(const CheckpointKey &key, const std::string &stage,
 void
 CheckpointStore::sweep(const std::string &keep) const
 {
+    // One sweep at a time per directory: concurrent savers would
+    // otherwise double-count sizes and double-evict.
+    std::lock_guard<std::mutex> sweep_lk(coord_->sweepM);
     struct Entry
     {
         std::string path;

@@ -1,5 +1,7 @@
 #include "src/bespoke/flow.hh"
 
+#include <chrono>
+
 #include "src/cpu/bsp430.hh"
 #include "src/util/table.hh"
 #include "src/util/logging.hh"
@@ -21,11 +23,25 @@ hashApps(const std::vector<const Workload *> &apps)
     return h;
 }
 
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 } // namespace
 
 BespokeFlow::BespokeFlow(FlowOptions opts)
-    : opts_(std::move(opts)), baseline_(buildBsp430()),
-      store_(opts_.checkpointDir, opts_.checkpointMaxBytes)
+    : BespokeFlow(std::move(opts), buildBsp430())
+{
+}
+
+BespokeFlow::BespokeFlow(FlowOptions opts, Netlist baseline)
+    : opts_(std::move(opts)), baseline_(std::move(baseline)),
+      store_(opts_.checkpointDir, opts_.checkpointMaxBytes,
+             opts_.checkpointCoordinator)
 {
     sizeForLoads(baseline_, opts_.timing);
     TimingReport rep = analyzeTiming(baseline_, opts_.timing);
@@ -48,18 +64,30 @@ BespokeFlow::measure(const Netlist &netlist,
                      const std::vector<const Workload *> &apps)
 {
     CheckpointKey key;
+    StageLock in_flight;
     if (store_.enabled()) {
         key = {netlist.contentHash(), hashApps(apps), flowOptsHash_};
-        JsonValue doc;
-        if (store_.load(key, "metrics", &doc)) {
-            DesignMetrics cached;
+        auto load = [&](DesignMetrics *out) {
+            JsonValue doc;
+            if (!store_.load(key, "metrics", &doc))
+                return false;
             std::string err;
-            if (metricsFromJson(doc, &cached, &err))
-                return cached;
+            if (metricsFromJson(doc, out, &err))
+                return true;
             bespoke_warn("checkpoint metrics: ", err, "; re-measuring");
-        }
+            return false;
+        };
+        DesignMetrics cached;
+        if (load(&cached))
+            return cached;
+        // First runner computes; anyone else waits here, then finds
+        // the saved artifact on the re-try load.
+        in_flight = store_.lockStage(key, "metrics");
+        if (in_flight.waited() && load(&cached))
+            return cached;
     }
 
+    auto t0 = std::chrono::steady_clock::now();
     DesignMetrics m;
     NetlistStats stats = netlist.stats();
     m.gates = stats.numCells;
@@ -101,6 +129,8 @@ BespokeFlow::measure(const Netlist &netlist,
     m.powerAtVmin =
         scaleToVoltage(m.powerNominal, m.vmin, opts_.power);
 
+    if (opts_.stageCallback)
+        opts_.stageCallback("metrics", secondsSince(t0));
     if (store_.enabled())
         store_.save(key, "metrics", metricsToJson(m));
     return m;
@@ -124,18 +154,29 @@ BespokeFlow::analyzeProgram(const AsmProgram &prog,
 {
     CheckpointKey key{baselineHash_, hashProgram(prog),
                       analysisOptsHash_};
+    StageLock in_flight;
     if (store_.enabled()) {
-        JsonValue doc;
-        if (store_.load(key, "analysis", &doc)) {
-            AnalysisResult cached;
+        auto load = [&](AnalysisResult *out) {
+            JsonValue doc;
+            if (!store_.load(key, "analysis", &doc))
+                return false;
             std::string err;
-            if (analysisFromJson(doc, baseline_, &cached, &err))
-                return cached;
+            if (analysisFromJson(doc, baseline_, out, &err))
+                return true;
             bespoke_warn("checkpoint analysis for ", name, ": ", err,
                          "; re-analyzing");
-        }
+            return false;
+        };
+        AnalysisResult cached;
+        if (load(&cached))
+            return cached;
+        in_flight = store_.lockStage(key, "analysis");
+        if (in_flight.waited() && load(&cached))
+            return cached;
     }
     AnalysisResult r = analyzeActivity(baseline_, prog, opts_.analysis);
+    if (opts_.stageCallback)
+        opts_.stageCallback("analysis", r.seconds);
     // Capped (incomplete) runs are never checkpointed: a rerun with
     // higher caps must not resume from a partial toggle set.
     if (store_.enabled() && r.completed)
@@ -149,21 +190,33 @@ BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
                           const std::function<Netlist(CutStats *)> &build)
 {
     CheckpointKey key{baselineHash_, program_hash, flowOptsHash_};
+    StageLock in_flight;
     if (store_.enabled()) {
-        JsonValue doc;
-        if (store_.load(key, stage, &doc)) {
-            Netlist cached;
+        auto load = [&](Netlist *out) {
+            JsonValue doc;
+            if (!store_.load(key, stage, &doc))
+                return false;
             std::string err;
-            if (designFromJson(doc, &cached, cut, &err))
-                return cached;
+            if (designFromJson(doc, out, cut, &err))
+                return true;
             bespoke_warn("checkpoint ", stage, ": ", err,
                          "; re-cutting");
-        }
+            return false;
+        };
+        Netlist cached;
+        if (load(&cached))
+            return cached;
+        in_flight = store_.lockStage(key, stage);
+        if (in_flight.waited() && load(&cached))
+            return cached;
     }
+    auto t0 = std::chrono::steady_clock::now();
     Netlist netlist = build(cut);
     // Re-size for the (smaller) loads: the paper's slack-driven
     // replacement with smaller cells falls out of re-running sizing.
     sizeForLoads(netlist, opts_.timing);
+    if (opts_.stageCallback)
+        opts_.stageCallback(stage, secondsSince(t0));
     if (store_.enabled())
         store_.save(key, stage, designToJson(netlist, *cut));
     return netlist;
@@ -172,10 +225,22 @@ BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
 BespokeDesign
 BespokeFlow::tailor(const Workload &app)
 {
+    BespokeDesign d;
+    std::string err;
+    bespoke_assert(tryTailor(app, &d, &err), err);
+    return d;
+}
+
+bool
+BespokeFlow::tryTailor(const Workload &app, BespokeDesign *out,
+                       std::string *err)
+{
     AsmProgram prog = app.assembleProgram();
     AnalysisResult analysis = analyzeProgram(prog, app.name);
-    bespoke_assert(analysis.completed,
-                   "analysis hit caps for ", app.name);
+    if (!analysis.completed) {
+        *err = "analysis hit caps for " + app.name;
+        return false;
+    }
     CutStats cut;
     Netlist bespoke_nl =
         obtainDesign(hashProgram(prog), "design", &cut,
@@ -183,14 +248,24 @@ BespokeFlow::tailor(const Workload &app)
                          return cutAndStitch(baseline_,
                                              *analysis.activity, c);
                      });
-    BespokeDesign d{std::move(bespoke_nl), cut, {},
-                    std::move(analysis)};
-    d.metrics = measure(d.netlist, {&app});
-    return d;
+    *out = BespokeDesign{std::move(bespoke_nl), cut, {},
+                         std::move(analysis)};
+    out->metrics = measure(out->netlist, {&app});
+    return true;
 }
 
 BespokeDesign
 BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
+{
+    BespokeDesign d;
+    std::string err;
+    bespoke_assert(tryTailorMulti(apps, &d, &err), err);
+    return d;
+}
+
+bool
+BespokeFlow::tryTailorMulti(const std::vector<const Workload *> &apps,
+                            BespokeDesign *out, std::string *err)
 {
     bespoke_assert(!apps.empty());
     ActivityTracker merged(baseline_);
@@ -200,7 +275,10 @@ BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
         AsmProgram prog = w->assembleProgram();
         progs = hashCombine(progs, hashProgram(prog));
         AnalysisResult r = analyzeProgram(prog, w->name);
-        bespoke_assert(r.completed, "analysis hit caps for ", w->name);
+        if (!r.completed) {
+            *err = "analysis hit caps for " + w->name;
+            return false;
+        }
         if (!merged.initialCaptured()) {
             merged = std::move(*r.activity);
         } else {
@@ -215,9 +293,10 @@ BespokeFlow::tailorMulti(const std::vector<const Workload *> &apps)
         });
     // Keep the merged tracker with the result for callers that need it.
     last.activity = std::make_unique<ActivityTracker>(std::move(merged));
-    BespokeDesign d{std::move(bespoke_nl), cut, {}, std::move(last)};
-    d.metrics = measure(d.netlist, apps);
-    return d;
+    *out = BespokeDesign{std::move(bespoke_nl), cut, {},
+                         std::move(last)};
+    out->metrics = measure(out->netlist, apps);
+    return true;
 }
 
 BespokeDesign

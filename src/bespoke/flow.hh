@@ -77,12 +77,36 @@ struct FlowOptions
      * Like checkpointDir, excluded from hashFlowOptions().
      */
     uint64_t checkpointMaxBytes = 0;
+    /**
+     * In-process coordination shared with other flows on the same
+     * checkpoint directory (in-flight stage dedup + sweep lock): when
+     * several concurrent flows submit the same (netlist, program,
+     * options), the first computes each stage and the rest wait, then
+     * load the saved artifact. Null = the flow coordinates only with
+     * itself. Excluded from hashFlowOptions(), like checkpointDir.
+     */
+    std::shared_ptr<CheckpointCoordinator> checkpointCoordinator;
+    /**
+     * Invoked after each stage the flow actually *computes* (checkpoint
+     * hits skip it) with the stage name ("analysis", "design",
+     * "coarse", "metrics") and the wall seconds the computation took.
+     * Progress reporting only — excluded from hashFlowOptions(). Must
+     * be thread-safe if the flow is shared across threads.
+     */
+    std::function<void(const std::string &stage, double seconds)>
+        stageCallback;
 };
 
 class BespokeFlow
 {
   public:
     explicit BespokeFlow(FlowOptions opts = {});
+    /**
+     * Flow over an externally supplied baseline core (e.g. an imported
+     * netlist): it is drive-sized and timed exactly like the built-in
+     * core, and every checkpoint key hashes the sized input.
+     */
+    BespokeFlow(FlowOptions opts, Netlist baseline);
 
     const Netlist &baseline() const { return baseline_; }
     /** Clock period (ps) all designs are held to. */
@@ -97,6 +121,19 @@ class BespokeFlow
 
     /** Tailor to several applications (union of toggleable gates). */
     BespokeDesign tailorMulti(const std::vector<const Workload *> &apps);
+
+    /**
+     * tailor() that reports capped (incomplete) analysis through `err`
+     * instead of dying — the job scheduler's entry point, where one bad
+     * job must not take down the queue. Returns false (with *out
+     * untouched) iff analysis hit its caps.
+     */
+    bool tryTailor(const Workload &app, BespokeDesign *out,
+                   std::string *err);
+
+    /** tryTailor() over a workload set (union of toggleable gates). */
+    bool tryTailorMulti(const std::vector<const Workload *> &apps,
+                        BespokeDesign *out, std::string *err);
 
     /** Module-level coarse-grained baseline (paper Fig. 12). */
     BespokeDesign tailorCoarse(const Workload &app);

@@ -2,7 +2,7 @@
  * @file
  * Minimal JSON document model, writer, and recursive-descent parser.
  *
- * Exists for the golden bench baselines (bench/baselines/*.json): the
+ * Exists for the golden bench baselines (bench/baselines/): the
  * bench harnesses emit machine-readable results with dump() and the
  * --check mode re-reads committed baselines with parse(). Object member
  * order is preserved so dumps are deterministic and diffs are stable.

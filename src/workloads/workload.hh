@@ -91,6 +91,9 @@ const std::vector<Workload> &extendedWorkloads();
 /** Look up a workload by name across both sets; fatal if missing. */
 const Workload &workloadByName(const std::string &name);
 
+/** Like workloadByName(), but returns null instead of dying. */
+const Workload *findWorkload(const std::string &name);
+
 } // namespace bespoke
 
 #endif // BESPOKE_WORKLOADS_WORKLOAD_HH

@@ -369,22 +369,31 @@ extendedWorkloads()
     return ext;
 }
 
-const Workload &
-workloadByName(const std::string &name)
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const Workload &w : workloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
     for (const Workload &w : extraWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
     for (const Workload &w : extendedWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
-    bespoke_fatal("no workload named '", name, "'");
+    return nullptr;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    const Workload *w = findWorkload(name);
+    if (!w)
+        bespoke_fatal("no workload named '", name, "'");
+    return *w;
 }
 
 } // namespace bespoke

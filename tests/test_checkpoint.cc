@@ -12,8 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "src/bespoke/checkpoint.hh"
 #include "src/bespoke/flow.hh"
@@ -439,6 +442,90 @@ TEST(Checkpoint, DisabledStoreIsInert)
     store.save({1, 2, 3}, "analysis", JsonValue::object());
     EXPECT_EQ(store.hits(), 0u);
     EXPECT_EQ(store.misses(), 0u);
+    // Disabled stores hand out empty stage locks: nothing to wait on.
+    StageLock lock = store.lockStage({1, 2, 3}, "analysis");
+    EXPECT_FALSE(lock.waited());
+}
+
+TEST(Checkpoint, ConcurrentSameKeySaversNeverTearAReader)
+{
+    // Two writers race atomic saves of the same artifact while a
+    // reader loops loads. Writer-unique temp files mean every rename
+    // publishes a complete document: the reader must never see a
+    // missing, truncated, or interleaved file. (The old shared
+    // `<final>.tmp` name tore exactly this pattern.)
+    std::string dir = freshDir("concurrent_save");
+    CheckpointStore store(dir);
+    CheckpointKey key{7, 7, 7};
+    JsonValue doc = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    for (int i = 0; i < 4000; i++)
+        arr.push(JsonValue::number(i * 1.5));
+    doc.set("payload", std::move(arr));
+    const std::string want = doc.dump();
+    store.save(key, "metrics", doc);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    auto writer = [&] {
+        while (!stop.load())
+            store.save(key, "metrics", doc);
+    };
+    std::thread w1(writer), w2(writer);
+    std::thread reader([&] {
+        while (!stop.load()) {
+            JsonValue out;
+            if (!store.load(key, "metrics", &out) ||
+                out.dump() != want)
+                torn.fetch_add(1);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    stop.store(true);
+    w1.join();
+    w2.join();
+    reader.join();
+    EXPECT_EQ(torn.load(), 0);
+
+    // The racing renames must not leak temp files either.
+    size_t tmps = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        tmps += e.path().filename().string().find(".tmp.") !=
+                std::string::npos;
+    EXPECT_EQ(tmps, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Checkpoint, StageLockFirstRunnerComputesOthersWait)
+{
+    std::string dir = freshDir("stage_lock");
+    auto coord = std::make_shared<CheckpointCoordinator>();
+    // Two stores (two "jobs") sharing one coordinator: the in-flight
+    // table spans stores while hit/miss counters stay per-store.
+    CheckpointStore a(dir, 0, coord);
+    CheckpointStore b(dir, 0, coord);
+    CheckpointKey key{1, 2, 3};
+
+    StageLock first = a.lockStage(key, "metrics");
+    EXPECT_FALSE(first.waited());
+
+    std::atomic<bool> granted{false};
+    std::thread t([&] {
+        StageLock second = b.lockStage(key, "metrics");
+        EXPECT_TRUE(second.waited());
+        granted.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_FALSE(granted.load());
+
+    // A different artifact is never blocked.
+    StageLock other = b.lockStage(key, "analysis");
+    EXPECT_FALSE(other.waited());
+
+    first.release();
+    t.join();
+    EXPECT_TRUE(granted.load());
+    fs::remove_all(dir);
 }
 
 } // namespace

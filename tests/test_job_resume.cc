@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Graceful resume of killed batch runs (suite deliberately named
+ * JobResume so the TSan CI shard, which runs JobScheduler|Checkpoint,
+ * does not pick up the fork+SIGKILL machinery).
+ *
+ * A child process runs a serial job queue against a checkpoint
+ * directory and is SIGKILLed right after its first job completes —
+ * mid-queue, with later jobs never started. Rerunning the same queue
+ * against the same directory must (a) produce deterministic results
+ * bit-identical to an uninterrupted run on a fresh store, and (b)
+ * short-circuit the already-completed job entirely from checkpoints:
+ * all stage artifacts hit, nothing recomputed.
+ */
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/job_scheduler.hh"
+
+namespace fs = std::filesystem;
+
+namespace bespoke
+{
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "bespoke_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::vector<JobSpec>
+resumeQueue()
+{
+    std::vector<JobSpec> queue;
+    for (const char *app : {"mult", "div", "binSearch"}) {
+        JobSpec spec;
+        spec.id = std::string("tailor-") + app;
+        spec.kind = "tailor";
+        spec.apps = {app};
+        queue.push_back(std::move(spec));
+    }
+    return queue;
+}
+
+SchedulerOptions
+serialOpts(const std::string &dir)
+{
+    SchedulerOptions sopts;
+    sopts.jobThreads = 1;
+    sopts.workerThreads = 1;
+    sopts.checkpointDir = dir;
+    sopts.flow.powerInputsPerWorkload = 1;
+    return sopts;
+}
+
+std::vector<JobResult>
+runSerial(const std::vector<JobSpec> &queue, const std::string &dir)
+{
+    JobScheduler sched(serialOpts(dir));
+    for (const JobSpec &spec : queue)
+        sched.submit(spec);
+    return sched.finish();
+}
+
+TEST(JobResume, KilledBatchResumesBitIdenticalAndShortCircuits)
+{
+    std::string dir = freshDir("job_resume");
+    std::string sentinel = freshDir("job_resume_sentinel");
+    std::vector<JobSpec> queue = resumeQueue();
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: run the queue serially; after the first job_done,
+        // publish which job finished and stall so the parent's SIGKILL
+        // lands mid-queue (job 2 running or not started, queue alive).
+        SchedulerOptions sopts = serialOpts(dir);
+        sopts.progress = [&](const JsonValue &ev) {
+            if (ev.find("event")->asString() != "job_done")
+                return;
+            std::string tmp = sentinel + ".tmp";
+            std::ofstream(tmp) << ev.find("job")->asString();
+            fs::rename(tmp, sentinel);
+            for (;;)
+                pause();
+        };
+        JobScheduler sched(std::move(sopts));
+        for (const JobSpec &spec : queue)
+            sched.submit(spec);
+        sched.finish();
+        _exit(0);
+    }
+
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (!fs::exists(sentinel)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "child never completed its first job";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    std::string first_done;
+    std::ifstream(sentinel) >> first_done;
+    ASSERT_EQ(first_done, "tailor-mult");
+
+    // Reference: the same queue uninterrupted on a fresh store.
+    std::string ref_dir = freshDir("job_resume_ref");
+    std::vector<JobResult> reference = runSerial(queue, ref_dir);
+
+    // Resume: rerun the killed batch against its directory.
+    std::vector<JobResult> resumed = runSerial(queue, dir);
+
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (size_t i = 0; i < resumed.size(); i++) {
+        EXPECT_TRUE(resumed[i].ok) << resumed[i].error;
+        EXPECT_EQ(resumed[i].deterministicJson().dump(),
+                  reference[i].deterministicJson().dump())
+            << "job " << reference[i].id;
+    }
+
+    // The job that completed before the kill replays purely from the
+    // store: every stage artifact hits, nothing is recomputed.
+    EXPECT_EQ(resumed[0].id, first_done);
+    EXPECT_EQ(resumed[0].stages.size(), 0u);
+    EXPECT_GE(resumed[0].checkpointHits, 3u);
+    EXPECT_EQ(resumed[0].checkpointMisses, 0u);
+
+    fs::remove_all(dir);
+    fs::remove_all(ref_dir);
+    fs::remove(sentinel);
+}
+
+} // namespace
+} // namespace bespoke
