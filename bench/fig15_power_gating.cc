@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.hh"
 #include "src/bespoke/flow.hh"
+#include "src/gating/clock_gating.hh"
 #include "src/gating/power_gating.hh"
 
 using namespace bespoke;
@@ -33,26 +34,33 @@ main(int argc, char **argv)
     BespokeFlow flow(opts);
 
     Table table({"benchmark", "oracle gating savings %",
-                 "bespoke power savings %", "bespoke advantage (x)"});
+                 "clock gating savings %", "bespoke power savings %",
+                 "bespoke advantage (x)"});
     for (const Workload &w : workloads()) {
         GatingResult g = evaluateOracleGating(
             flow.baseline(), w, inputs, 77, opts.power, opts.timing,
             io.planeBits());
+        // Realizable counterpart to the oracle: ICGs on rarely-written
+        // register banks of the same baseline core, overhead included.
+        ClockGatingReport cg = evaluateClockGating(
+            flow.baseline(), w, inputs, 77, {}, opts.power);
         DesignMetrics base = flow.measureBaseline({&w});
         BespokeDesign d = flow.tailor(w);
+        double base_uw = base.powerNominal.totalUW();
         double bespoke_save =
-            savingsPct(base.powerNominal.totalUW(),
-                       d.metrics.powerNominal.totalUW());
+            savingsPct(base_uw, d.metrics.powerNominal.totalUW());
         table.row()
             .add(w.name)
             .add(g.savingsPercent(), 1)
+            .add(100.0 * cg.savedClockUW / base_uw, 1)
             .add(bespoke_save, 1)
             .add(bespoke_save / std::max(g.savingsPercent(), 0.01), 1);
     }
     io.table("power_gating", table,
              "Oracular (zero-overhead, instant-wake) module power "
-             "gating.\nPaper: gating saves <13% on every "
-             "application; the minimum bespoke power\nreduction "
+             "gating vs. realizable\nregister-bank clock gating "
+             "(ICG overhead charged).\nPaper: gating saves <13% on "
+             "every application; the minimum bespoke power\nreduction "
              "(37%) beats the maximum gating reduction.");
     return io.finish();
 }

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cost-driven re-synthesis: the pass pipeline's optional passes
+ * (datapath rewrite search + activity-driven clock gating) against the
+ * fixed-microarchitecture tailoring flow.
+ *
+ * For every benchmark the fixed flow cuts and re-synthesizes with the
+ * datapath shapes the generator chose (one AdderKind everywhere); the
+ * pipeline flow additionally re-scores every recorded adder / mux-tree
+ * instance under the activity x timing cost model and plans ICGs for
+ * rarely-written register banks. Reported power is the design's
+ * activity-weighted total at its scaled Vmin, minus the clock-tree
+ * power the gating plan removes; "verified" is the symbolic
+ * equivalence of the optimized design against the baseline core, so
+ * every power win in the table is a win on a provably equivalent
+ * design.
+ */
+
+#include "bench/bench_common.hh"
+#include "src/bespoke/equiv_check.hh"
+#include "src/bespoke/flow.hh"
+
+using namespace bespoke;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    BenchIO io(argc, argv, "resynth_cost");
+    int inputs = io.quick() ? 1 : 2;
+
+    banner("Cost-driven rewrite search + clock gating vs. fixed flow",
+           "pass pipeline");
+
+    FlowOptions fixed_opts;
+    fixed_opts.analysis.threads = io.threads();
+    fixed_opts.analysis.laneWidth = io.lanes();
+    fixed_opts.analysis.planeBits = io.planeBits();
+    fixed_opts.planeBits = io.planeBits();
+    fixed_opts.checkpointDir = io.checkpointDir();
+    fixed_opts.checkpointMaxBytes = io.checkpointMaxBytes();
+    fixed_opts.powerInputsPerWorkload = inputs;
+
+    FlowOptions opt_opts = fixed_opts;
+    opt_opts.passes.rewriteSearch = true;
+    opt_opts.passes.clockGating = true;
+
+    BespokeFlow fixed_flow(fixed_opts);
+    BespokeFlow opt_flow(opt_opts);
+    double vnom = fixed_opts.power.voltage;
+
+    size_t improved = 0;
+    Table table({"benchmark", "fixed uW", "pipeline uW", "delta %",
+                 "rewrites", "gated banks", "gated flops", "verified"});
+    for (const Workload &w : workloads()) {
+        BespokeDesign fixed = fixed_flow.tailor(w);
+        BespokeDesign opt = opt_flow.tailor(w);
+
+        double fixed_uw = fixed.metrics.powerAtVmin.totalUW();
+        // The gating plan's savings are quoted at nominal voltage;
+        // the gated design runs at the optimized design's Vmin.
+        double vscale = (opt.metrics.vmin / vnom) *
+                        (opt.metrics.vmin / vnom);
+        double opt_uw = opt.metrics.powerAtVmin.totalUW() -
+                        opt.pipeline.gating.savedClockUW * vscale;
+        if (opt_uw < fixed_uw)
+            improved++;
+
+        EquivResult eq = checkSymbolicEquivalence(
+            fixed_flow.baseline(), opt.netlist, w.assembleProgram());
+
+        table.row()
+            .add(w.name)
+            .add(fixed_uw, 2)
+            .add(opt_uw, 2)
+            .add(100.0 * (opt_uw - fixed_uw) / fixed_uw, 2)
+            .add(static_cast<long>(opt.pipeline.rewrittenInstances))
+            .add(static_cast<long>(opt.pipeline.gating.banks.size()))
+            .add(static_cast<long>(opt.pipeline.gating.gatedFlops()))
+            .add(eq.equivalent && eq.completed ? "yes" : "NO");
+    }
+    io.table("resynth_cost", table,
+             "Activity-weighted power at Vmin: fixed-shape tailoring "
+             "vs. the cost-driven\npass pipeline (rewrite search + "
+             "clock gating). Every optimized design is\nsymbolically "
+             "equivalent to the baseline core for its application.");
+
+    Table summary({"designs", "strictly lower power"});
+    summary.row()
+        .add(static_cast<long>(workloads().size()))
+        .add(static_cast<long>(improved));
+    io.table("summary", summary,
+             "Benchmarks where the pipeline beats the fixed flow "
+             "outright.");
+    return io.finish();
+}

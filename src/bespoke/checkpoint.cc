@@ -395,6 +395,7 @@ hashFlowOptions(const FlowOptions &opts)
     f.f64(p.voltage);
     f.f64(p.clockPinCap);
     f.f64(p.clockTreeFactor);
+    f.u64(hashPassPipelineOptions(opts.passes));
     return f.h;
 }
 
@@ -538,8 +539,137 @@ analysisFromJson(const JsonValue &doc, const Netlist &netlist,
     return true;
 }
 
+namespace
+{
+
 JsonValue
-designToJson(const Netlist &sized, const CutStats &cut)
+pipelineToJson(const PipelineReport &rep)
+{
+    JsonValue jp = JsonValue::object();
+    JsonValue passes = JsonValue::array();
+    for (const PassStats &s : rep.passes) {
+        JsonValue js = JsonValue::array();
+        js.push(JsonValue::str(s.name));
+        js.push(JsonValue::number(static_cast<double>(s.changes)));
+        js.push(JsonValue::number(static_cast<double>(s.gatesBefore)));
+        js.push(JsonValue::number(static_cast<double>(s.gatesAfter)));
+        js.push(JsonValue::number(s.powerBeforeUW));
+        js.push(JsonValue::number(s.powerAfterUW));
+        js.push(JsonValue::number(s.depthBeforePs));
+        js.push(JsonValue::number(s.depthAfterPs));
+        js.push(JsonValue::number(s.wallMs));
+        passes.push(std::move(js));
+    }
+    jp.set("passes", std::move(passes));
+    jp.set("rewritten",
+           JsonValue::number(static_cast<double>(rep.rewrittenInstances)));
+    JsonValue jg = JsonValue::object();
+    jg.set("candidate_banks",
+           JsonValue::number(
+               static_cast<double>(rep.gating.candidateBanks)));
+    jg.set("cycles", JsonValue::number(static_cast<double>(
+                         rep.gating.cyclesObserved)));
+    jg.set("saved_uw", JsonValue::number(rep.gating.savedClockUW));
+    JsonValue banks = JsonValue::array();
+    for (const GatedBank &b : rep.gating.banks) {
+        JsonValue jb = JsonValue::array();
+        jb.push(JsonValue::number(static_cast<double>(b.enable)));
+        jb.push(JsonValue::number(static_cast<double>(b.flops)));
+        jb.push(JsonValue::number(b.duty));
+        jb.push(JsonValue::number(b.savedUW));
+        banks.push(std::move(jb));
+    }
+    jg.set("banks", std::move(banks));
+    jp.set("gating", std::move(jg));
+    return jp;
+}
+
+bool
+pipelineFromJson(const JsonValue &jp, PipelineReport *out,
+                 std::string *err)
+{
+    if (!jp.isObject()) {
+        *err = "\"pipeline\" is not an object";
+        return false;
+    }
+    PipelineReport rep;
+    const JsonValue *passes = jp.find("passes");
+    if (!passes || !passes->isArray()) {
+        *err = "pipeline: missing \"passes\" array";
+        return false;
+    }
+    for (const JsonValue &js : passes->items()) {
+        if (!js.isArray() || js.items().size() != 9 ||
+            !js.items()[0].isString()) {
+            *err = "pipeline: malformed pass entry";
+            return false;
+        }
+        for (size_t i = 1; i < 9; i++) {
+            if (!js.items()[i].isNumber()) {
+                *err = "pipeline: malformed pass entry";
+                return false;
+            }
+        }
+        PassStats s;
+        s.name = js.items()[0].asString();
+        s.changes = static_cast<size_t>(js.items()[1].asNumber());
+        s.gatesBefore = static_cast<size_t>(js.items()[2].asNumber());
+        s.gatesAfter = static_cast<size_t>(js.items()[3].asNumber());
+        s.powerBeforeUW = js.items()[4].asNumber();
+        s.powerAfterUW = js.items()[5].asNumber();
+        s.depthBeforePs = js.items()[6].asNumber();
+        s.depthAfterPs = js.items()[7].asNumber();
+        s.wallMs = js.items()[8].asNumber();
+        rep.passes.push_back(std::move(s));
+    }
+    uint64_t rewritten = 0;
+    if (!getCount(jp, "rewritten", &rewritten, err))
+        return false;
+    rep.rewrittenInstances = static_cast<size_t>(rewritten);
+    const JsonValue *jg = jp.find("gating");
+    if (!jg || !jg->isObject()) {
+        *err = "pipeline: missing \"gating\" object";
+        return false;
+    }
+    uint64_t cand = 0, cycles = 0;
+    if (!getCount(*jg, "candidate_banks", &cand, err) ||
+        !getCount(*jg, "cycles", &cycles, err) ||
+        !getDouble(*jg, "saved_uw", &rep.gating.savedClockUW, err))
+        return false;
+    rep.gating.candidateBanks = static_cast<size_t>(cand);
+    rep.gating.cyclesObserved = cycles;
+    const JsonValue *banks = jg->find("banks");
+    if (!banks || !banks->isArray()) {
+        *err = "pipeline: missing \"banks\" array";
+        return false;
+    }
+    for (const JsonValue &jb : banks->items()) {
+        if (!jb.isArray() || jb.items().size() != 4) {
+            *err = "pipeline: malformed bank entry";
+            return false;
+        }
+        for (const JsonValue &v : jb.items()) {
+            if (!v.isNumber()) {
+                *err = "pipeline: malformed bank entry";
+                return false;
+            }
+        }
+        GatedBank b;
+        b.enable = static_cast<GateId>(jb.items()[0].asNumber());
+        b.flops = static_cast<size_t>(jb.items()[1].asNumber());
+        b.duty = jb.items()[2].asNumber();
+        b.savedUW = jb.items()[3].asNumber();
+        rep.gating.banks.push_back(b);
+    }
+    *out = std::move(rep);
+    return true;
+}
+
+} // namespace
+
+JsonValue
+designToJson(const Netlist &sized, const CutStats &cut,
+             const PipelineReport *pipeline)
 {
     JsonValue doc = stageDoc("design");
     JsonValue jc = JsonValue::object();
@@ -550,13 +680,15 @@ designToJson(const Netlist &sized, const CutStats &cut)
     jc.set("gates_after",
            JsonValue::number(static_cast<double>(cut.gatesAfter)));
     doc.set("cut", std::move(jc));
+    if (pipeline)
+        doc.set("pipeline", pipelineToJson(*pipeline));
     doc.set("netlist", netlistToJson(sized));
     return doc;
 }
 
 bool
 designFromJson(const JsonValue &doc, Netlist *netlist, CutStats *cut,
-               std::string *err)
+               std::string *err, PipelineReport *pipeline)
 {
     if (!checkEnvelope(doc, "design", err))
         return false;
@@ -569,6 +701,12 @@ designFromJson(const JsonValue &doc, Netlist *netlist, CutStats *cut,
     if (!getCount(*jc, "gates_before", &before, err) ||
         !getCount(*jc, "gates_cut_direct", &direct, err) ||
         !getCount(*jc, "gates_after", &after, err))
+        return false;
+    // Pre-pipeline artifacts have no "pipeline" section: restore an
+    // empty report rather than failing the load.
+    PipelineReport rep;
+    const JsonValue *jp = doc.find("pipeline");
+    if (jp && !pipelineFromJson(*jp, &rep, err))
         return false;
     const JsonValue *jn = doc.find("netlist");
     if (!jn) {
@@ -583,6 +721,8 @@ designFromJson(const JsonValue &doc, Netlist *netlist, CutStats *cut,
     cut->gatesBefore = static_cast<size_t>(before);
     cut->gatesCutDirect = static_cast<size_t>(direct);
     cut->gatesAfter = static_cast<size_t>(after);
+    if (pipeline)
+        *pipeline = std::move(rep);
     *netlist = std::move(res.netlist);
     return true;
 }

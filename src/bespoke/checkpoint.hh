@@ -41,6 +41,7 @@
 #include "src/analysis/activity_analysis.hh"
 #include "src/isa/assembler.hh"
 #include "src/transform/bespoke_transform.hh"
+#include "src/transform/pass_pipeline.hh"
 #include "src/util/json.hh"
 
 namespace bespoke
@@ -246,10 +247,17 @@ JsonValue analysisToJson(const AnalysisResult &r);
 bool analysisFromJson(const JsonValue &doc, const Netlist &netlist,
                       AnalysisResult *out, std::string *err);
 
-/** Design artifact: the cut, stitched, re-sized netlist + cut stats. */
-JsonValue designToJson(const Netlist &sized, const CutStats &cut);
+/**
+ * Design artifact: the cut, stitched, re-sized netlist + cut stats,
+ * plus (optionally) the pipeline report that produced it. A null
+ * `pipeline` writes/accepts artifacts without the report section, so
+ * pre-pipeline artifacts stay loadable (they restore an empty report).
+ */
+JsonValue designToJson(const Netlist &sized, const CutStats &cut,
+                       const PipelineReport *pipeline = nullptr);
 bool designFromJson(const JsonValue &doc, Netlist *netlist,
-                    CutStats *cut, std::string *err);
+                    CutStats *cut, std::string *err,
+                    PipelineReport *pipeline = nullptr);
 
 /** Metrics artifact: a DesignMetrics, doubles preserved exactly. */
 JsonValue metricsToJson(const DesignMetrics &m);

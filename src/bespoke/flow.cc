@@ -185,9 +185,10 @@ BespokeFlow::analyzeProgram(const AsmProgram &prog,
 }
 
 Netlist
-BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
-                          CutStats *cut,
-                          const std::function<Netlist(CutStats *)> &build)
+BespokeFlow::obtainDesign(
+    uint64_t program_hash, const char *stage, CutStats *cut,
+    PipelineReport *report,
+    const std::function<Netlist(CutStats *, PipelineReport *)> &build)
 {
     CheckpointKey key{baselineHash_, program_hash, flowOptsHash_};
     StageLock in_flight;
@@ -197,7 +198,7 @@ BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
             if (!store_.load(key, stage, &doc))
                 return false;
             std::string err;
-            if (designFromJson(doc, out, cut, &err))
+            if (designFromJson(doc, out, cut, &err, report))
                 return true;
             bespoke_warn("checkpoint ", stage, ": ", err,
                          "; re-cutting");
@@ -211,15 +212,72 @@ BespokeFlow::obtainDesign(uint64_t program_hash, const char *stage,
             return cached;
     }
     auto t0 = std::chrono::steady_clock::now();
-    Netlist netlist = build(cut);
+    Netlist netlist = build(cut, report);
     // Re-size for the (smaller) loads: the paper's slack-driven
     // replacement with smaller cells falls out of re-running sizing.
     sizeForLoads(netlist, opts_.timing);
     if (opts_.stageCallback)
         opts_.stageCallback(stage, secondsSince(t0));
     if (store_.enabled())
-        store_.save(key, stage, designToJson(netlist, *cut));
+        store_.save(key, stage, designToJson(netlist, *cut, report));
     return netlist;
+}
+
+PassEnv
+BespokeFlow::makePassEnv(std::vector<const Workload *> apps) const
+{
+    PassEnv env;
+    env.timing = &opts_.timing;
+    env.power = &opts_.power;
+    env.clockPeriodPs = clockPeriodPs_;
+    int inputs = opts_.powerInputsPerWorkload;
+    uint64_t seed = opts_.powerSeed;
+    int plane_bits = opts_.planeBits;
+    // Activity provider: the same lane-batched replay measure() uses
+    // for the final power numbers, so the rewrite search optimizes the
+    // metric the flow actually reports.
+    env.measureActivity = [apps, inputs, seed, plane_bits](
+                              const Netlist &nl, ToggleCounter *tc) {
+        std::shared_ptr<const SocContext> ctx = SocContext::make(nl);
+        GateBatchObservers obs;
+        obs.toggles = tc;
+        Rng rng(seed);
+        for (const Workload *w : apps) {
+            AsmProgram prog = w->assembleProgram();
+            std::vector<WorkloadInput> in;
+            for (int i = 0; i < inputs; i++)
+                in.push_back(w->genInput(rng));
+            runWorkloadGateBatch(nl, *w, prog, in, plane_bits, obs, ctx);
+        }
+    };
+    // Duty provider: scalar replay sampling the requested enable nets
+    // every cycle (X counts as high — a maybe-writing bank cannot be
+    // gated).
+    env.measureDuty = [apps, inputs, seed](
+                          const Netlist &nl,
+                          const std::vector<GateId> &ids,
+                          std::vector<uint64_t> *high,
+                          uint64_t *cycles) {
+        high->assign(ids.size(), 0);
+        *cycles = 0;
+        Rng rng(seed);
+        auto per_cycle = [&](const GateSim &sim) {
+            (*cycles)++;
+            for (size_t k = 0; k < ids.size(); k++) {
+                if (sim.value(ids[k]) != Logic::Zero)
+                    (*high)[k]++;
+            }
+        };
+        for (const Workload *w : apps) {
+            AsmProgram prog = w->assembleProgram();
+            for (int i = 0; i < inputs; i++) {
+                WorkloadInput in = w->genInput(rng);
+                runWorkloadGate(nl, *w, prog, in, nullptr, nullptr,
+                                per_cycle);
+            }
+        }
+    };
+    return env;
 }
 
 BespokeDesign
@@ -242,14 +300,16 @@ BespokeFlow::tryTailor(const Workload &app, BespokeDesign *out,
         return false;
     }
     CutStats cut;
-    Netlist bespoke_nl =
-        obtainDesign(hashProgram(prog), "design", &cut,
-                     [&](CutStats *c) {
-                         return cutAndStitch(baseline_,
-                                             *analysis.activity, c);
-                     });
+    PipelineReport report;
+    Netlist bespoke_nl = obtainDesign(
+        hashProgram(prog), "design", &cut, &report,
+        [&](CutStats *c, PipelineReport *r) {
+            PassEnv env = makePassEnv({&app});
+            return runTailorPipeline(baseline_, analysis.activity.get(),
+                                     opts_.passes, env, c, r);
+        });
     *out = BespokeDesign{std::move(bespoke_nl), cut, {},
-                         std::move(analysis)};
+                         std::move(analysis), std::move(report)};
     out->metrics = measure(out->netlist, {&app});
     return true;
 }
@@ -287,14 +347,18 @@ BespokeFlow::tryTailorMulti(const std::vector<const Workload *> &apps,
         last = std::move(r);
     }
     CutStats cut;
-    Netlist bespoke_nl =
-        obtainDesign(progs, "design", &cut, [&](CutStats *c) {
-            return cutAndStitch(baseline_, merged, c);
+    PipelineReport report;
+    Netlist bespoke_nl = obtainDesign(
+        progs, "design", &cut, &report,
+        [&](CutStats *c, PipelineReport *r) {
+            PassEnv env = makePassEnv(apps);
+            return runTailorPipeline(baseline_, &merged, opts_.passes,
+                                     env, c, r);
         });
     // Keep the merged tracker with the result for callers that need it.
     last.activity = std::make_unique<ActivityTracker>(std::move(merged));
     *out = BespokeDesign{std::move(bespoke_nl), cut, {},
-                         std::move(last)};
+                         std::move(last), std::move(report)};
     out->metrics = measure(out->netlist, apps);
     return true;
 }
@@ -307,15 +371,22 @@ BespokeFlow::tailorCoarse(const Workload &app)
     bespoke_assert(analysis.completed,
                    "analysis hit caps for ", app.name);
     CutStats cut;
+    PipelineReport report;
     // Module-level cutting shares the flow options with the
     // fine-grained design, so the artifact lives under its own stage.
-    Netlist coarse =
-        obtainDesign(hashProgram(prog), "coarse", &cut,
-                     [&](CutStats *c) {
-                         return cutWholeModules(baseline_,
-                                                *analysis.activity, c);
-                     });
-    BespokeDesign d{std::move(coarse), cut, {}, std::move(analysis)};
+    // The coarse baseline always runs the module-cut default pipeline:
+    // it exists as the paper's Fig. 12 comparison point, not as a
+    // target for the optional optimization passes.
+    Netlist coarse = obtainDesign(
+        hashProgram(prog), "coarse", &cut, &report,
+        [&](CutStats *c, PipelineReport *r) {
+            PassPipelineOptions coarse_opts;
+            coarse_opts.moduleCut = true;
+            return runTailorPipeline(baseline_, analysis.activity.get(),
+                                     coarse_opts, {}, c, r);
+        });
+    BespokeDesign d{std::move(coarse), cut, {}, std::move(analysis),
+                    std::move(report)};
     d.metrics = measure(d.netlist, {&app});
     return d;
 }

@@ -22,6 +22,7 @@
 #include "src/bespoke/checkpoint.hh"
 #include "src/power/power_model.hh"
 #include "src/transform/bespoke_transform.hh"
+#include "src/transform/pass_pipeline.hh"
 #include "src/workloads/workload.hh"
 
 namespace bespoke
@@ -47,6 +48,9 @@ struct BespokeDesign
     CutStats cut;
     DesignMetrics metrics;
     AnalysisResult analysis;  ///< analysis of the *last* application
+    /** What the tailoring pipeline did (per-pass stats, rewrite count,
+     *  clock-gating plan). Restored from checkpointed designs. */
+    PipelineReport pipeline;
 };
 
 struct FlowOptions
@@ -64,6 +68,13 @@ struct FlowOptions
     int planeBits = 0;
     TimingParams timing;
     PowerParams power;
+    /**
+     * Tailoring pass pipeline configuration. The default reproduces the
+     * historical cut + re-synthesis flow bit-identically; enabling the
+     * optional passes (rewrite search, clock gating) changes design
+     * artifacts, so the configuration is part of hashFlowOptions().
+     */
+    PassPipelineOptions passes;
     /**
      * When non-empty, stage artifacts (analysis, cut design, metrics)
      * are persisted here and reused by later runs with matching
@@ -159,12 +170,23 @@ class BespokeFlow
                                   const std::string &name);
     /**
      * Cut-design stage with checkpointing: load the sized bespoke
-     * netlist for (baseline, program set, options) from the store, or
-     * run `build` + sizeForLoads and save the result.
+     * netlist (and its pipeline report) for (baseline, program set,
+     * options) from the store, or run `build` + sizeForLoads and save
+     * the result.
      */
-    Netlist obtainDesign(uint64_t program_hash, const char *stage,
-                         CutStats *cut,
-                         const std::function<Netlist(CutStats *)> &build);
+    Netlist obtainDesign(
+        uint64_t program_hash, const char *stage, CutStats *cut,
+        PipelineReport *report,
+        const std::function<Netlist(CutStats *, PipelineReport *)>
+            &build);
+    /**
+     * Pass environment for the tailoring pipeline: flow model
+     * parameters, the baseline clock budget, and replay providers over
+     * `apps` mirroring measure()'s power replay (same seed and input
+     * count, so rewrite-search scores are measured the same way the
+     * final design is).
+     */
+    PassEnv makePassEnv(std::vector<const Workload *> apps) const;
 
     FlowOptions opts_;
     Netlist baseline_;

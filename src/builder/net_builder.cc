@@ -248,15 +248,31 @@ AddResult
 NetBuilder::adder(const Bus &a, const Bus &b, GateId carryIn)
 {
     bespoke_assert(!a.empty() && a.size() == b.size());
+    AddResult r;
     switch (adderKind_) {
     case AdderKind::CarryLookahead:
-        return adderCla(a, b, carryIn);
+        r = adderCla(a, b, carryIn);
+        break;
     case AdderKind::CarrySelect:
-        return adderCsel(a, b, carryIn);
-    case AdderKind::Ripple:
+        r = adderCsel(a, b, carryIn);
+        break;
+    default:
+        r = adderRipple(a, b, carryIn);
         break;
     }
-    return adderRipple(a, b, carryIn);
+    DatapathInstance inst;
+    inst.kind = InstanceKind::Adder;
+    inst.module = module_;
+    inst.variant = static_cast<uint8_t>(adderKind_);
+    inst.shape = {static_cast<uint32_t>(a.size())};
+    inst.inputs = a;
+    inst.inputs.insert(inst.inputs.end(), b.begin(), b.end());
+    inst.inputs.push_back(carryIn);
+    inst.outputs = r.sum;
+    inst.outputs.insert(inst.outputs.end(), r.carries.begin(),
+                        r.carries.end());
+    nl_.addInstance(std::move(inst));
+    return r;
 }
 
 AddResult
@@ -512,6 +528,19 @@ NetBuilder::muxTree(const Bus &sel, const std::vector<Bus> &choices)
         if (level.size() % 2)
             next.push_back(level.back());
         level = next;
+    }
+    if (choices.size() > 1) {
+        DatapathInstance inst;
+        inst.kind = InstanceKind::MuxTree;
+        inst.module = module_;
+        inst.shape = {static_cast<uint32_t>(sel.size()),
+                      static_cast<uint32_t>(choices.size()),
+                      static_cast<uint32_t>(width)};
+        inst.inputs = sel;
+        for (const Bus &c : choices)
+            inst.inputs.insert(inst.inputs.end(), c.begin(), c.end());
+        inst.outputs = level[0];
+        nl_.addInstance(std::move(inst));
     }
     return level[0];
 }

@@ -1,0 +1,115 @@
+#include "src/gating/clock_gating.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/logging.hh"
+#include "src/verify/runner.hh"
+
+namespace bespoke
+{
+
+double
+perFlopClockUW(const PowerParams &power)
+{
+    // One clock pin, two transitions per cycle (the clock term in
+    // computePower() divided by the flop count).
+    double v2 = power.voltage * power.voltage;
+    double f_hz = power.frequencyMHz * 1e6;
+    return 0.5 * 2.0 * power.clockPinCap * power.clockTreeFactor * v2 *
+           f_hz * 1e-9;
+}
+
+std::vector<EnableBank>
+enumerateEnableBanks(const Netlist &nl)
+{
+    std::map<GateId, std::vector<GateId>> by_enable;
+    for (GateId i = 0; i < nl.size(); i++) {
+        const Gate &g = nl.gate(i);
+        if (g.type == CellType::DFFE)
+            by_enable[g.in[1]].push_back(i);
+    }
+    std::vector<EnableBank> banks;
+    for (auto &[en, flops] : by_enable) {
+        EnableBank b;
+        b.enable = en;
+        b.flops = std::move(flops);
+        banks.push_back(std::move(b));
+    }
+    return banks;
+}
+
+ClockGatingReport
+planClockGating(const std::vector<EnableBank> &banks,
+                const std::vector<uint64_t> &enableHigh, uint64_t cycles,
+                const ClockGatingOptions &opts, const PowerParams &power)
+{
+    bespoke_assert(enableHigh.size() == banks.size(),
+                   "duty vector does not match bank list");
+    bespoke_assert(cycles > 0, "no cycles observed for gating plan");
+
+    ClockGatingReport rep;
+    rep.candidateBanks = banks.size();
+    rep.cyclesObserved = cycles;
+    double per_flop = perFlopClockUW(power);
+    for (size_t k = 0; k < banks.size(); k++) {
+        const EnableBank &b = banks[k];
+        double duty = static_cast<double>(enableHigh[k]) /
+                      static_cast<double>(cycles);
+        if (b.flops.size() < opts.minBankBits || duty > opts.maxDuty)
+            continue;
+        double saved =
+            ((1.0 - duty) * static_cast<double>(b.flops.size()) -
+             opts.icgFlopEquivalents) *
+            per_flop;
+        if (saved <= 0.0)
+            continue;
+        GatedBank gb;
+        gb.enable = b.enable;
+        gb.flops = b.flops.size();
+        gb.duty = duty;
+        gb.savedUW = saved;
+        rep.savedClockUW += saved;
+        rep.banks.push_back(gb);
+    }
+    return rep;
+}
+
+ClockGatingReport
+evaluateClockGating(const Netlist &nl, const Workload &w, int inputs,
+                    uint64_t seed, const ClockGatingOptions &opts,
+                    const PowerParams &power)
+{
+    std::vector<EnableBank> banks = enumerateEnableBanks(nl);
+    std::vector<uint64_t> high(banks.size(), 0);
+    uint64_t cycles = 0;
+
+    if (!banks.empty()) {
+        AsmProgram prog = w.assembleProgram();
+        Rng rng(seed);
+        auto per_cycle = [&](const GateSim &sim) {
+            cycles++;
+            for (size_t k = 0; k < banks.size(); k++) {
+                Logic v = sim.value(banks[k].enable);
+                if (v != Logic::Zero)
+                    high[k]++;  // X counts as high (cannot gate)
+            }
+        };
+        for (int i = 0; i < inputs; i++) {
+            WorkloadInput in = w.genInput(rng);
+            GateRun run = runWorkloadGate(nl, w, prog, in, nullptr,
+                                          nullptr, per_cycle);
+            if (!run.halted)
+                bespoke_warn("clock-gating run of ", w.name,
+                             " did not halt");
+        }
+    }
+    if (cycles == 0) {
+        ClockGatingReport rep;
+        rep.candidateBanks = banks.size();
+        return rep;
+    }
+    return planClockGating(banks, high, cycles, opts, power);
+}
+
+} // namespace bespoke

@@ -75,6 +75,34 @@ netlistToJson(const Netlist &nl)
         jnames.push(std::move(jn));
     }
     doc.set("names", std::move(jnames));
+
+    // Datapath instance side-table (omitted when empty so documents
+    // without instances stay byte-identical to format version 1 output).
+    // Raw gate ids are valid here because the loader is id-exact.
+    if (!nl.instances().empty()) {
+        JsonValue jinsts = JsonValue::array();
+        for (const DatapathInstance &inst : nl.instances()) {
+            JsonValue ji = JsonValue::array();
+            ji.push(JsonValue::str(instanceKindName(inst.kind)));
+            ji.push(JsonValue::str(moduleName(inst.module)));
+            ji.push(JsonValue::number(inst.variant));
+            auto ids = [](const std::vector<GateId> &v) {
+                JsonValue ja = JsonValue::array();
+                for (GateId id : v)
+                    ja.push(JsonValue::number(
+                        id == kNoGate ? -1.0 : static_cast<double>(id)));
+                return ja;
+            };
+            JsonValue jshape = JsonValue::array();
+            for (uint32_t s : inst.shape)
+                jshape.push(JsonValue::number(s));
+            ji.push(std::move(jshape));
+            ji.push(ids(inst.inputs));
+            ji.push(ids(inst.outputs));
+            jinsts.push(std::move(ji));
+        }
+        doc.set("instances", std::move(jinsts));
+    }
     return doc;
 }
 
@@ -212,6 +240,63 @@ netlistFromJson(const JsonValue &doc)
                 return fail("name entry: gate id out of range");
             res.netlist.setName(static_cast<GateId>(v),
                                 jn.items()[1].asString());
+        }
+    }
+
+    if (const JsonValue *insts = doc.find("instances")) {
+        if (!insts->isArray())
+            return fail("netlist JSON: \"instances\" is not an array");
+        for (size_t k = 0; k < insts->items().size(); k++) {
+            const JsonValue &ji = insts->items()[k];
+            std::string at = "instance " + std::to_string(k) + ": ";
+            if (!ji.isArray() || ji.items().size() != 6)
+                return fail(at + "expected [kind, module, variant, "
+                                 "shape, inputs, outputs]");
+            const auto &f = ji.items();
+            if (!f[0].isString() || !f[1].isString() ||
+                !f[2].isNumber() || !f[3].isArray() || !f[4].isArray() ||
+                !f[5].isArray())
+                return fail(at + "malformed fields");
+            DatapathInstance inst;
+            if (!instanceKindByName(f[0].asString(), &inst.kind))
+                return fail(at + "unknown kind '" + f[0].asString() +
+                            "'");
+            if (!moduleByName(f[1].asString(), &inst.module))
+                return fail(at + "unknown module '" + f[1].asString() +
+                            "'");
+            double var = f[2].asNumber();
+            if (var < 0 || var > 255 ||
+                var != static_cast<double>(static_cast<uint8_t>(var)))
+                return fail(at + "variant out of range");
+            inst.variant = static_cast<uint8_t>(var);
+            for (const JsonValue &js : f[3].items()) {
+                if (!js.isNumber() || js.asNumber() < 0)
+                    return fail(at + "malformed shape entry");
+                inst.shape.push_back(
+                    static_cast<uint32_t>(js.asNumber()));
+            }
+            auto readIds = [&](const JsonValue &ja,
+                               std::vector<GateId> *out) {
+                for (const JsonValue &je : ja.items()) {
+                    if (!je.isNumber())
+                        return false;
+                    double v = je.asNumber();
+                    if (v == -1) {
+                        out->push_back(kNoGate);
+                        continue;
+                    }
+                    if (v < 0 || v >= static_cast<double>(n) ||
+                        v != static_cast<double>(static_cast<GateId>(v)))
+                        return false;
+                    out->push_back(static_cast<GateId>(v));
+                }
+                return true;
+            };
+            if (!readIds(f[4], &inst.inputs))
+                return fail(at + "bad input gate id");
+            if (!readIds(f[5], &inst.outputs))
+                return fail(at + "bad output gate id");
+            res.netlist.addInstance(std::move(inst));
         }
     }
 

@@ -54,6 +54,33 @@ moduleByName(const std::string &name, Module *out)
     return false;
 }
 
+const char *
+instanceKindName(InstanceKind k)
+{
+    switch (k) {
+      case InstanceKind::Adder:
+        return "adder";
+      case InstanceKind::MuxTree:
+        return "mux_tree";
+      default:
+        return "?";
+    }
+}
+
+bool
+instanceKindByName(const std::string &name, InstanceKind *out)
+{
+    if (name == "adder") {
+        *out = InstanceKind::Adder;
+        return true;
+    }
+    if (name == "mux_tree") {
+        *out = InstanceKind::MuxTree;
+        return true;
+    }
+    return false;
+}
+
 GateId
 Netlist::addGate(CellType type, Module module, GateId in0, GateId in1,
                  GateId in2)
@@ -102,6 +129,14 @@ Netlist::tie(bool value, Module module)
     GateId id = addGate(value ? CellType::TIE1 : CellType::TIE0, module);
     tieCache_[key] = id;
     return id;
+}
+
+GateId
+Netlist::findTie(bool value, Module module) const
+{
+    uint32_t key = (static_cast<uint32_t>(module) << 1) | (value ? 1 : 0);
+    auto it = tieCache_.find(key);
+    return it == tieCache_.end() ? kNoGate : it->second;
 }
 
 void

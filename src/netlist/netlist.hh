@@ -74,6 +74,48 @@ struct Gate
     int numInputs() const { return cellNumInputs(type); }
 };
 
+/** Kind of a recorded datapath instance. */
+enum class InstanceKind : uint8_t
+{
+    Adder,    ///< adder/subtractor block (see AdderKind)
+    MuxTree,  ///< N:1 mux tree
+};
+
+/**
+ * Word-level datapath instance metadata, recorded by NetBuilder when it
+ * emits an adder or mux tree and consumed by the cost-driven rewrite
+ * search (src/transform/pass_pipeline). Pure side information: it names
+ * the operand and result *nets* of the block, never its internal gates,
+ * so it stays valid as long as those nets exist. Excluded from
+ * contentHash() (two netlists that differ only in recorded instances
+ * are the same design); remapped by Rewriter::compact() and carried by
+ * the canonical JSON interchange format (Verilog export drops it).
+ */
+struct DatapathInstance
+{
+    InstanceKind kind = InstanceKind::Adder;
+    Module module = Module::Glue;
+    /** Adder: the AdderKind it was built as. MuxTree: 0. */
+    uint8_t variant = 0;
+    /** Adder: {width}. MuxTree: {selBits, choices, width}. */
+    std::vector<uint32_t> shape;
+    /**
+     * Operand nets, external to the block. Adder: a[0..w) b[0..w)
+     * carryIn. MuxTree: sel[0..s) then the choice buses flattened.
+     */
+    std::vector<GateId> inputs;
+    /**
+     * Result nets. Adder: sum[0..w) carries[0..w). MuxTree: the output
+     * bus. Entries become kNoGate when rewriting folded that net away.
+     */
+    std::vector<GateId> outputs;
+};
+
+/** Human-readable instance kind name ("adder" / "mux_tree"). */
+const char *instanceKindName(InstanceKind k);
+/** Reverse lookup of instanceKindName(); false for unknown names. */
+bool instanceKindByName(const std::string &name, InstanceKind *out);
+
 /** Aggregate size/power numbers for a netlist (or one module of it). */
 struct NetlistStats
 {
@@ -102,6 +144,8 @@ class Netlist
                      Module module = Module::Glue);
     /** Constant driver (TIE0/TIE1), shared per value per module. */
     GateId tie(bool value, Module module = Module::Glue);
+    /** The shared tie for (value, module) if one exists, else kNoGate. */
+    GateId findTie(bool value, Module module = Module::Glue) const;
     /** Set a flop's reset value (defaults to 0). */
     void setResetValue(GateId id, bool value);
     /** Attach a debug name to any gate. */
@@ -193,6 +237,20 @@ class Netlist
      */
     uint64_t contentHash() const;
 
+    /** @name Datapath instances (side information; see DatapathInstance) */
+    /// @{
+    void addInstance(DatapathInstance inst)
+    {
+        instances_.push_back(std::move(inst));
+    }
+    const std::vector<DatapathInstance> &instances() const
+    {
+        return instances_;
+    }
+    /** Mutable access for transforms that remap or rebuild instances. */
+    std::vector<DatapathInstance> &instancesRef() { return instances_; }
+    /// @}
+
     /** Whole-design stats over real cells. */
     NetlistStats stats() const;
     /** Stats restricted to one module label. */
@@ -207,6 +265,7 @@ class Netlist
     std::unordered_map<GateId, std::string> names_;
     /** Shared tie cells per (module, value). */
     std::unordered_map<uint32_t, GateId> tieCache_;
+    std::vector<DatapathInstance> instances_;
 };
 
 } // namespace bespoke

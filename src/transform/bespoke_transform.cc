@@ -1,371 +1,40 @@
 #include "src/transform/bespoke_transform.hh"
 
-#include "src/util/logging.hh"
+#include "src/transform/pass_pipeline.hh"
 
 namespace bespoke
 {
 
-namespace
-{
-
-/**
- * One constant-propagation / simplification sweep. Returns the number
- * of gates changed. Operates in topological-ish order by iterating
- * until quiescent within the pass (resolve() chases chains, so order
- * only affects how many outer iterations are needed).
- */
-size_t
-constantPass(Rewriter &rw)
-{
-    const Netlist &nl = rw.source();
-    size_t changed = 0;
-
-    for (GateId i = 0; i < nl.size(); i++) {
-        const Gate &g = nl.gate(i);
-        if (cellPseudo(g.type) || rw.isDropped(i) ||
-            rw.hasReplacement(i)) {
-            continue;
-        }
-        if (g.type == CellType::TIE0 || g.type == CellType::TIE1)
-            continue;
-
-        int n = g.numInputs();
-        // Resolve inputs through prior marks.
-        bool in_const[3] = {false, false, false};
-        bool in_val[3] = {false, false, false};
-        GateId in_gate[3] = {kNoGate, kNoGate, kNoGate};
-        int num_const = 0;
-        for (int p = 0; p < n; p++) {
-            Rewriter::Resolved r = rw.resolve(g.in[p]);
-            in_const[p] = r.isConst;
-            in_val[p] = r.value;
-            in_gate[p] = r.gate;
-            if (r.isConst)
-                num_const++;
-        }
-
-        auto mkconst = [&](bool v) {
-            rw.makeConstant(i, v);
-            changed++;
-        };
-        auto mkalias = [&](GateId t) {
-            rw.makeAlias(i, t);
-            changed++;
-        };
-        auto mkcell = [&](CellType t, GateId a, GateId b = kNoGate,
-                          GateId c = kNoGate) {
-            rw.replaceCell(i, t, a, b, c);
-            changed++;
-        };
-
-        // Sequential cells.
-        if (g.type == CellType::DFF || g.type == CellType::DFFE) {
-            bool has_en = g.type == CellType::DFFE;
-            if (in_const[0] && in_val[0] == g.resetValue) {
-                // D is the reset value: Q can never change.
-                mkconst(g.resetValue);
-            } else if (has_en && in_const[1] && !in_val[1]) {
-                // Enable tied low: Q holds the reset value forever.
-                mkconst(g.resetValue);
-            } else if (has_en && in_const[1] && in_val[1]) {
-                mkcell(CellType::DFF, g.in[0]);
-            }
-            continue;
-        }
-
-        // Fully constant combinational gates fold outright.
-        if (num_const == n && n > 0) {
-            Logic in[3];
-            for (int p = 0; p < n; p++)
-                in[p] = logicOf(in_val[p]);
-            Logic out = evalCell(g.type, in);
-            bespoke_assert(out != Logic::X);
-            mkconst(out == Logic::One);
-            continue;
-        }
-
-        switch (g.type) {
-          case CellType::INV:
-            if (in_const[0])
-                mkconst(!in_val[0]);
-            break;
-          case CellType::BUF:
-            mkalias(g.in[0]);
-            break;
-          case CellType::AND2:
-            if ((in_const[0] && !in_val[0]) ||
-                (in_const[1] && !in_val[1])) {
-                mkconst(false);
-            } else if (in_const[0]) {
-                mkalias(g.in[1]);
-            } else if (in_const[1]) {
-                mkalias(g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkalias(g.in[0]);
-            }
-            break;
-          case CellType::OR2:
-            if ((in_const[0] && in_val[0]) ||
-                (in_const[1] && in_val[1])) {
-                mkconst(true);
-            } else if (in_const[0]) {
-                mkalias(g.in[1]);
-            } else if (in_const[1]) {
-                mkalias(g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkalias(g.in[0]);
-            }
-            break;
-          case CellType::NAND2:
-            if ((in_const[0] && !in_val[0]) ||
-                (in_const[1] && !in_val[1])) {
-                mkconst(true);
-            } else if (in_const[0]) {
-                mkcell(CellType::INV, g.in[1]);
-            } else if (in_const[1]) {
-                mkcell(CellType::INV, g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkcell(CellType::INV, g.in[0]);
-            }
-            break;
-          case CellType::NOR2:
-            if ((in_const[0] && in_val[0]) ||
-                (in_const[1] && in_val[1])) {
-                mkconst(false);
-            } else if (in_const[0]) {
-                mkcell(CellType::INV, g.in[1]);
-            } else if (in_const[1]) {
-                mkcell(CellType::INV, g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkcell(CellType::INV, g.in[0]);
-            }
-            break;
-          case CellType::XOR2:
-            if (in_const[0]) {
-                if (in_val[0])
-                    mkcell(CellType::INV, g.in[1]);
-                else
-                    mkalias(g.in[1]);
-            } else if (in_const[1]) {
-                if (in_val[1])
-                    mkcell(CellType::INV, g.in[0]);
-                else
-                    mkalias(g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkconst(false);
-            }
-            break;
-          case CellType::XNOR2:
-            if (in_const[0]) {
-                if (in_val[0])
-                    mkalias(g.in[1]);
-                else
-                    mkcell(CellType::INV, g.in[1]);
-            } else if (in_const[1]) {
-                if (in_val[1])
-                    mkalias(g.in[0]);
-                else
-                    mkcell(CellType::INV, g.in[0]);
-            } else if (in_gate[0] == in_gate[1]) {
-                mkconst(true);
-            }
-            break;
-          case CellType::AND3:
-          case CellType::OR3:
-          case CellType::NAND3:
-          case CellType::NOR3: {
-            bool is_and = g.type == CellType::AND3 ||
-                          g.type == CellType::NAND3;
-            bool inverting = g.type == CellType::NAND3 ||
-                             g.type == CellType::NOR3;
-            bool absorbing = !is_and;  // OR absorbs 1, AND absorbs 0
-            // Absorbing constant present?
-            bool absorbed = false;
-            for (int p = 0; p < 3; p++) {
-                if (in_const[p] && in_val[p] == absorbing)
-                    absorbed = true;
-            }
-            if (absorbed) {
-                mkconst(inverting ? !absorbing : absorbing);
-                break;
-            }
-            // Drop identity constants.
-            GateId live[3];
-            int m = 0;
-            for (int p = 0; p < 3; p++) {
-                if (!in_const[p])
-                    live[m++] = g.in[p];
-            }
-            if (m == 2) {
-                CellType two = is_and
-                                   ? (inverting ? CellType::NAND2
-                                                : CellType::AND2)
-                                   : (inverting ? CellType::NOR2
-                                                : CellType::OR2);
-                mkcell(two, live[0], live[1]);
-            } else if (m == 1) {
-                if (inverting)
-                    mkcell(CellType::INV, live[0]);
-                else
-                    mkalias(live[0]);
-            }
-            break;
-          }
-          case CellType::MUX2:
-            // in0 = a0, in1 = a1, in2 = sel
-            if (in_const[2]) {
-                mkalias(in_val[2] ? g.in[1] : g.in[0]);
-            } else if (in_gate[0] == in_gate[1] && !in_const[0] &&
-                       !in_const[1]) {
-                mkalias(g.in[0]);
-            } else if (in_const[0] && in_const[1]) {
-                if (in_val[0] == in_val[1]) {
-                    mkconst(in_val[0]);
-                } else if (!in_val[0] && in_val[1]) {
-                    mkalias(g.in[2]);  // sel ? 1 : 0 == sel
-                } else {
-                    mkcell(CellType::INV, g.in[2]);
-                }
-            } else if (in_const[0] && !in_val[0]) {
-                mkcell(CellType::AND2, g.in[2], g.in[1]);
-            } else if (in_const[1] && in_val[1]) {
-                mkcell(CellType::OR2, g.in[2], g.in[0]);
-            }
-            break;
-          case CellType::AOI21:
-            // !((in0 & in1) | in2)
-            if (in_const[2] && in_val[2]) {
-                mkconst(false);
-            } else if (in_const[2]) {
-                mkcell(CellType::NAND2, g.in[0], g.in[1]);
-            } else if ((in_const[0] && !in_val[0]) ||
-                       (in_const[1] && !in_val[1])) {
-                mkcell(CellType::INV, g.in[2]);
-            } else if (in_const[0] && in_val[0]) {
-                mkcell(CellType::NOR2, g.in[1], g.in[2]);
-            } else if (in_const[1] && in_val[1]) {
-                mkcell(CellType::NOR2, g.in[0], g.in[2]);
-            }
-            break;
-          case CellType::OAI21:
-            // !((in0 | in1) & in2)
-            if (in_const[2] && !in_val[2]) {
-                mkconst(true);
-            } else if (in_const[2]) {
-                mkcell(CellType::NOR2, g.in[0], g.in[1]);
-            } else if ((in_const[0] && in_val[0]) ||
-                       (in_const[1] && in_val[1])) {
-                mkcell(CellType::INV, g.in[2]);
-            } else if (in_const[0] && !in_val[0]) {
-                mkcell(CellType::NAND2, g.in[1], g.in[2]);
-            } else if (in_const[1] && !in_val[1]) {
-                mkcell(CellType::NAND2, g.in[0], g.in[2]);
-            }
-            break;
-          default:
-            break;
-        }
-    }
-    return changed;
-}
-
-} // namespace
+// The historical entry points are thin wrappers over the pass pipeline
+// (src/transform/pass_pipeline): the default pipeline configuration is
+// the exact cut + constant-fold + dead-sweep fixpoint these functions
+// always ran, so existing callers and baselines are unaffected.
 
 Netlist
 resynthesize(const Netlist &src)
 {
-    Netlist current = src;  // working copy
-    while (true) {
-        size_t before = current.numCells();
-        // Constant propagation to local fixpoint.
-        {
-            Rewriter rw(current);
-            size_t total = 0;
-            while (true) {
-                size_t c = constantPass(rw);
-                total += c;
-                if (c == 0)
-                    break;
-            }
-            if (total > 0)
-                current = rw.compact().netlist;
-        }
-        // Remove logic that can no longer reach a port or flop.
-        current = sweepDead(current).netlist;
-        if (current.numCells() >= before)
-            break;
-    }
-    current.validate();
-    return current;
+    PassPipelineOptions opts;
+    PassEnv env;
+    return runTailorPipeline(src, nullptr, opts, env);
 }
 
 Netlist
 cutAndStitch(const Netlist &src, const ActivityTracker &activity,
              CutStats *stats)
 {
-    bespoke_assert(&activity.netlist() == &src,
-                   "activity tracker is for a different netlist");
-    Rewriter rw(src);
-    size_t cut = 0;
-    for (GateId i = 0; i < src.size(); i++) {
-        const Gate &g = src.gate(i);
-        if (cellPseudo(g.type))
-            continue;
-        if (g.type == CellType::TIE0 || g.type == CellType::TIE1)
-            continue;
-        if (!activity.toggled(i)) {
-            Logic v = activity.initialValue(i);
-            bespoke_assert(isKnown(v));
-            rw.makeConstant(i, knownValue(v));
-            cut++;
-        }
-    }
-    Netlist after_cut = rw.compact().netlist;
-    Netlist result = resynthesize(after_cut);
-    if (stats) {
-        stats->gatesBefore = src.numCells();
-        stats->gatesCutDirect = cut;
-        stats->gatesAfter = result.numCells();
-    }
-    return result;
+    PassPipelineOptions opts;
+    PassEnv env;
+    return runTailorPipeline(src, &activity, opts, env, stats);
 }
 
 Netlist
 cutWholeModules(const Netlist &src, const ActivityTracker &activity,
                 CutStats *stats)
 {
-    bool module_used[kNumModules] = {};
-    for (GateId i = 0; i < src.size(); i++) {
-        const Gate &g = src.gate(i);
-        if (cellPseudo(g.type) || g.type == CellType::TIE0 ||
-            g.type == CellType::TIE1) {
-            continue;
-        }
-        if (activity.toggled(i))
-            module_used[static_cast<int>(g.module)] = true;
-    }
-    Rewriter rw(src);
-    size_t cut = 0;
-    for (GateId i = 0; i < src.size(); i++) {
-        const Gate &g = src.gate(i);
-        if (cellPseudo(g.type) || g.type == CellType::TIE0 ||
-            g.type == CellType::TIE1) {
-            continue;
-        }
-        if (!module_used[static_cast<int>(g.module)]) {
-            Logic v = activity.initialValue(i);
-            rw.makeConstant(i, v == Logic::One);
-            cut++;
-        }
-    }
-    Netlist after_cut = rw.compact().netlist;
-    Netlist result = resynthesize(after_cut);
-    if (stats) {
-        stats->gatesBefore = src.numCells();
-        stats->gatesCutDirect = cut;
-        stats->gatesAfter = result.numCells();
-    }
-    return result;
+    PassPipelineOptions opts;
+    opts.moduleCut = true;
+    PassEnv env;
+    return runTailorPipeline(src, &activity, opts, env, stats);
 }
 
 } // namespace bespoke

@@ -1,0 +1,100 @@
+#include "src/transform/pass.hh"
+
+#include "src/util/logging.hh"
+
+namespace bespoke
+{
+
+void
+PassContext::bind(const Netlist &nl)
+{
+    nl_ = &nl;
+    invalidate();
+}
+
+void
+PassContext::invalidate()
+{
+    activity_.reset();
+    densities_.clear();
+    timingQuery_.reset();
+    periodPs_ = 0.0;
+}
+
+const Netlist &
+PassContext::netlist() const
+{
+    bespoke_assert(nl_, "PassContext not bound to a netlist");
+    return *nl_;
+}
+
+const TimingParams &
+PassContext::timing() const
+{
+    static const TimingParams kDefault;
+    return env_.timing ? *env_.timing : kDefault;
+}
+
+const PowerParams &
+PassContext::power() const
+{
+    static const PowerParams kDefault;
+    return env_.power ? *env_.power : kDefault;
+}
+
+const ToggleCounter &
+PassContext::activity()
+{
+    bespoke_assert(hasActivity(),
+                   "pass requires an activity provider in PassEnv");
+    if (!activity_) {
+        activity_.emplace(netlist());
+        env_.measureActivity(netlist(), &*activity_);
+    }
+    return *activity_;
+}
+
+const std::vector<double> &
+PassContext::densities()
+{
+    if (densities_.empty()) {
+        const ToggleCounter &tc = activity();
+        double cycles = static_cast<double>(tc.cycles());
+        bespoke_assert(cycles > 0, "activity provider observed 0 cycles");
+        densities_.resize(netlist().size());
+        for (GateId i = 0; i < netlist().size(); i++)
+            densities_[i] = static_cast<double>(tc.count(i)) / cycles;
+    }
+    return densities_;
+}
+
+double
+PassContext::clockPeriodPs()
+{
+    if (periodPs_ > 0.0)
+        return periodPs_;
+    if (env_.clockPeriodPs > 0.0) {
+        periodPs_ = env_.clockPeriodPs;
+    } else {
+        // The flow's convention: the original design's critical path
+        // with a 2% margin defines the clock. Standalone pipelines
+        // derive the budget from the netlist they were given.
+        TimingReport rep = analyzeTiming(netlist(), timing());
+        bespoke_assert(rep.criticalPathPs > 0,
+                       "cannot derive a clock period from an empty design");
+        periodPs_ = rep.criticalPathPs * 1.02;
+    }
+    return periodPs_;
+}
+
+const TimingQuery &
+PassContext::timingQuery()
+{
+    if (!timingQuery_) {
+        timingQuery_ = std::make_unique<TimingQuery>(
+            netlist(), clockPeriodPs(), timing());
+    }
+    return *timingQuery_;
+}
+
+} // namespace bespoke

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The tailoring pass pipeline: cutting & stitching, re-synthesis, the
+ * cost-driven datapath rewrite search, and clock-gating planning, as a
+ * configurable sequence of TransformPass stages over one working
+ * netlist.
+ *
+ * The default configuration (constant folding only) reproduces the
+ * original monolithic cutAndStitch()/resynthesize() flow bit-
+ * identically: the fixpoint group below runs the exact same mark /
+ * compact / sweep sequence the monolith ran, so every committed bench
+ * baseline is unchanged until the optional passes are switched on.
+ *
+ * Optional passes:
+ *  - rewrite-search: for every recorded DatapathInstance (adders, mux
+ *    trees; see NetBuilder), enumerate alternative microarchitectures
+ *    (ripple / carry-lookahead / carry-select; LSB-first / MSB-first
+ *    mux pairing), score each candidate with
+ *        cost = power(activity, vmin(depth)) +
+ *               lambda x max(0, depth - clock budget)
+ *    and commit the argmin when it strictly beats the current shape.
+ *    Functional equivalence is structural (all shapes compute the same
+ *    words) and additionally pinned by the flow's --verify equivalence
+ *    check on every emitted design.
+ *  - clock-gating: plan ICGs for DFFE banks with rare write enables
+ *    (src/gating/clock_gating.hh); annotation-only, the netlist is
+ *    unchanged.
+ */
+
+#ifndef BESPOKE_TRANSFORM_PASS_PIPELINE_HH
+#define BESPOKE_TRANSFORM_PASS_PIPELINE_HH
+
+#include <string>
+
+#include "src/gating/clock_gating.hh"
+#include "src/transform/bespoke_transform.hh"
+#include "src/transform/pass.hh"
+
+namespace bespoke
+{
+
+/** Knobs of the cost-driven datapath rewrite search. */
+struct RewriteSearchOptions
+{
+    /** Ignore adder instances narrower than this. */
+    size_t minAdderWidth = 8;
+    /** Cost penalty (µW per ps) for exceeding the clock budget. */
+    double lambdaUWPerPs = 1.0;
+    /** Commit only when the winner is at least this fraction cheaper. */
+    double minGainFraction = 1e-3;
+};
+
+/** Which passes run, and their knobs. */
+struct PassPipelineOptions
+{
+    /** Constant propagation + dead sweep to fixpoint (the legacy
+     *  re-synthesis loop). Off only for tests. */
+    bool constantFold = true;
+    /** Cut at module granularity instead of per gate (Fig. 12). */
+    bool moduleCut = false;
+    bool rewriteSearch = false;
+    bool clockGating = false;
+    /** Collect per-pass power/depth numbers (costs extra analyses). */
+    bool collectMetrics = false;
+    RewriteSearchOptions rewrite;
+    ClockGatingOptions gating;
+};
+
+/** Hash of every behavior-relevant pipeline option (checkpoint keys). */
+uint64_t hashPassPipelineOptions(const PassPipelineOptions &opts);
+
+/**
+ * Parse a comma-separated pass list into options: "default" (or "")
+ * = constant folding only; names "constant-fold", "rewrite-search",
+ * "clock-gating" enable individual passes; "all" enables everything.
+ * Unknown names fail with *err set. Parsed lists always start from the
+ * default configuration (constant folding stays on unless the list is
+ * exactly "none").
+ */
+bool parsePassList(const std::string &list, PassPipelineOptions *opts,
+                   std::string *err);
+
+/** What the pipeline did, for reports and the tailor CLI. */
+struct PipelineReport
+{
+    std::vector<PassStats> passes;
+    /** Datapath instances whose shape the rewrite search changed. */
+    size_t rewrittenInstances = 0;
+    /** Clock-gating plan (empty unless the pass ran). */
+    ClockGatingReport gating;
+};
+
+/**
+ * One constant-propagation / simplification sweep over the rewriter's
+ * source netlist; returns the number of gates changed. The body of the
+ * ConstantFoldPass, exposed for the fixpoint driver and tests.
+ */
+size_t constantFoldOnce(Rewriter &rw);
+
+/**
+ * Run the tailoring pipeline. `activity` selects the cut pass (null =
+ * re-synthesis only, e.g. for already-cut or imported designs); the
+ * env's providers feed the optional cost-driven passes. Stats and the
+ * report are optional outputs.
+ */
+Netlist runTailorPipeline(const Netlist &src,
+                          const ActivityTracker *activity,
+                          const PassPipelineOptions &opts,
+                          const PassEnv &env, CutStats *stats = nullptr,
+                          PipelineReport *report = nullptr);
+
+} // namespace bespoke
+
+#endif // BESPOKE_TRANSFORM_PASS_PIPELINE_HH

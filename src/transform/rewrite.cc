@@ -25,7 +25,17 @@ Rewriter::makeConstant(GateId id, bool value)
 void
 Rewriter::makeAlias(GateId id, GateId target)
 {
-    bespoke_assert(id != target);
+    bespoke_assert(id != target, "self-alias on gate ", id);
+    // Reject cycles at mark time: walk existing alias marks from the
+    // target; reaching `id` means this mark would close a loop.
+    GateId cur = target;
+    while (marks_[cur] == Mark::Alias) {
+        bespoke_assert(cur != id, "alias cycle: gate ", id,
+                       " -> ", target, " closes a loop");
+        cur = aliasTarget_[cur];
+    }
+    bespoke_assert(cur != id, "alias cycle: gate ", id, " -> ", target,
+                   " closes a loop");
     marks_[id] = Mark::Alias;
     aliasTarget_[id] = target;
 }
@@ -80,25 +90,34 @@ Rewriter::resolve(GateId id) const
     for (size_t hops = 0; hops <= src_.size(); hops++) {
         switch (marks_[cur]) {
           case Mark::Const0:
-            return {true, false, kNoGate};
+            return {true, false, kNoGate, false};
           case Mark::Const1:
-            return {true, true, kNoGate};
+            return {true, true, kNoGate, false};
           case Mark::Alias:
             cur = aliasTarget_[cur];
             break;
-          case Mark::Dead:
-            // Dead gates may still be referenced transiently while a
-            // pass runs; treat as constant 0 (no live reader remains).
-            return {true, false, kNoGate};
+          case Mark::Dead: {
+            // A killed TIE still resolves to its constant (no
+            // information lives in the cell); anything else resolves
+            // as constant 0 with viaDead set so compact() can reject
+            // live readers of a killed gate.
+            CellType t = hasReplace_[cur] ? replaced_[cur].type
+                                          : src_.gate(cur).type;
+            if (t == CellType::TIE0)
+                return {true, false, kNoGate, false};
+            if (t == CellType::TIE1)
+                return {true, true, kNoGate, false};
+            return {true, false, kNoGate, true};
+          }
           default: {
             // TIE cells resolve to constants so compact() can share.
             CellType t = hasReplace_[cur] ? replaced_[cur].type
                                           : src_.gate(cur).type;
             if (t == CellType::TIE0)
-                return {true, false, kNoGate};
+                return {true, false, kNoGate, false};
             if (t == CellType::TIE1)
-                return {true, true, kNoGate};
-            return {false, false, cur};
+                return {true, true, kNoGate, false};
+            return {false, false, cur, false};
           }
         }
     }
@@ -160,6 +179,9 @@ Rewriter::compact() const
             Resolved r = resolve(old_in);
             GateId src_new;
             if (r.isConst) {
+                bespoke_assert(!r.viaDead, "live gate ", p.oldId,
+                               " pin ", pin, " reads killed gate ",
+                               old_in);
                 src_new = out.netlist.tie(r.value,
                                           src_.gate(p.oldId).module);
             } else {
@@ -174,6 +196,59 @@ Rewriter::compact() const
         // registration under their preserved names.
         if (p.def.type == CellType::OUTPUT)
             out.netlist.registerPort(src_.name(p.oldId), p.newId);
+    }
+
+    // Carry datapath instance metadata across the rewrite. An instance
+    // survives when its operands are still expressible (surviving net or
+    // constant) and at least one result net survives; otherwise it is
+    // dropped — conservative, since the rewrite search only acts on
+    // instances it can fully reconstruct.
+    for (const DatapathInstance &inst : src_.instances()) {
+        DatapathInstance ni;
+        ni.kind = inst.kind;
+        ni.module = inst.module;
+        ni.variant = inst.variant;
+        ni.shape = inst.shape;
+        bool inputs_ok = true;
+        for (GateId in : inst.inputs) {
+            if (in == kNoGate) {
+                inputs_ok = false;
+                break;
+            }
+            Resolved r = resolve(in);
+            if (r.viaDead) {
+                inputs_ok = false;
+                break;
+            }
+            // A constant operand may only reference a tie the compacted
+            // netlist already has: minting one here would grow the gate
+            // set for metadata's sake and break the pipeline's
+            // bit-identity with the pre-pass flow.
+            GateId nid = r.isConst
+                             ? out.netlist.findTie(r.value, inst.module)
+                             : out.map[r.gate];
+            if (nid == kNoGate) {
+                inputs_ok = false;
+                break;
+            }
+            ni.inputs.push_back(nid);
+        }
+        if (!inputs_ok)
+            continue;
+        size_t live_outputs = 0;
+        for (GateId o : inst.outputs) {
+            GateId nid = kNoGate;
+            if (o != kNoGate) {
+                Resolved r = resolve(o);
+                if (!r.isConst)
+                    nid = out.map[r.gate];
+            }
+            if (nid != kNoGate)
+                live_outputs++;
+            ni.outputs.push_back(nid);
+        }
+        if (live_outputs > 0)
+            out.netlist.addInstance(std::move(ni));
     }
 
     return out;

@@ -46,7 +46,13 @@ class Rewriter
 
     /** Mark: this gate's output is the constant value; gate dropped. */
     void makeConstant(GateId id, bool value);
-    /** Mark: this gate's output equals target's output; gate dropped. */
+    /**
+     * Mark: this gate's output equals target's output; gate dropped.
+     * Self-aliases and alias cycles (following earlier alias marks from
+     * `target` back to `id`) are rejected deterministically at mark
+     * time, so a bad pass fails at the offending makeAlias() call
+     * instead of at some later resolve() that happens to walk the loop.
+     */
     void makeAlias(GateId id, GateId target);
     /** Replace the gate's cell (same output net), e.g. XOR2 -> INV. */
     void replaceCell(GateId id, CellType type, GateId in0,
@@ -64,14 +70,19 @@ class Rewriter
 
     /**
      * Resolve a gate id through alias/constant chains. Returns either a
-     * surviving source gate id (constant == false) or a constant
-     * (constant == true, value set).
+     * surviving source gate id (isConst == false) or a constant
+     * (isConst == true, value set). A chain that ends at a Dead mark
+     * resolves to constant 0 with viaDead set: passes may query such
+     * nets transiently, but compact() rejects any *live* pin that
+     * resolves through a Dead gate — killing a gate that still has live
+     * readers is a pass bug, not an implicit constant-0.
      */
     struct Resolved
     {
         bool isConst;
         bool value;
         GateId gate;
+        bool viaDead = false;
     };
     Resolved resolve(GateId id) const;
 

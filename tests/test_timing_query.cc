@@ -1,0 +1,139 @@
+/**
+ * @file
+ * TimingQuery: per-gate arrival / required / slack against the forward
+ * STA report. The backward required-time pass must agree with the
+ * forward pass on the critical path (worst slack = period - critical
+ * when the critical path ends at a capture point) and must leave
+ * gates with no downstream capture unconstrained.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/builder/net_builder.hh"
+#include "src/timing/sta.hh"
+
+namespace bespoke
+{
+namespace
+{
+
+/** Input -> INV chain -> output, plus a flop capturing mid-chain. */
+Netlist
+chainDesign(int length, std::vector<GateId> *chain)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    GateId in = nl.addInput("in");
+    GateId g = in;
+    for (int i = 0; i < length; i++) {
+        g = b.inv(g);
+        chain->push_back(g);
+    }
+    nl.addOutput("out", g);
+    nl.validate();
+    return nl;
+}
+
+TEST(TimingQuery, SingleChainSlackIsUniform)
+{
+    std::vector<GateId> chain;
+    Netlist nl = chainDesign(8, &chain);
+    TimingReport rep = analyzeTiming(nl);
+    double period = rep.criticalPathPs * 1.25;
+    TimingQuery q(nl, period);
+
+    EXPECT_DOUBLE_EQ(q.periodPs(), period);
+    EXPECT_DOUBLE_EQ(q.criticalPathPs(), rep.criticalPathPs);
+    // One path: every gate on it has the same slack, equal to the
+    // whole-design worst slack = period - critical.
+    EXPECT_NEAR(q.worstSlack(), period - rep.criticalPathPs, 1e-9);
+    for (GateId g : chain) {
+        EXPECT_NEAR(q.slack(g), q.worstSlack(), 1e-9) << "gate " << g;
+        EXPECT_DOUBLE_EQ(q.arrival(g), rep.arrival[g]);
+        EXPECT_NEAR(q.required(g) - q.arrival(g), q.slack(g), 1e-12);
+    }
+}
+
+TEST(TimingQuery, ArrivalMatchesForwardReport)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    GateId a = nl.addInput("a");
+    GateId c = nl.addInput("b");
+    GateId x = b.and2(a, c);
+    GateId y = b.or2(x, b.inv(a));
+    b.dff(y);
+    nl.addOutput("out", x);
+    nl.validate();
+
+    TimingReport rep = analyzeTiming(nl);
+    TimingQuery q(nl, rep.criticalPathPs * 1.02);
+    for (GateId i = 0; i < nl.size(); i++)
+        EXPECT_DOUBLE_EQ(q.arrival(i), rep.arrival[i]) << "gate " << i;
+}
+
+TEST(TimingQuery, FlopDataPinRequiredIncludesSetup)
+{
+    TimingParams params;
+    Netlist nl;
+    NetBuilder b(nl);
+    GateId in = nl.addInput("in");
+    GateId d = b.inv(in);
+    GateId ff = b.dff(d);
+    nl.addOutput("out", ff);
+    nl.validate();
+
+    double period = 1000.0;
+    TimingQuery q(nl, period, params);
+    // The INV drives only the flop's D pin: its required time is the
+    // capture budget, period - setup.
+    EXPECT_NEAR(q.required(d), period - params.setup, 1e-9);
+    // The flop's own output drives the port: required = period.
+    EXPECT_NEAR(q.required(ff), period, 1e-9);
+}
+
+TEST(TimingQuery, DeadGateIsUnconstrained)
+{
+    Netlist nl;
+    NetBuilder b(nl);
+    GateId in = nl.addInput("in");
+    GateId live = b.inv(in);
+    GateId dead = b.inv(in);  // no fanout: no downstream capture
+    nl.addOutput("out", live);
+    nl.validate();
+
+    TimingQuery q(nl, 1000.0);
+    EXPECT_TRUE(std::isinf(q.required(dead)));
+    EXPECT_TRUE(std::isinf(q.slack(dead)));
+    EXPECT_FALSE(std::isinf(q.required(live)));
+    // Unconstrained gates do not drag the design's worst slack.
+    EXPECT_NEAR(q.worstSlack(), q.slack(live), 1e-9);
+}
+
+TEST(TimingQuery, NegativeSlackWhenOverBudget)
+{
+    std::vector<GateId> chain;
+    Netlist nl = chainDesign(12, &chain);
+    TimingReport rep = analyzeTiming(nl);
+    TimingQuery q(nl, rep.criticalPathPs * 0.5);
+    EXPECT_LT(q.worstSlack(), 0.0);
+    EXPECT_NEAR(q.worstSlack(),
+                rep.criticalPathPs * 0.5 - rep.criticalPathPs, 1e-9);
+}
+
+TEST(TimingQuery, RequiredIsMonotoneAlongAPath)
+{
+    std::vector<GateId> chain;
+    Netlist nl = chainDesign(6, &chain);
+    TimingQuery q(nl, 2000.0);
+    // Along a single path the required time grows with the arrival
+    // time: each stage's budget is the next stage's minus its delay.
+    for (size_t i = 1; i < chain.size(); i++)
+        EXPECT_LT(q.required(chain[i - 1]), q.required(chain[i]));
+}
+
+} // namespace
+} // namespace bespoke

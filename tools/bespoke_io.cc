@@ -14,12 +14,18 @@
  *       Print the canonical content hash.
  *   bespoke_io tailor  -i FILE --app NAME -o FILE
  *                      [--checkpoint-dir DIR] [--verify] [--threads N]
+ *                      [--passes LIST] [--status-json FILE]
  *       Import an external netlist, run activity analysis for the
- *       application on it, cut & stitch, re-size, and export the
- *       bespoke result. --verify additionally proves the result
- *       symbolically equivalent to the imported original for the
- *       application. --checkpoint-dir caches the analysis artifact
- *       keyed by (netlist hash, program hash, options hash).
+ *       application on it, run the tailoring pass pipeline, re-size,
+ *       and export the bespoke result, printing one summary line per
+ *       pass (changes, gates, delta power, delta depth, wall time).
+ *       --passes selects pipeline passes ("default", "rewrite-search",
+ *       "clock-gating", "all", comma-separated); --status-json writes
+ *       the per-pass stats, rewrite count, and clock-gating plan as
+ *       JSON. --verify additionally proves the result symbolically
+ *       equivalent to the imported original for the application.
+ *       --checkpoint-dir caches the analysis artifact keyed by
+ *       (netlist hash, program hash, options hash).
  *   bespoke_io check   -i FILE --app NAME [--against FILE]
  *       Symbolic equivalence of an imported netlist against a freshly
  *       built baseline core (or a second imported file) for one
@@ -59,7 +65,10 @@
 #include "src/service/job_scheduler.hh"
 #include "src/timing/sta.hh"
 #include "src/transform/bespoke_transform.hh"
+#include "src/transform/pass_pipeline.hh"
 #include "src/util/logging.hh"
+#include "src/util/rng.hh"
+#include "src/verify/runner.hh"
 #include "src/workloads/workload.hh"
 
 using namespace bespoke;
@@ -81,6 +90,7 @@ usage(const std::string &msg = "")
         "  bespoke_io tailor  -i FILE --app NAME -o FILE\n"
         "                     [--checkpoint-dir DIR] [--verify]"
         " [--threads N]\n"
+        "                     [--passes LIST] [--status-json FILE]\n"
         "  bespoke_io check   -i FILE --app NAME [--against FILE]\n"
         "  bespoke_io batch   --jobs FILE [--job-threads N]"
         " [--worker-threads N]\n"
@@ -171,6 +181,7 @@ struct Args
     std::string checkpointDir;
     std::string jobs;
     std::string statusJson;
+    std::string passes;
     bool verify = false;
     bool progress = false;
     int threads = 1;
@@ -209,6 +220,8 @@ parseArgs(int argc, char **argv)
             a.jobs = value();
         else if (arg == "--status-json")
             a.statusJson = value();
+        else if (arg == "--passes")
+            a.passes = value();
         else if (arg == "--verify")
             a.verify = true;
         else if (arg == "--progress")
@@ -291,11 +304,147 @@ analyzeWithStore(const Netlist &nl, const AsmProgram &prog,
     return r;
 }
 
+/** Tailor-time replay providers over one application (2 runs, fixed
+ *  seed), mirroring BespokeFlow::makePassEnv(). */
+PassEnv
+makeTailorEnv(const Workload &app)
+{
+    constexpr int kInputs = 2;
+    constexpr uint64_t kSeed = 2024;
+    PassEnv env;
+    env.measureActivity = [&app](const Netlist &nl, ToggleCounter *tc) {
+        std::shared_ptr<const SocContext> ctx = SocContext::make(nl);
+        GateBatchObservers obs;
+        obs.toggles = tc;
+        Rng rng(kSeed);
+        AsmProgram prog = app.assembleProgram();
+        std::vector<WorkloadInput> in;
+        for (int i = 0; i < kInputs; i++)
+            in.push_back(app.genInput(rng));
+        runWorkloadGateBatch(nl, app, prog, in, 0, obs, ctx);
+    };
+    env.measureDuty = [&app](const Netlist &nl,
+                             const std::vector<GateId> &ids,
+                             std::vector<uint64_t> *high,
+                             uint64_t *cycles) {
+        high->assign(ids.size(), 0);
+        *cycles = 0;
+        Rng rng(kSeed);
+        AsmProgram prog = app.assembleProgram();
+        auto per_cycle = [&](const GateSim &sim) {
+            (*cycles)++;
+            for (size_t k = 0; k < ids.size(); k++) {
+                if (sim.value(ids[k]) != Logic::Zero)
+                    (*high)[k]++;
+            }
+        };
+        for (int i = 0; i < kInputs; i++) {
+            WorkloadInput in = app.genInput(rng);
+            runWorkloadGate(nl, app, prog, in, nullptr, nullptr,
+                            per_cycle);
+        }
+    };
+    return env;
+}
+
+/** One human-readable summary line per pipeline pass. */
+void
+printPassSummary(const PipelineReport &report)
+{
+    for (const PassStats &s : report.passes) {
+        char dpower[32] = "-";
+        char ddepth[32] = "-";
+        if (s.powerBeforeUW >= 0 && s.powerAfterUW >= 0) {
+            std::snprintf(dpower, sizeof(dpower), "%+.2f uW",
+                          s.powerAfterUW - s.powerBeforeUW);
+        }
+        if (s.depthBeforePs >= 0 && s.depthAfterPs >= 0) {
+            std::snprintf(ddepth, sizeof(ddepth), "%+.0f ps",
+                          s.depthAfterPs - s.depthBeforePs);
+        }
+        std::printf("pass %-14s %5zu changes, %zu -> %zu gates,"
+                    " dpower %s, ddepth %s, %.1f ms\n",
+                    s.name.c_str(), s.changes, s.gatesBefore,
+                    s.gatesAfter, dpower, ddepth, s.wallMs);
+    }
+    if (report.rewrittenInstances > 0) {
+        std::printf("rewrite-search: %zu datapath instance(s)"
+                    " restructured\n",
+                    report.rewrittenInstances);
+    }
+    if (report.gating.candidateBanks > 0) {
+        std::printf("clock-gating: %zu of %zu bank(s) gated"
+                    " (%zu flops), %.2f uW clock power saved\n",
+                    report.gating.banks.size(),
+                    report.gating.candidateBanks,
+                    report.gating.gatedFlops(),
+                    report.gating.savedClockUW);
+    }
+}
+
+/** The tailor run's per-pass stats and gating plan as JSON. */
+JsonValue
+tailorStatusJson(const Args &a, const CutStats &cut,
+                 const PipelineReport &report, bool verified)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("app", JsonValue::str(a.app));
+    JsonValue jc = JsonValue::object();
+    jc.set("gates_before",
+           JsonValue::number(static_cast<double>(cut.gatesBefore)));
+    jc.set("gates_cut_direct",
+           JsonValue::number(static_cast<double>(cut.gatesCutDirect)));
+    jc.set("gates_after",
+           JsonValue::number(static_cast<double>(cut.gatesAfter)));
+    doc.set("cut", std::move(jc));
+    JsonValue passes = JsonValue::array();
+    for (const PassStats &s : report.passes) {
+        JsonValue jp = JsonValue::object();
+        jp.set("name", JsonValue::str(s.name));
+        jp.set("changes",
+               JsonValue::number(static_cast<double>(s.changes)));
+        jp.set("gates_before",
+               JsonValue::number(static_cast<double>(s.gatesBefore)));
+        jp.set("gates_after",
+               JsonValue::number(static_cast<double>(s.gatesAfter)));
+        jp.set("power_before_uw", JsonValue::number(s.powerBeforeUW));
+        jp.set("power_after_uw", JsonValue::number(s.powerAfterUW));
+        jp.set("depth_before_ps", JsonValue::number(s.depthBeforePs));
+        jp.set("depth_after_ps", JsonValue::number(s.depthAfterPs));
+        jp.set("wall_ms", JsonValue::number(s.wallMs));
+        passes.push(std::move(jp));
+    }
+    doc.set("passes", std::move(passes));
+    doc.set("rewritten_instances",
+            JsonValue::number(
+                static_cast<double>(report.rewrittenInstances)));
+    JsonValue jg = JsonValue::object();
+    jg.set("candidate_banks",
+           JsonValue::number(
+               static_cast<double>(report.gating.candidateBanks)));
+    jg.set("gated_banks",
+           JsonValue::number(
+               static_cast<double>(report.gating.banks.size())));
+    jg.set("gated_flops",
+           JsonValue::number(
+               static_cast<double>(report.gating.gatedFlops())));
+    jg.set("saved_clock_uw",
+           JsonValue::number(report.gating.savedClockUW));
+    doc.set("gating", std::move(jg));
+    doc.set("verified", JsonValue::boolean(verified));
+    return doc;
+}
+
 int
 cmdTailor(const Args &a)
 {
     if (a.in.empty() || a.out.empty() || a.app.empty())
         usage("tailor needs -i FILE, --app NAME, and -o FILE");
+    PassPipelineOptions popts;
+    std::string perr;
+    if (!parsePassList(a.passes, &popts, &perr))
+        usage("--passes: " + perr);
+    popts.collectMetrics = true;
     Netlist original = importFile(a.in);
     printStats("imported", original);
 
@@ -315,10 +464,14 @@ cmdTailor(const Args &a)
                 r.untoggledCells());
 
     CutStats cut;
-    Netlist bespoke_nl = cutAndStitch(original, *r.activity, &cut);
+    PipelineReport report;
+    PassEnv env = makeTailorEnv(app);
+    Netlist bespoke_nl = runTailorPipeline(original, r.activity.get(),
+                                           popts, env, &cut, &report);
     sizeForLoads(bespoke_nl);
     std::printf("cut: %zu -> %zu cells\n", cut.gatesBefore,
                 cut.gatesAfter);
+    printPassSummary(report);
 
     if (a.verify) {
         EquivResult eq =
@@ -329,6 +482,15 @@ cmdTailor(const Args &a)
                     " paths\n",
                     static_cast<unsigned long long>(eq.outputsCompared),
                     static_cast<unsigned long long>(eq.pathsExplored));
+    }
+
+    if (!a.statusJson.empty()) {
+        std::ofstream os(a.statusJson);
+        if (!os)
+            fail("cannot write '" + a.statusJson + "'");
+        os << tailorStatusJson(a, cut, report, a.verify).dump(2) << "\n";
+        if (!os)
+            fail("write to '" + a.statusJson + "' failed");
     }
 
     exportFile(bespoke_nl, a.out, "bespoke_" + a.app);
