@@ -305,8 +305,21 @@ BespokeFlow::tryTailor(const Workload &app, BespokeDesign *out,
         hashProgram(prog), "design", &cut, &report,
         [&](CutStats *c, PipelineReport *r) {
             PassEnv env = makePassEnv({&app});
+            // Single-program tailoring: the SAT never-toggle pass can
+            // reason about the full SoC. (Multi-program tailoring
+            // leaves env.program null — a proof would have to hold
+            // for every program, which the pass does not yet do.)
+            env.program = &prog;
+            PassPipelineOptions popts = opts_.passes;
+            // Auto depth: cover exactly the analysis's bounded
+            // envelope. Derived from inputs already in the checkpoint
+            // key, so resolving it here keeps keys stable.
+            if (popts.satNeverToggle && popts.sat.depth == 0) {
+                popts.sat.depth =
+                    static_cast<int>(analysis.cyclesSimulated);
+            }
             return runTailorPipeline(baseline_, analysis.activity.get(),
-                                     opts_.passes, env, c, r);
+                                     popts, env, c, r);
         });
     *out = BespokeDesign{std::move(bespoke_nl), cut, {},
                          std::move(analysis), std::move(report)};

@@ -1,0 +1,90 @@
+#include "src/sat/cnf.hh"
+
+#include <ostream>
+
+#include "src/util/logging.hh"
+
+namespace bespoke::sat
+{
+
+Cnf::Cnf()
+{
+    Var t = newVar();
+    bespoke_assert(t == 0);
+    unit(kTrue);
+}
+
+void
+Cnf::addClause(const Lit *lits, size_t n)
+{
+    clauseStart_.push_back(static_cast<uint32_t>(lits_.size()));
+    clauseLen_.push_back(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; i++) {
+        bespoke_assert(lits[i].var() < numVars_);
+        lits_.push_back(lits[i]);
+    }
+}
+
+const Lit *
+Cnf::clauseLits(size_t i) const
+{
+    return lits_.data() + clauseStart_[i];
+}
+
+size_t
+Cnf::clauseSize(size_t i) const
+{
+    return clauseLen_[i];
+}
+
+void
+Cnf::nameVar(Var v, const std::string &name)
+{
+    varNames_.emplace_back(v, name);
+}
+
+void
+Cnf::writeDimacs(std::ostream &os) const
+{
+    for (const std::string &c : comments_)
+        os << "c " << c << "\n";
+    for (const auto &[v, name] : varNames_)
+        os << "c var " << (v + 1) << " = " << name << "\n";
+    os << "p cnf " << numVars_ << " " << numClauses() << "\n";
+    for (size_t i = 0; i < numClauses(); i++) {
+        const Lit *ls = clauseLits(i);
+        for (size_t j = 0; j < clauseSize(i); j++) {
+            int64_t dv = static_cast<int64_t>(ls[j].var()) + 1;
+            os << (ls[j].negated() ? -dv : dv) << " ";
+        }
+        os << "0\n";
+    }
+}
+
+void
+Cnf::writeSmt2(std::ostream &os) const
+{
+    for (const std::string &c : comments_)
+        os << "; " << c << "\n";
+    for (const auto &[v, name] : varNames_)
+        os << "; v" << v << " = " << name << "\n";
+    os << "(set-logic QF_UF)\n";
+    for (Var v = 0; v < numVars_; v++)
+        os << "(declare-const v" << v << " Bool)\n";
+    for (size_t i = 0; i < numClauses(); i++) {
+        const Lit *ls = clauseLits(i);
+        os << "(assert (or";
+        if (clauseSize(i) == 0)
+            os << " false";
+        for (size_t j = 0; j < clauseSize(i); j++) {
+            if (ls[j].negated())
+                os << " (not v" << ls[j].var() << ")";
+            else
+                os << " v" << ls[j].var();
+        }
+        os << "))\n";
+    }
+    os << "(check-sat)\n";
+}
+
+} // namespace bespoke::sat

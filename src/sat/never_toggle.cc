@@ -1,0 +1,204 @@
+#include "src/sat/never_toggle.hh"
+
+#include <utility>
+
+#include "src/sat/cdcl.hh"
+#include "src/sat/encode.hh"
+#include "src/util/logging.hh"
+
+namespace bespoke::sat
+{
+
+namespace
+{
+
+/** Literal that is true iff `gate` differs from `value` in frame f. */
+Lit
+differsAt(const SocUnroller &un, GateId gate, bool value, int f)
+{
+    Lit l = un.gateAt(gate, f);
+    return value ? ~l : l;
+}
+
+} // namespace
+
+NeverToggleResult
+proveNeverToggling(const Netlist &nl, const AsmProgram &prog,
+                   const std::vector<NeverToggleCandidate> &candidates,
+                   const NeverToggleOptions &opts)
+{
+    bespoke_assert(opts.depth >= 1);
+    NeverToggleResult res;
+    if (candidates.empty())
+        return res;
+
+    // --- Stage 1: base case, bounded check from reset. ---
+    enum class Verdict : uint8_t { Pending, Alive, Refuted, Unknown };
+    std::vector<Verdict> verdict(candidates.size(), Verdict::Pending);
+    std::vector<size_t> alive;
+    {
+        CdclSolver solver;
+        UnrollOptions uo;
+        uo.fromReset = true;
+        uo.romMux = opts.romMux;
+        SocUnroller un(nl, prog, solver, uo);
+        for (int f = 0; f < opts.depth; f++)
+            un.addFrame();
+        Tseitin ts(solver);
+        // One "differs somewhere in the envelope" literal per
+        // candidate. Most fold at encode time.
+        std::vector<Lit> diff(candidates.size(), kFalse);
+        for (size_t i = 0; i < candidates.size(); i++) {
+            const NeverToggleCandidate &c = candidates[i];
+            std::vector<Lit> diffs;
+            for (int f = 0; f < opts.depth; f++)
+                diffs.push_back(differsAt(un, c.gate, c.value, f));
+            Lit b = ts.orL(std::move(diffs));
+            if (b == kFalse)
+                verdict[i] = Verdict::Alive;  // structurally constant
+            else if (b == kTrue)
+                verdict[i] = Verdict::Refuted;
+            else
+                diff[i] = b;
+        }
+        // Counterexample-guided waves over the whole pending set: each
+        // query asks "can ANY pending candidate leave its constant?".
+        // A model is a concrete input/cycle trace and refutes every
+        // pending candidate it drives off its value (at least one per
+        // wave, so the loop terminates); the final UNSAT answer proves
+        // all remaining candidates in a single query. This replaces
+        // one solve per candidate with one per distinct witness.
+        std::vector<size_t> pending;
+        for (size_t i = 0; i < candidates.size(); i++) {
+            if (verdict[i] == Verdict::Pending)
+                pending.push_back(i);
+        }
+        while (!pending.empty()) {
+            std::vector<Lit> ds;
+            ds.reserve(pending.size());
+            for (size_t i : pending)
+                ds.push_back(diff[i]);
+            Lit any = ts.orL(std::move(ds));
+            res.stats.queries++;
+            SolveResult r = solver.solve({any}, opts.conflictBudget);
+            if (r == SolveResult::Unsat) {
+                for (size_t i : pending)
+                    verdict[i] = Verdict::Alive;
+                break;
+            }
+            if (r == SolveResult::Unknown) {
+                // Budget exhaustion is conservative: nothing pending
+                // may be promoted to proven.
+                for (size_t i : pending)
+                    verdict[i] = Verdict::Unknown;
+                break;
+            }
+            std::vector<size_t> next;
+            for (size_t i : pending) {
+                if (solver.modelValue(diff[i]))
+                    verdict[i] = Verdict::Refuted;
+                else
+                    next.push_back(i);
+            }
+            bespoke_assert(next.size() < pending.size(),
+                           "SAT wave refuted nothing");
+            pending = std::move(next);
+        }
+        for (size_t i = 0; i < candidates.size(); i++) {
+            if (verdict[i] == Verdict::Alive)
+                alive.push_back(i);
+            else if (verdict[i] == Verdict::Refuted)
+                res.refuted.push_back(candidates[i].gate);
+            else if (verdict[i] == Verdict::Unknown)
+                res.unknown.push_back(candidates[i].gate);
+        }
+        res.stats.baseConflicts = solver.conflicts();
+    }
+    if (opts.mode == NeverToggleOptions::Mode::BoundedEnvelope) {
+        // Base-stage UNSAT is the proof: the net holds its constant
+        // for every input sequence across the whole checked horizon.
+        for (size_t i : alive)
+            res.proven.push_back(candidates[i]);
+        return res;
+    }
+    if (alive.empty())
+        return res;
+
+    // --- Stage 2: mutual induction from a free state. ---
+    CdclSolver solver;
+    UnrollOptions uo;
+    uo.fromReset = false;
+    uo.romMux = opts.romMux;
+    SocUnroller un(nl, prog, solver, uo);
+    for (int f = 0; f <= opts.depth; f++)
+        un.addFrame();
+    Tseitin ts(solver);
+
+    std::vector<Lit> act(candidates.size(), kFalse);
+    std::vector<Lit> check(candidates.size(), kFalse);
+    std::vector<size_t> survivors;
+    for (size_t i : alive) {
+        const NeverToggleCandidate &c = candidates[i];
+        Lit a = ts.fresh();
+        bool dropped = false;
+        for (int f = 0; f < opts.depth; f++) {
+            Lit eq = ~differsAt(un, c.gate, c.value, f);
+            if (eq == kFalse) {
+                // The hypothesis is unsatisfiable in this frame; the
+                // candidate cannot be assumed. Never encode {~a}: a
+                // false activation literal in the shared assumption
+                // set would make every query vacuously UNSAT.
+                dropped = true;
+                break;
+            }
+            if (eq == kTrue)
+                continue;
+            solver.binary(~a, eq);
+        }
+        if (dropped) {
+            res.unknown.push_back(c.gate);
+            continue;
+        }
+        act[i] = a;
+        check[i] = differsAt(un, c.gate, c.value, opts.depth);
+        survivors.push_back(i);
+    }
+
+    bool changed = true;
+    while (changed && !survivors.empty()) {
+        changed = false;
+        res.stats.rounds++;
+        std::vector<size_t> next;
+        for (size_t k = 0; k < survivors.size(); k++) {
+            size_t i = survivors[k];
+            if (check[i] == kFalse) {
+                next.push_back(i);  // holds at frame depth outright
+                continue;
+            }
+            std::vector<Lit> assumps;
+            assumps.reserve(survivors.size() + 1);
+            for (size_t j : survivors)
+                assumps.push_back(act[j]);
+            assumps.push_back(check[i]);
+            res.stats.queries++;
+            SolveResult r = solver.solve(assumps, opts.conflictBudget);
+            if (r == SolveResult::Unsat) {
+                next.push_back(i);
+            } else {
+                // Induction failed (or budget ran out): not proven.
+                // Removing i weakens every earlier UNSAT that assumed
+                // it, so the fixpoint loop runs another round.
+                res.unknown.push_back(candidates[i].gate);
+                changed = true;
+            }
+        }
+        survivors = std::move(next);
+    }
+    res.stats.stepConflicts = solver.conflicts();
+
+    for (size_t i : survivors)
+        res.proven.push_back(candidates[i]);
+    return res;
+}
+
+} // namespace bespoke::sat

@@ -216,6 +216,20 @@ parseJobSpec(const JsonValue &doc, JobSpec *out, std::string *err)
             if (!uintField(v, key, &u))
                 return false;
             spec.maxMutants = static_cast<int>(u);
+        } else if (key == "passes") {
+            if (!want(v, JsonValue::Kind::String, key, "a string"))
+                return false;
+            spec.passes = v.asString();
+            PassPipelineOptions probe;
+            std::string perr;
+            if (!parsePassList(spec.passes, &probe, &perr)) {
+                *err = "job key 'passes': " + perr;
+                return false;
+            }
+        } else if (key == "sat_depth") {
+            if (!uintField(v, key, &u))
+                return false;
+            spec.satDepth = static_cast<int>(u);
         } else {
             *err = "unknown job key '" + key + "'";
             return false;
@@ -343,17 +357,54 @@ JobScheduler::submit(JobSpec spec)
     {
         std::lock_guard<std::mutex> lk(m_);
         bespoke_assert(!stop_, "submit() on a stopping JobScheduler");
-        size_t idx = specs_.size();
-        if (spec.id.empty())
-            spec.id = spec.kind + "-" + std::to_string(idx);
-        id = spec.id;
-        specs_.push_back(std::move(spec));
-        results_.emplace_back();
-        resultReady_.push_back(false);
-        queue_.push_back(idx);
-        outstanding_++;
+        id = submitLocked(std::move(spec));
     }
     wake_.notify_one();
+    return id;
+}
+
+JobResult
+backpressureRejection(const std::string &id, const std::string &kind,
+                      size_t max_queued, const std::string &fallback_id)
+{
+    JobResult res;
+    res.id = id.empty() ? fallback_id : id;
+    res.kind = kind;
+    res.ok = false;
+    res.error = "rejected: backpressure (" +
+                std::to_string(max_queued) + " outstanding jobs)";
+    res.payload = JsonValue::object();
+    return res;
+}
+
+bool
+JobScheduler::trySubmit(JobSpec spec, std::string *id_out)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        bespoke_assert(!stop_, "trySubmit() on a stopping JobScheduler");
+        if (opts_.maxQueued > 0 && outstanding_ >= opts_.maxQueued)
+            return false;
+        std::string id = submitLocked(std::move(spec));
+        if (id_out)
+            *id_out = std::move(id);
+    }
+    wake_.notify_one();
+    return true;
+}
+
+std::string
+JobScheduler::submitLocked(JobSpec spec)
+{
+    size_t idx = specs_.size();
+    if (spec.id.empty())
+        spec.id = spec.kind + "-" + std::to_string(idx);
+    std::string id = spec.id;
+    specs_.push_back(std::move(spec));
+    results_.emplace_back();
+    resultReady_.push_back(false);
+    queue_.push_back(idx);
+    outstanding_++;
     return id;
 }
 
@@ -558,15 +609,25 @@ JobScheduler::runJob(const JobSpec &spec)
                 fopts.powerInputsPerWorkload = spec.powerInputs;
             if (spec.powerSeed != 0)
                 fopts.powerSeed = spec.powerSeed;
+            if (!spec.passes.empty()) {
+                std::string perr;
+                // Validated at parse time; re-check defensively.
+                if (!parsePassList(spec.passes, &fopts.passes, &perr))
+                    fail("bad pass list: " + perr);
+            }
+            if (spec.satDepth > 0)
+                fopts.passes.sat.depth = spec.satDepth;
             fopts.stageCallback = addStage;
             BespokeFlow flow(fopts, std::move(baseline));
 
             BespokeDesign d;
-            bool built = apps.size() == 1
-                             ? flow.tryTailor(*apps[0], &d, &err)
-                             : flow.tryTailorMulti(apps, &d, &err);
+            bool built = res.error.empty() &&
+                         (apps.size() == 1
+                              ? flow.tryTailor(*apps[0], &d, &err)
+                              : flow.tryTailorMulti(apps, &d, &err));
             if (!built) {
-                fail(err);
+                if (res.error.empty())
+                    fail(err);
             } else {
                 JsonValue names = JsonValue::array();
                 for (const Workload *w : apps)
@@ -596,6 +657,23 @@ JobScheduler::runJob(const JobSpec &spec)
                 res.payload.set(
                     "power_vmin_uw",
                     JsonValue::number(d.metrics.powerAtVmin.totalUW()));
+                if (fopts.passes.satNeverToggle) {
+                    JsonValue satj = JsonValue::object();
+                    satj.set("candidates",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satCandidates)));
+                    satj.set("proven",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satProven)));
+                    satj.set("refuted",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satRefuted)));
+                    satj.set("unknown",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satUnknown)));
+                    res.payload.set("sat_never_toggle",
+                                    std::move(satj));
+                }
                 if (spec.kind == "verify") {
                     AnalysisOptions aopts = fopts.analysis;
                     auto tv = std::chrono::steady_clock::now();

@@ -77,6 +77,11 @@ struct JobSpec
     int inputsPerMutant = 0;
     uint64_t mutantSeed = 0;
     int maxMutants = 0;
+    /** tailor/verify: pass list override (parsePassList names);
+     *  "" keeps the scheduler's base FlowOptions pass selection. */
+    std::string passes;
+    /** SAT never-toggle unrolling depth override (0 = keep base). */
+    int satDepth = 0;
 };
 
 /**
@@ -140,6 +145,14 @@ struct SchedulerOptions
     /** Base flow configuration every job starts from. */
     FlowOptions flow;
     /**
+     * Backpressure cap: maximum outstanding (queued + running) jobs a
+     * trySubmit() may add. 0 = unlimited. submit() ignores the cap
+     * (batch mode loads a whole file deliberately); serve mode uses
+     * trySubmit() so a fast producer on stdin cannot queue unbounded
+     * memory.
+     */
+    size_t maxQueued = 0;
+    /**
      * Structured progress stream: one JSON object per event
      * (job_start / stage / job_done). Serialized — invoked under a
      * lock, never concurrently. Null disables.
@@ -151,6 +164,18 @@ struct SchedulerOptions
      */
     std::function<void(const JobResult &result)> onResult;
 };
+
+/**
+ * Structured result for a submission refused by the backpressure cap:
+ * ok == false, empty payload, and an error naming the cap so stream
+ * consumers can tell a rejection from a job that ran and failed. This
+ * is the result line `bespoke_io serve` emits for a trySubmit()
+ * refusal (`fallback_id` labels specs that carried no id).
+ */
+JobResult backpressureRejection(const std::string &id,
+                                const std::string &kind,
+                                size_t max_queued,
+                                const std::string &fallback_id);
 
 class JobScheduler
 {
@@ -169,6 +194,14 @@ class JobScheduler
     std::string submit(JobSpec spec);
 
     /**
+     * Enqueue a job unless the maxQueued backpressure cap is reached.
+     * Returns false (and does not take the job) when outstanding jobs
+     * are at the cap; otherwise behaves like submit(), storing the id
+     * in *id_out when given.
+     */
+    bool trySubmit(JobSpec spec, std::string *id_out = nullptr);
+
+    /**
      * Block until every submitted job has completed and return all
      * results so far, in submission order. The scheduler stays usable:
      * more jobs may be submitted afterwards (serve mode drains once
@@ -184,6 +217,8 @@ class JobScheduler
     void runnerLoop();
     JobResult runJob(const JobSpec &spec);
     void emitProgress(const JsonValue &event);
+    /** Shared submit body; caller holds m_ and notifies wake_. */
+    std::string submitLocked(JobSpec spec);
 
     SchedulerOptions opts_;
     std::shared_ptr<CheckpointCoordinator> coord_;

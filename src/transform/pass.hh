@@ -33,6 +33,8 @@
 namespace bespoke
 {
 
+struct AsmProgram;
+
 /**
  * Everything the caller supplies to a pass pipeline: model parameters,
  * the clock budget, and replay callbacks for activity measurement. All
@@ -45,6 +47,9 @@ struct PassEnv
     const TimingParams *timing = nullptr;
     /** Power model; null = library defaults. */
     const PowerParams *power = nullptr;
+    /** Program image, for passes that reason about the full SoC (the
+     *  SAT never-toggle prover); null = those passes are skipped. */
+    const AsmProgram *program = nullptr;
     /**
      * Clock period budget (ps) for timing-aware passes. 0 = derive
      * from the working netlist's own critical path with the flow's

@@ -7,6 +7,8 @@
 #include <set>
 
 #include "src/builder/net_builder.hh"
+#include "src/isa/assembler.hh"
+#include "src/sat/never_toggle.hh"
 #include "src/util/logging.hh"
 
 namespace bespoke
@@ -489,6 +491,115 @@ class RewriteSearchPass : public TransformPass
     size_t rewritten_ = 0;
 };
 
+/**
+ * SAT never-toggle proving pass: pick up the gates the X-propagating
+ * analysis left toggleable but the measured replay never saw move,
+ * and ask the CDCL prover (src/sat/never_toggle) whether any reachable
+ * input/cycle combination can flip them. Proven gates are tied to
+ * their constant exactly like the cut pass would have done — the SAT
+ * proof alone justifies the rewrite (its envelope covers every real
+ * execution); the measured evidence only selects candidates.
+ */
+class SatNeverTogglePass : public TransformPass
+{
+  public:
+    static constexpr int kMaxSatFrames = 100000;
+
+    explicit SatNeverTogglePass(const SatNeverToggleOptions &opts)
+        : opts_(opts)
+    {}
+
+    const char *name() const override { return "sat-never-toggle"; }
+
+    size_t
+    run(Rewriter &rw, PassContext &ctx) override
+    {
+        const PassEnv &env = ctx.env();
+        if (!env.program || !ctx.hasActivity() || !env.measureDuty ||
+            opts_.depth <= 0)
+        {
+            return 0;
+        }
+        // Unrolling memory grows with the horizon; an analysis that
+        // explored millions of cycles is out of the prover's reach.
+        if (opts_.depth > kMaxSatFrames) {
+            bespoke_warn("sat-never-toggle: horizon ", opts_.depth,
+                         " frames exceeds the ", kMaxSatFrames,
+                         "-frame cap; pass skipped");
+            return 0;
+        }
+        const Netlist &nl = ctx.netlist();
+        const ToggleCounter &tc = ctx.activity();
+        if (tc.cycles() == 0)
+            return 0;
+        std::vector<GateId> ids;
+        for (GateId i = 0; i < nl.size(); i++) {
+            const Gate &g = nl.gate(i);
+            if (cellPseudo(g.type) || g.type == CellType::TIE0 ||
+                g.type == CellType::TIE1) {
+                continue;
+            }
+            if (tc.count(i) == 0)
+                ids.push_back(i);
+        }
+        if (ids.empty())
+            return 0;
+        // Observed constant value from duty. A zero-toggle gate held
+        // exactly one value for the whole replay: 0, 1, or X. Duty
+        // counts 1-or-X cycles as high, so high == 0 pins the value at
+        // 0, while high == cycles is ambiguous between always-1 and
+        // always-X — an always-X gate may well be the X-pessimism
+        // victim this pass exists for (really constant 0, but 3-valued
+        // propagation can't see it), so try both polarities there. At
+        // most one polarity survives the base stage; a wrong guess is
+        // simply refuted and costs one query.
+        std::vector<uint64_t> high;
+        uint64_t cycles = 0;
+        env.measureDuty(nl, ids, &high, &cycles);
+        if (cycles == 0)
+            return 0;
+        std::vector<sat::NeverToggleCandidate> cands;
+        for (size_t k = 0; k < ids.size(); k++) {
+            if (high[k] == 0) {
+                cands.push_back({ids[k], false});
+            } else if (high[k] == cycles) {
+                cands.push_back({ids[k], true});
+                cands.push_back({ids[k], false});
+            }
+        }
+        if (cands.empty())
+            return 0;
+        sat::NeverToggleOptions no;
+        no.mode = opts_.induction
+                      ? sat::NeverToggleOptions::Mode::Induction
+                      : sat::NeverToggleOptions::Mode::BoundedEnvelope;
+        no.depth = opts_.depth;
+        no.conflictBudget = opts_.conflictBudget;
+        no.romMux = opts_.romMux;
+        candidates_ = cands.size();
+        sat::NeverToggleResult res =
+            sat::proveNeverToggling(nl, *env.program, cands, no);
+        proven_ = res.proven.size();
+        refuted_ = res.refuted.size();
+        unknown_ = res.unknown.size();
+        for (const sat::NeverToggleCandidate &c : res.proven)
+            rw.makeConstant(c.gate, c.value);
+        return res.proven.size();
+    }
+
+    size_t candidates() const { return candidates_; }
+    size_t proven() const { return proven_; }
+    size_t refuted() const { return refuted_; }
+    size_t unknown() const { return unknown_; }
+
+  private:
+    SatNeverToggleOptions opts_;
+    size_t candidates_ = 0;
+    size_t proven_ = 0;
+    size_t refuted_ = 0;
+    size_t unknown_ = 0;
+};
+
 void
 snapshotMetrics(const Netlist &nl, const PassEnv &env,
                 const TimingParams &timing, const PowerParams &power,
@@ -776,6 +887,11 @@ hashPassPipelineOptions(const PassPipelineOptions &opts)
     h = fnvDouble(h, opts.gating.maxDuty);
     h = fnv64(h, opts.gating.minBankBits);
     h = fnvDouble(h, opts.gating.icgFlopEquivalents);
+    h = fnv64(h, opts.satNeverToggle);
+    h = fnv64(h, static_cast<uint64_t>(opts.sat.depth));
+    h = fnv64(h, opts.sat.conflictBudget);
+    h = fnv64(h, opts.sat.romMux);
+    h = fnv64(h, opts.sat.induction);
     return h;
 }
 
@@ -788,6 +904,7 @@ parsePassList(const std::string &list, PassPipelineOptions *opts,
     opts->constantFold = true;
     opts->rewriteSearch = false;
     opts->clockGating = false;
+    opts->satNeverToggle = false;
     size_t pos = 0;
     while (pos <= list.size()) {
         size_t comma = list.find(',', pos);
@@ -809,6 +926,9 @@ parsePassList(const std::string &list, PassPipelineOptions *opts,
             opts->rewriteSearch = true;
         } else if (name == "clock-gating") {
             opts->clockGating = true;
+        } else if (name == "sat-never-toggle" ||
+                   name == "sat_never_toggle") {
+            opts->satNeverToggle = true;
         } else if (name == "all") {
             opts->constantFold = true;
             opts->rewriteSearch = true;
@@ -925,6 +1045,37 @@ runTailorPipeline(const Netlist &src, const ActivityTracker *activity,
         size_t before_cells = current.numCells();
         size_t marks = resynthFixpoint(current);
         record("constant-fold", marks, before_cells, t0, pb, db);
+    }
+
+    // SAT never-toggle proving: exact recovery of cut opportunities
+    // X-pessimism left behind. Runs before the rewrite search so
+    // promoted constants shrink its search space.
+    if (opts.satNeverToggle && env.program && env.measureActivity &&
+        env.measureDuty)
+    {
+        double pb, db;
+        before_metrics(&pb, &db);
+        double t0 = nowMs();
+        size_t before_cells = current.numCells();
+        SatNeverTogglePass pass(opts.sat);
+        ctx.bind(current);
+        Rewriter rw(current);
+        size_t n = pass.run(rw, ctx);
+        if (n > 0) {
+            current = rw.compact().netlist;
+            current = sweepDead(current).netlist;
+            ctx.invalidate();
+        }
+        if (report) {
+            report->satCandidates = pass.candidates();
+            report->satProven = pass.proven();
+            report->satRefuted = pass.refuted();
+            report->satUnknown = pass.unknown();
+        }
+        // Promoted constants fold onward exactly like cut gates.
+        if (opts.constantFold && n > 0)
+            resynthFixpoint(current);
+        record("sat-never-toggle", n, before_cells, t0, pb, db);
     }
 
     // Cost-driven datapath rewrite search.

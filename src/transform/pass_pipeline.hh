@@ -25,6 +25,12 @@
  *  - clock-gating: plan ICGs for DFFE banks with rare write enables
  *    (src/gating/clock_gating.hh); annotation-only, the netlist is
  *    unchanged.
+ *  - sat-never-toggle: prove, by CDCL k-induction over the unrolled
+ *    design (src/sat/never_toggle.hh), that gates the X-propagating
+ *    activity analysis left toggleable can in fact never leave their
+ *    observed constant value; proven gates are promoted into the cut
+ *    set. Needs the program image (PassEnv::program) and an activity
+ *    provider; skipped (zero-change) without them.
  */
 
 #ifndef BESPOKE_TRANSFORM_PASS_PIPELINE_HH
@@ -50,6 +56,25 @@ struct RewriteSearchOptions
     double minGainFraction = 1e-3;
 };
 
+/** Knobs of the SAT never-toggle proving pass. */
+struct SatNeverToggleOptions
+{
+    /**
+     * Unrolling depth in frames. 0 = auto: the flow resolves it to the
+     * activity analysis's full cycle horizon, making the bounded SAT
+     * proof cover exactly the envelope the X-analysis proves its own
+     * constants over. The pass is skipped if 0 reaches it unresolved.
+     */
+    int depth = 0;
+    /** Per-query CDCL conflict budget (0 = unlimited). */
+    uint64_t conflictBudget = 50000;
+    /** Exact ROM mux for symbolic-address reads. */
+    bool romMux = true;
+    /** Require an unbounded k-induction proof on top of the bounded
+     *  envelope proof (rarely succeeds; see src/sat/never_toggle.hh). */
+    bool induction = false;
+};
+
 /** Which passes run, and their knobs. */
 struct PassPipelineOptions
 {
@@ -60,10 +85,12 @@ struct PassPipelineOptions
     bool moduleCut = false;
     bool rewriteSearch = false;
     bool clockGating = false;
+    bool satNeverToggle = false;
     /** Collect per-pass power/depth numbers (costs extra analyses). */
     bool collectMetrics = false;
     RewriteSearchOptions rewrite;
     ClockGatingOptions gating;
+    SatNeverToggleOptions sat;
 };
 
 /** Hash of every behavior-relevant pipeline option (checkpoint keys). */
@@ -72,10 +99,13 @@ uint64_t hashPassPipelineOptions(const PassPipelineOptions &opts);
 /**
  * Parse a comma-separated pass list into options: "default" (or "")
  * = constant folding only; names "constant-fold", "rewrite-search",
- * "clock-gating" enable individual passes; "all" enables everything.
- * Unknown names fail with *err set. Parsed lists always start from the
- * default configuration (constant folding stays on unless the list is
- * exactly "none").
+ * "clock-gating", "sat-never-toggle" (alias "sat_never_toggle") enable
+ * individual passes; "all" enables every cost-driven pass but NOT the
+ * SAT pass, which stays opt-in (solver time is unbounded in principle
+ * and existing "all" baselines must not shift). Unknown names fail
+ * with *err set. Parsed lists always start from the default
+ * configuration (constant folding stays on unless the list is exactly
+ * "none").
  */
 bool parsePassList(const std::string &list, PassPipelineOptions *opts,
                    std::string *err);
@@ -88,6 +118,11 @@ struct PipelineReport
     size_t rewrittenInstances = 0;
     /** Clock-gating plan (empty unless the pass ran). */
     ClockGatingReport gating;
+    /** SAT never-toggle pass outcome (zero unless the pass ran). */
+    size_t satCandidates = 0;
+    size_t satProven = 0;
+    size_t satRefuted = 0;
+    size_t satUnknown = 0;
 };
 
 /**

@@ -253,6 +253,89 @@ TEST(JobScheduler, IdenticalConcurrentJobsComputeStagesOnce)
     fs::remove_all(dir);
 }
 
+/**
+ * Backpressure: trySubmit() refuses work beyond the cap while
+ * submit() (batch mode) deliberately ignores it. One runner thread and
+ * two immediate trySubmit() calls make the refusal deterministic: the
+ * first job cannot have drained the queue between two back-to-back
+ * enqueues.
+ */
+TEST(JobScheduler, TrySubmitEnforcesBackpressureCap)
+{
+    SchedulerOptions sopts = fastOpts(1, 1);
+    sopts.maxQueued = 2;
+    JobScheduler sched(std::move(sopts));
+    std::string id;
+    EXPECT_TRUE(sched.trySubmit(tailorSpec("mult", "a"), &id));
+    EXPECT_EQ(id, "a");
+    EXPECT_TRUE(sched.trySubmit(tailorSpec("div", "b")));
+    EXPECT_FALSE(sched.trySubmit(tailorSpec("binSearch", "c")));
+    // Batch submission bypasses the cap by design.
+    sched.submit(tailorSpec("mult", "d"));
+    std::vector<JobResult> results = sched.finish();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].id, "a");
+    EXPECT_EQ(results[1].id, "b");
+    EXPECT_EQ(results[2].id, "d");
+    for (const JobResult &r : results)
+        EXPECT_TRUE(r.ok) << r.id << ": " << r.error;
+    // Once drained, the same scheduler accepts again.
+    EXPECT_TRUE(sched.trySubmit(tailorSpec("mult", "e")));
+    EXPECT_TRUE(sched.finish().back().ok);
+}
+
+/** The serve-mode rejection line: shape pinned for stream consumers. */
+TEST(JobScheduler, BackpressureRejectionResultShape)
+{
+    JobResult r = backpressureRejection("j7", "tailor", 3, "line-12");
+    EXPECT_EQ(r.id, "j7");
+    EXPECT_EQ(r.kind, "tailor");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "rejected: backpressure (3 outstanding jobs)");
+    // Specs without an id get the caller's fallback label.
+    EXPECT_EQ(backpressureRejection("", "verify", 1, "line-4").id,
+              "line-4");
+    JsonValue j = r.deterministicJson();
+    EXPECT_EQ(j.find("id")->asString(), "j7");
+    EXPECT_FALSE(j.find("ok")->asBool());
+    EXPECT_NE(j.find("error")->asString().find("rejected: backpressure"),
+              std::string::npos);
+}
+
+/**
+ * The SAT never-toggle pass running inside concurrent scheduler jobs
+ * (the TSan shard executes this under the race detector): verdicts and
+ * payloads must be bit-identical to a serial run, at any thread count.
+ */
+TEST(JobScheduler, SatPassInsideConcurrentJobsMatchesSerial)
+{
+    auto satSpec = [](const std::string &id) {
+        JobSpec spec = tailorSpec("mult", id);
+        spec.passes = "default,sat-never-toggle";
+        spec.satDepth = 12;  // keep the bounded check cheap here
+        return spec;
+    };
+    std::vector<JobSpec> queue = {satSpec("s1"), satSpec("s2")};
+    std::vector<JobResult> serial = runQueue(queue, fastOpts(1, 1));
+    std::vector<JobSpec> wide = queue;
+    for (JobSpec &spec : wide)
+        spec.threads = 2;
+    std::vector<JobResult> conc = runQueue(wide, fastOpts(2, 2));
+    ASSERT_EQ(serial.size(), conc.size());
+    for (size_t i = 0; i < serial.size(); i++) {
+        EXPECT_TRUE(serial[i].ok) << serial[i].error;
+        EXPECT_EQ(serial[i].deterministicJson().dump(),
+                  conc[i].deterministicJson().dump())
+            << "job " << serial[i].id;
+    }
+    // The payload carries the SAT verdict block.
+    const JsonValue *sat =
+        serial[0].payload.find("sat_never_toggle");
+    ASSERT_NE(sat, nullptr);
+    EXPECT_NE(sat->find("candidates"), nullptr);
+    EXPECT_NE(sat->find("proven"), nullptr);
+}
+
 TEST(JobScheduler, FailedJobDoesNotAbortQueue)
 {
     std::vector<JobSpec> queue;

@@ -15,21 +15,40 @@
  *   bespoke_io tailor  -i FILE --app NAME -o FILE
  *                      [--checkpoint-dir DIR] [--verify] [--threads N]
  *                      [--passes LIST] [--status-json FILE]
+ *                      [--sat-depth N]
  *       Import an external netlist, run activity analysis for the
  *       application on it, run the tailoring pass pipeline, re-size,
  *       and export the bespoke result, printing one summary line per
  *       pass (changes, gates, delta power, delta depth, wall time).
  *       --passes selects pipeline passes ("default", "rewrite-search",
- *       "clock-gating", "all", comma-separated); --status-json writes
- *       the per-pass stats, rewrite count, and clock-gating plan as
- *       JSON. --verify additionally proves the result symbolically
- *       equivalent to the imported original for the application.
+ *       "clock-gating", "sat-never-toggle", "all", comma-separated;
+ *       "all" does NOT include the opt-in SAT pass); --status-json
+ *       writes the per-pass stats, rewrite count, clock-gating plan,
+ *       and SAT never-toggle verdict counts as JSON; --sat-depth
+ *       bounds the SAT pass's unrolling envelope (0 = the analysis
+ *       horizon). --verify additionally proves the result symbolically
+ *       equivalent to the imported original for the application and
+ *       cross-checks with a bounded CDCL miter (fixed shallow depth
+ *       and conflict budget — use `prove` for deeper miters).
  *       --checkpoint-dir caches the analysis artifact keyed by
  *       (netlist hash, program hash, options hash).
  *   bespoke_io check   -i FILE --app NAME [--against FILE]
  *       Symbolic equivalence of an imported netlist against a freshly
  *       built baseline core (or a second imported file) for one
  *       application.
+ *   bespoke_io prove   -i FILE --app NAME [--against FILE]
+ *                      [--sat-depth N]
+ *       Independent SAT equivalence check (src/sat/): bounded miter
+ *       over the CNF unrolling, CDCL-solved, with any witness
+ *       confirmed by concrete 3-valued replay. Complements `check` —
+ *       a completely separate prover over a different value domain.
+ *   bespoke_io export-cnf --app NAME -o FILE[.cnf|.smt2]
+ *                      [-i FILE] [--miter [--against FILE]]
+ *                      [--sat-depth N]
+ *       Dump the Tseitin CNF of the unrolled design (or, with
+ *       --miter, of the equivalence miter between -i and the
+ *       reference) as DIMACS or bit-blasted SMT2 for external
+ *       solvers.
  *   bespoke_io batch   --jobs FILE [--job-threads N]
  *                      [--worker-threads N] [--checkpoint-dir DIR]
  *                      [--checkpoint-max-bytes N]
@@ -39,9 +58,13 @@
  *       completion even when others fail; --status-json writes the
  *       full per-job result summary.
  *   bespoke_io serve   [batch flags except --jobs/--status-json]
+ *                      [--max-queued N]
  *       Job server: one JSON job spec per stdin line, one JSON result
  *       line per completed job on stdout (completion order). Exits
- *       after EOF once the queue drains.
+ *       after EOF once the queue drains. --max-queued bounds the
+ *       outstanding (queued + running) jobs; excess submissions get an
+ *       immediate structured "rejected: backpressure" result line
+ *       instead of buffering unbounded stdin input in memory.
  *
  * Exit codes: 0 success, 1 validation/equivalence/job failure
  * (the batch/serve queue always runs to completion first), 2 usage.
@@ -59,6 +82,8 @@
 #include "src/bespoke/checkpoint.hh"
 #include "src/bespoke/equiv_check.hh"
 #include "src/cpu/bsp430.hh"
+#include "src/sat/cdcl.hh"
+#include "src/sat/equiv_prover.hh"
 #include "src/io/netlist_json.hh"
 #include "src/io/verilog_import.hh"
 #include "src/netlist/verilog_export.hh"
@@ -90,15 +115,21 @@ usage(const std::string &msg = "")
         "  bespoke_io tailor  -i FILE --app NAME -o FILE\n"
         "                     [--checkpoint-dir DIR] [--verify]"
         " [--threads N]\n"
-        "                     [--passes LIST] [--status-json FILE]\n"
+        "                     [--passes LIST] [--status-json FILE]"
+        " [--sat-depth N]\n"
         "  bespoke_io check   -i FILE --app NAME [--against FILE]\n"
+        "  bespoke_io prove   -i FILE --app NAME [--against FILE]"
+        " [--sat-depth N]\n"
+        "  bespoke_io export-cnf --app NAME -o FILE [-i FILE]"
+        " [--miter]\n"
+        "                     [--against FILE] [--sat-depth N]\n"
         "  bespoke_io batch   --jobs FILE [--job-threads N]"
         " [--worker-threads N]\n"
         "                     [--checkpoint-dir DIR]"
         " [--checkpoint-max-bytes N]\n"
         "                     [--status-json FILE] [--progress]\n"
         "  bespoke_io serve   [batch flags except --jobs/--status-json]"
-        "\n"
+        " [--max-queued N]\n"
         "formats are chosen by file extension: .v structural Verilog,"
         " .json canonical JSON\n");
     std::exit(2);
@@ -184,9 +215,12 @@ struct Args
     std::string passes;
     bool verify = false;
     bool progress = false;
+    bool miter = false;
     int threads = 1;
     int jobThreads = 1;
     int workerThreads = 0;
+    int satDepth = 0;  ///< 0 = per-command default
+    size_t maxQueued = 0;
     uint64_t checkpointMaxBytes = 0;
 };
 
@@ -226,6 +260,12 @@ parseArgs(int argc, char **argv)
             a.verify = true;
         else if (arg == "--progress")
             a.progress = true;
+        else if (arg == "--miter")
+            a.miter = true;
+        else if (arg == "--sat-depth")
+            a.satDepth = std::atoi(value().c_str());
+        else if (arg == "--max-queued")
+            a.maxQueued = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--threads")
             a.threads = std::atoi(value().c_str());
         else if (arg == "--job-threads")
@@ -380,6 +420,12 @@ printPassSummary(const PipelineReport &report)
                     report.gating.gatedFlops(),
                     report.gating.savedClockUW);
     }
+    if (report.satCandidates > 0) {
+        std::printf("sat never-toggle: %zu candidate(s), %zu proven,"
+                    " %zu refuted, %zu undecided\n",
+                    report.satCandidates, report.satProven,
+                    report.satRefuted, report.satUnknown);
+    }
 }
 
 /** The tailor run's per-pass stats and gating plan as JSON. */
@@ -431,6 +477,17 @@ tailorStatusJson(const Args &a, const CutStats &cut,
     jg.set("saved_clock_uw",
            JsonValue::number(report.gating.savedClockUW));
     doc.set("gating", std::move(jg));
+    JsonValue js = JsonValue::object();
+    js.set("candidates",
+           JsonValue::number(
+               static_cast<double>(report.satCandidates)));
+    js.set("proven",
+           JsonValue::number(static_cast<double>(report.satProven)));
+    js.set("refuted",
+           JsonValue::number(static_cast<double>(report.satRefuted)));
+    js.set("unknown",
+           JsonValue::number(static_cast<double>(report.satUnknown)));
+    doc.set("sat_never_toggle", std::move(js));
     doc.set("verified", JsonValue::boolean(verified));
     return doc;
 }
@@ -445,6 +502,8 @@ cmdTailor(const Args &a)
     if (!parsePassList(a.passes, &popts, &perr))
         usage("--passes: " + perr);
     popts.collectMetrics = true;
+    if (a.satDepth > 0)
+        popts.sat.depth = a.satDepth;
     Netlist original = importFile(a.in);
     printStats("imported", original);
 
@@ -466,6 +525,11 @@ cmdTailor(const Args &a)
     CutStats cut;
     PipelineReport report;
     PassEnv env = makeTailorEnv(app);
+    env.program = &prog;
+    // Auto depth: the SAT pass's bounded proof covers exactly the
+    // envelope the X-analysis explored.
+    if (popts.satNeverToggle && popts.sat.depth == 0)
+        popts.sat.depth = static_cast<int>(r.cyclesSimulated);
     Netlist bespoke_nl = runTailorPipeline(original, r.activity.get(),
                                            popts, env, &cut, &report);
     sizeForLoads(bespoke_nl);
@@ -482,6 +546,26 @@ cmdTailor(const Args &a)
                     " paths\n",
                     static_cast<unsigned long long>(eq.outputsCompared),
                     static_cast<unsigned long long>(eq.pathsExplored));
+        // Independent cross-check: the CDCL miter shares no code with
+        // the symbolic engine. A confirmed SAT witness here means one
+        // of the two provers is wrong — fail loudly. The miter stays
+        // at its own shallow default depth with a finite conflict
+        // budget: --sat-depth steers the pass's unrolling envelope,
+        // and a deep miter over an aggressively cut design can be
+        // intractable. Budget exhaustion degrades to Unknown, which
+        // is reported but non-fatal — the symbolic proof above is
+        // authoritative; `prove` exists for deeper explicit miters.
+        sat::SatEquivOptions so;
+        so.conflictBudget = 200000;
+        sat::SatEquivResult sr =
+            sat::proveEquivalentSat(original, bespoke_nl, prog, so);
+        if (sr.verdict == sat::SatEquivVerdict::NotEquivalent)
+            fail("SAT cross-check disagrees with the symbolic prover: " +
+                 sr.detail);
+        std::printf("sat cross-check (depth %d): %s\n", sr.depth,
+                    sr.verdict == sat::SatEquivVerdict::Equivalent
+                        ? "equivalent"
+                        : sr.detail.c_str());
     }
 
     if (!a.statusJson.empty()) {
@@ -520,6 +604,108 @@ cmdCheck(const Args &a)
                 a.app.c_str(),
                 static_cast<unsigned long long>(eq.outputsCompared),
                 static_cast<unsigned long long>(eq.pathsExplored));
+    return 0;
+}
+
+int
+cmdProve(const Args &a)
+{
+    if (a.in.empty() || a.app.empty())
+        usage("prove needs -i FILE and --app NAME");
+    Netlist candidate = importFile(a.in);
+    Netlist reference =
+        a.against.empty() ? buildCore(a.core) : importFile(a.against);
+
+    const Workload &app = workloadByName(a.app);
+    AsmProgram prog = app.assembleProgram();
+    sat::SatEquivOptions so;
+    if (a.satDepth > 0)
+        so.depth = a.satDepth;
+    // Finite (if generous) budget so a pathological miter fails with
+    // an "undecided" diagnosis instead of spinning forever.
+    so.conflictBudget = 5000000;
+    sat::SatEquivResult sr =
+        sat::proveEquivalentSat(reference, candidate, prog, so);
+    std::printf("sat prove (depth %d): %llu vars, %llu conflicts\n",
+                sr.depth, static_cast<unsigned long long>(sr.vars),
+                static_cast<unsigned long long>(sr.conflicts));
+    if (sr.verdict == sat::SatEquivVerdict::Equivalent) {
+        std::printf("equivalent for '%s': %s\n", a.app.c_str(),
+                    sr.detail.c_str());
+        return 0;
+    }
+    if (sr.verdict == sat::SatEquivVerdict::NotEquivalent)
+        fail("NOT equivalent for '" + a.app + "': " + sr.detail);
+    fail("undecided for '" + a.app + "': " + sr.detail);
+}
+
+int
+cmdExportCnf(const Args &a)
+{
+    if (a.app.empty() || a.out.empty())
+        usage("export-cnf needs --app NAME and -o FILE");
+    if (a.miter && a.in.empty())
+        usage("export-cnf --miter needs -i FILE (the candidate)");
+    const Workload &app = workloadByName(a.app);
+    AsmProgram prog = app.assembleProgram();
+    int depth = a.satDepth > 0 ? a.satDepth : 8;
+
+    sat::Cnf cnf;
+    sat::UnrollOptions uo;
+    Netlist leader;
+    Netlist follower;
+    if (a.miter) {
+        leader = a.against.empty() ? buildCore(a.core)
+                                   : importFile(a.against);
+        follower = importFile(a.in);
+    } else {
+        leader = a.in.empty() ? buildCore(a.core) : importFile(a.in);
+    }
+    sat::SocUnroller un(leader, prog, cnf, uo);
+    if (a.miter) {
+        un.attachFollower(follower);
+        sat::Lit bad = sat::encodeMiter(un, leader, follower, depth);
+        cnf.comment("miter: reference vs '" + a.in + "' for app '" +
+                    a.app + "', depth " +
+                    std::to_string(depth));
+        cnf.comment("satisfiable iff a shared output can diverge");
+        cnf.unit(bad);
+    } else {
+        for (int f = 0; f < depth; f++)
+            un.addFrame();
+        cnf.comment("unrolling of app '" + a.app + "', depth " +
+                    std::to_string(depth) + " (no property asserted)");
+    }
+    // Name the free variables so witnesses are readable.
+    for (const sat::FreeVarInfo &fv : un.freeVars()) {
+        const char *kind = nullptr;
+        switch (fv.kind) {
+          case sat::FreeVarInfo::Kind::GpioIn:   kind = "gpio_in"; break;
+          case sat::FreeVarInfo::Kind::IrqExt:   kind = "irq_ext"; break;
+          case sat::FreeVarInfo::Kind::RamInit:  kind = "ram_init"; break;
+          case sat::FreeVarInfo::Kind::InitRdata: kind = "rdata0"; break;
+          default: break;  // scratch kinds stay unnamed
+        }
+        if (!kind)
+            continue;
+        cnf.nameVar(fv.var, std::string(kind) + "[f" +
+                                std::to_string(fv.frame) + ",i" +
+                                std::to_string(fv.index) + ",b" +
+                                std::to_string(fv.bit) + "]");
+    }
+
+    std::ofstream os(a.out, std::ios::binary);
+    if (!os)
+        fail("cannot write '" + a.out + "'");
+    if (endsWith(a.out, ".smt2"))
+        cnf.writeSmt2(os);
+    else
+        cnf.writeDimacs(os);
+    if (!os)
+        fail("write to '" + a.out + "' failed");
+    std::printf("%s: %zu vars, %zu clauses, depth %d%s\n",
+                a.out.c_str(), cnf.numVars(), cnf.numClauses(), depth,
+                a.miter ? " (miter)" : "");
     return 0;
 }
 
@@ -629,6 +815,7 @@ cmdServe(const Args &a)
 {
     std::mutex out_m;
     SchedulerOptions sopts = schedulerOptions(a);
+    sopts.maxQueued = a.maxQueued;
     sopts.onResult = [&out_m](const JobResult &r) {
         std::lock_guard<std::mutex> lk(out_m);
         std::printf("%s\n", r.toJson().dump().c_str());
@@ -636,7 +823,14 @@ cmdServe(const Args &a)
     };
     JobScheduler sched(std::move(sopts));
 
+    auto reply = [&out_m](const JobResult &r) {
+        std::lock_guard<std::mutex> lk(out_m);
+        std::printf("%s\n", r.toJson().dump().c_str());
+        std::fflush(stdout);
+    };
+
     size_t invalid = 0;
+    size_t rejected = 0;
     size_t lineno = 0;
     std::string line;
     while (std::getline(std::cin, line)) {
@@ -654,15 +848,22 @@ cmdServe(const Args &a)
             bad.error = err;
             bad.payload = JsonValue::object();
             invalid++;
-            std::lock_guard<std::mutex> lk(out_m);
-            std::printf("%s\n", bad.toJson().dump().c_str());
-            std::fflush(stdout);
+            reply(bad);
             continue;
         }
-        sched.submit(std::move(spec));
+        // Bounded admission: a producer outrunning the runners gets a
+        // structured rejection instead of queueing unbounded memory.
+        std::string kind = spec.kind;
+        std::string id = spec.id;
+        if (!sched.trySubmit(std::move(spec))) {
+            rejected++;
+            reply(backpressureRejection(
+                id, kind, a.maxQueued,
+                "line-" + std::to_string(lineno)));
+        }
     }
     sched.finish();
-    return sched.failures() + invalid == 0 ? 0 : 1;
+    return sched.failures() + invalid + rejected == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -684,6 +885,10 @@ main(int argc, char **argv)
         return cmdTailor(a);
     if (cmd == "check")
         return cmdCheck(a);
+    if (cmd == "prove")
+        return cmdProve(a);
+    if (cmd == "export-cnf")
+        return cmdExportCnf(a);
     if (cmd == "batch")
         return cmdBatch(a);
     if (cmd == "serve")
