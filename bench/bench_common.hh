@@ -14,6 +14,10 @@
  *                    default 1). Table values are thread-count
  *                    independent, so baselines recorded at --threads 1
  *                    stay valid.
+ *   --sat-threads N  SAT prover worker threads (candidate shards and
+ *                    portfolio races; 0 = all cores, default 1).
+ *                    Verdicts are bit-identical at any value — only
+ *                    wall time moves.
  *   --lanes N        LaneSim batch width for the activity analysis
  *                    (1..64, default 1 = scalar). Like --threads, the
  *                    table values are lane-width independent.
@@ -139,6 +143,17 @@ class BenchIO
                 threads_ = static_cast<int>(v);
                 continue;
             }
+            std::string sval;
+            if (take_path("--sat-threads", sval)) {
+                char *end = nullptr;
+                long v = sval == kAutoPath
+                             ? -1
+                             : std::strtol(sval.c_str(), &end, 10);
+                if (v < 0 || (end && *end != '\0'))
+                    die("--sat-threads needs a non-negative integer");
+                satThreads_ = static_cast<int>(v);
+                continue;
+            }
             std::string lval;
             if (take_path("--lanes", lval)) {
                 char *end = nullptr;
@@ -148,6 +163,7 @@ class BenchIO
                 if (v < 1 || v > 64 || (end && *end != '\0'))
                     die("--lanes needs an integer in [1, 64]");
                 lanes_ = static_cast<int>(v);
+                lanesSet_ = true;
                 continue;
             }
             std::string pval;
@@ -182,8 +198,9 @@ class BenchIO
             }
             die("unknown bench flag '" + arg +
                 "' (expected --quick, --json PATH, --check [PATH], "
-                "--threads N, --lanes N, --plane-bits W, "
-                "--checkpoint-dir DIR, --checkpoint-max-bytes N)");
+                "--threads N, --sat-threads N, --lanes N, "
+                "--plane-bits W, --checkpoint-dir DIR, "
+                "--checkpoint-max-bytes N)");
         }
         if (checkMode_ && checkPath_ == kAutoPath) {
             const char *dir = std::getenv("BESPOKE_BASELINE_DIR");
@@ -200,8 +217,17 @@ class BenchIO
     const std::string &name() const { return name_; }
     /** --threads value for AnalysisOptions::threads (default 1). */
     int threads() const { return threads_; }
+    /** --sat-threads value for the SAT prover layer (default 1). */
+    int satThreads() const { return satThreads_; }
     /** --lanes value for AnalysisOptions::laneWidth (default 1). */
     int lanes() const { return lanes_; }
+    /**
+     * --lanes if given explicitly, else a bench-chosen default. For a
+     * bench whose checked values are lane-width independent this picks
+     * the fast batched analysis path by default while keeping --lanes 1
+     * reachable for A/B runs.
+     */
+    int lanesOr(int def) const { return lanesSet_ ? lanes_ : def; }
     /** --plane-bits value for batched replays (0 = resolve default). */
     int planeBits() const { return planeBits_; }
     /** --checkpoint-dir value for FlowOptions::checkpointDir ("" off). */
@@ -454,11 +480,13 @@ class BenchIO
     std::string name_;
     bool quick_;
     int threads_ = 1;
+    int satThreads_ = 1;
     bool checkMode_ = false;
     bool ok_ = true;
     std::string jsonPath_, checkPath_, checkpointDir_;
     uint64_t checkpointMaxBytes_ = 0;
     int lanes_ = 1;
+    bool lanesSet_ = false;
     int planeBits_ = 0;
     JsonValue tables_ = JsonValue::object();
     JsonValue metrics_ = JsonValue::object();

@@ -15,11 +15,16 @@
  * the leftovers. See DESIGN.md section 13 for the envelope semantics.
  *
  * Table: per app, the merge count of the reduced analysis, SAT
- * candidates (replay-constant gates the cut left untouched), and the
+ * candidates (replay-constant gates the cut left untouched), the
  * proven / refuted / unknown split at a fixed 30-cycle envelope (a
  * uniform bound keeps rows comparable; beyond the interrupt latency
  * the irq app's free-interrupt envelope starts legitimately refuting
- * almost everything, see EXPERIMENTS.md).
+ * almost everything, see EXPERIMENTS.md), plus solver observability:
+ * conflicts and propagations (exact — solver work is deterministic
+ * and thread-count-independent) and the SAT-pass wall time (volatile,
+ * excluded from --check). --sat-threads parallelizes both the per-app
+ * fan-out and each prover's candidate shards without moving any
+ * checked value.
  *
  * Full mode additionally tailors the tractable-horizon apps with the
  * SAT pass at the analysis's own full horizon (the flow's auto depth)
@@ -95,7 +100,20 @@ struct AppRow
     size_t unknown = 0;
     size_t cellsBase = 0;  ///< X-analysis cut only
     size_t cellsSat = 0;   ///< with the SAT pass
+    /** Solver work (deterministic, thread-count-independent). */
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    /** Wall time of the SAT-pass pipeline run (volatile column). */
+    double satMs = 0.0;
 };
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
 } // namespace
 
@@ -113,11 +131,22 @@ main(int argc, char **argv)
 
     AnalysisOptions aopts;
     aopts.threads = 1;
-    aopts.laneWidth = io.lanes();
+    // The analysis runs lane-batched by default: every checked value
+    // except the merge count is lane-width independent (verdicts, cell
+    // counts and candidate sets are pinned identical across widths by
+    // tests), and the batched exploration is several times faster. The
+    // merge count is an execution-strategy observable — how often the
+    // explorer revisits a merge point depends on how many lanes arrive
+    // together — so the goldens are recorded at this default.
+    aopts.laneWidth = io.lanesOr(64);
     aopts.concreteVisits = 1;  // widen aggressively: see header comment
 
     std::vector<AppRow> rows(apps.size());
-    WorkerPool pool(io.threads());
+    // The per-app jobs are the outer parallelism; --sat-threads sizes
+    // the pool too so a SAT-threaded run keeps every worker busy even
+    // when --threads is left at 1 (each app's prover then shards its
+    // candidates across the same workers it would otherwise idle).
+    WorkerPool pool(std::max(io.threads(), io.satThreads()));
     for (size_t a = 0; a < apps.size(); a++) {
         pool.post([&, a] {
             const Workload &app = apps[a];
@@ -137,21 +166,30 @@ main(int argc, char **argv)
             PassPipelineOptions with_sat = base;
             with_sat.satNeverToggle = true;
             with_sat.sat.depth = kTableDepth;
+            with_sat.sat.threads = io.satThreads();
             PipelineReport report;
+            auto t0 = std::chrono::steady_clock::now();
             Netlist sat_nl =
                 runTailorPipeline(core, ar.activity.get(), with_sat,
                                   env, &cut, &report);
+            row.satMs = msSince(t0);
             row.cellsSat = sat_nl.numCells();
             row.candidates = report.satCandidates;
             row.proven = report.satProven;
             row.refuted = report.satRefuted;
             row.unknown = report.satUnknown;
+            row.conflicts = report.satConflicts;
+            row.propagations = report.satPropagations;
         });
     }
     pool.drain();
 
+    // conflicts/propagations are exact columns: solver work is a pure
+    // function of the sharded sessions, identical at any --sat-threads.
+    // Only the wall-time column ("sat ms") is machine-dependent.
     Table table({"benchmark", "merges", "candidates", "recovered",
-                 "refuted", "unknown", "cells x-only", "cells +sat"});
+                 "refuted", "unknown", "cells x-only", "cells +sat",
+                 "conflicts", "props", "sat ms"});
     size_t apps_recovering = 0;
     for (size_t a = 0; a < apps.size(); a++) {
         const AppRow &row = rows[a];
@@ -165,11 +203,15 @@ main(int argc, char **argv)
             .add(static_cast<double>(row.refuted), 0)
             .add(static_cast<double>(row.unknown), 0)
             .add(static_cast<double>(row.cellsBase), 0)
-            .add(static_cast<double>(row.cellsSat), 0);
+            .add(static_cast<double>(row.cellsSat), 0)
+            .add(static_cast<double>(row.conflicts), 0)
+            .add(static_cast<double>(row.propagations), 0)
+            .add(row.satMs, 1);
     }
     io.table("sat_recovery", table,
              "Gates the SAT prover recovers beyond the widened "
-             "X-analysis cut (30-cycle envelope, concreteVisits=1).");
+             "X-analysis cut (30-cycle envelope, concreteVisits=1).",
+             /*volatile_cols=*/{10});
     io.counter("apps_recovering",
                static_cast<double>(apps_recovering));
 
@@ -197,16 +239,29 @@ main(int argc, char **argv)
             size_t unknown = 0;
             bool symOk = false;
             bool satOk = false;
+            uint64_t conflicts = 0;
+            uint64_t propagations = 0;
+            double satMs = 0.0;
         };
         const std::vector<std::string> verified_apps = {
             "mult", "binSearch", "div", "dbg", "convEn", "tea8"};
         std::vector<VRow> vrows(verified_apps.size());
-        WorkerPool vpool(io.threads());
+        WorkerPool vpool(std::max(io.threads(), io.satThreads()));
         for (size_t v = 0; v < verified_apps.size(); v++) {
             vpool.post([&, v] {
                 const Workload &app = workloadByName(verified_apps[v]);
                 AsmProgram prog = app.assembleProgram();
-                AnalysisResult ar = analyzeActivity(core, app, aopts);
+                // Scalar analysis here, whatever --lanes says: the
+                // horizon (cyclesSimulated) is an execution-strategy
+                // observable — lane batching can roughly double
+                // binSearch's — and this section pins the depth the
+                // production flow's default scalar analysis
+                // auto-resolves --sat-depth 0 to. The depth-30 table
+                // above keeps the lane-batched default; its checked
+                // values are horizon-independent.
+                AnalysisOptions vaopts = aopts;
+                vaopts.laneWidth = 1;
+                AnalysisResult ar = analyzeActivity(core, app, vaopts);
                 PassEnv env = makeEnv(app, prog, io.planeBits());
                 env.program = &prog;
                 PassPipelineOptions with_sat;
@@ -214,11 +269,14 @@ main(int argc, char **argv)
                 // The flow's auto depth: the analysis's own envelope.
                 with_sat.sat.depth =
                     static_cast<int>(ar.cyclesSimulated);
+                with_sat.sat.threads = io.satThreads();
                 PipelineReport report;
                 CutStats cut;
+                auto t0 = std::chrono::steady_clock::now();
                 Netlist sat_nl =
                     runTailorPipeline(core, ar.activity.get(),
                                       with_sat, env, &cut, &report);
+                double sat_ms = msSince(t0);
 
                 AnalysisOptions vopts;  // default precision
                 vopts.threads = 1;
@@ -226,6 +284,7 @@ main(int argc, char **argv)
                     core, sat_nl, prog, vopts);
                 sat::SatEquivOptions seq;
                 seq.depth = 16;
+                seq.threads = io.satThreads();
                 sat::SatEquivResult smt =
                     sat::proveEquivalentSat(core, sat_nl, prog, seq);
 
@@ -234,6 +293,9 @@ main(int argc, char **argv)
                 row.proven = report.satProven;
                 row.refuted = report.satRefuted;
                 row.unknown = report.satUnknown;
+                row.conflicts = report.satConflicts;
+                row.propagations = report.satPropagations;
+                row.satMs = sat_ms;
                 row.symOk = sym.equivalent && sym.completed;
                 row.satOk =
                     smt.verdict == sat::SatEquivVerdict::Equivalent;
@@ -248,7 +310,8 @@ main(int argc, char **argv)
         vpool.drain();
 
         Table vt({"benchmark", "horizon", "recovered", "refuted",
-                  "unknown", "sym equiv", "sat equiv"});
+                  "unknown", "sym equiv", "sat equiv", "conflicts",
+                  "props", "sat ms"});
         for (size_t v = 0; v < verified_apps.size(); v++) {
             const VRow &row = vrows[v];
             vt.row()
@@ -258,11 +321,15 @@ main(int argc, char **argv)
                 .add(static_cast<double>(row.refuted), 0)
                 .add(static_cast<double>(row.unknown), 0)
                 .add(row.symOk ? 1.0 : 0.0, 0)
-                .add(row.satOk ? 1.0 : 0.0, 0);
+                .add(row.satOk ? 1.0 : 0.0, 0)
+                .add(static_cast<double>(row.conflicts), 0)
+                .add(static_cast<double>(row.propagations), 0)
+                .add(row.satMs, 1);
         }
         io.table("sat_recovery_verified", vt,
                  "Full-horizon recovery with every recovered cut "
-                 "re-proved by both independent equivalence engines.");
+                 "re-proved by both independent equivalence engines.",
+                 /*volatile_cols=*/{9});
     }
     return io.finish();
 }

@@ -11,10 +11,11 @@ namespace bespoke::sat
 namespace
 {
 
-constexpr double kVarDecay = 0.95;
 constexpr double kActivityLimit = 1e100;
-constexpr int64_t kRestartFirst = 100;
 constexpr Lit kLitUndef = Lit(0xffffffffu);
+
+/** Learned clauses added between database reductions. */
+constexpr size_t kReduceInc = 1000;
 
 /** Luby restart sequence: 1 1 2 1 1 2 4 ... (scaled by y^seq). */
 double
@@ -40,7 +41,7 @@ enum SearchStatus
 
 } // namespace
 
-CdclSolver::CdclSolver()
+CdclSolver::CdclSolver(const CdclConfig &config) : cfg_(config)
 {
     Var t = newVar();
     bespoke_assert(t == 0);
@@ -54,8 +55,16 @@ CdclSolver::newVar()
     assign_.push_back(2);
     level_.push_back(0);
     reason_.push_back(kNoReason);
-    activity_.push_back(0.0);
-    phase_.push_back(0);
+    // A nonzero order seed perturbs initial activities with a
+    // deterministic hash, permuting the portfolio member's branching
+    // order while keeping every tie-break reproducible.
+    double a0 = 0.0;
+    if (cfg_.orderSeed != 0) {
+        uint32_t h = (v * 2654435761u) ^ (cfg_.orderSeed * 2246822519u);
+        a0 = 1e-6 * static_cast<double>(h & 1023u);
+    }
+    activity_.push_back(a0);
+    phase_.push_back(cfg_.initPhase ? 1 : 0);
     seen_.push_back(0);
     heapPos_.push_back(-1);
     watches_.emplace_back();
@@ -65,10 +74,18 @@ CdclSolver::newVar()
 }
 
 void
+CdclSolver::invalidateSavedTrail()
+{
+    cancelUntil(0);
+    savedAssumptions_.clear();
+}
+
+void
 CdclSolver::addClause(const Lit *lits, size_t n)
 {
-    bespoke_assert(decisionLevel() == 0,
-                   "clauses may only be added at decision level 0");
+    // New constraints invalidate the saved assumption-prefix trail:
+    // the kept propagations may be incomplete under the new clause.
+    invalidateSavedTrail();
     if (!ok_)
         return;
     std::vector<Lit> cs(lits, lits + n);
@@ -101,16 +118,18 @@ CdclSolver::addClause(const Lit *lits, size_t n)
             ok_ = false;
         return;
     }
-    CRef cref = allocClause(out, false);
+    CRef cref = allocClause(out, false, 0);
     attachClause(cref);
 }
 
 CdclSolver::CRef
-CdclSolver::allocClause(const std::vector<Lit> &lits, bool learned)
+CdclSolver::allocClause(const std::vector<Lit> &lits, bool learned,
+                        uint32_t lbd)
 {
     CRef cref = static_cast<CRef>(arena_.size());
     arena_.push_back(static_cast<uint32_t>(lits.size() << 1) |
                      (learned ? 1u : 0u));
+    arena_.push_back(lbd);
     for (Lit l : lits)
         arena_.push_back(l.code);
     return cref;
@@ -119,8 +138,8 @@ CdclSolver::allocClause(const std::vector<Lit> &lits, bool learned)
 void
 CdclSolver::attachClause(CRef cref)
 {
-    Lit c0(arena_[cref + 1]);
-    Lit c1(arena_[cref + 2]);
+    Lit c0(arena_[cref + 2]);
+    Lit c1(arena_[cref + 3]);
     watches_[(~c0).code].push_back({cref, c1});
     watches_[(~c1).code].push_back({cref, c0});
 }
@@ -153,7 +172,7 @@ CdclSolver::propagate()
             }
             CRef cref = w.cref;
             uint32_t size = arena_[cref] >> 1;
-            uint32_t *lits = &arena_[cref + 1];
+            uint32_t *lits = &arena_[cref + 2];
             Lit false_lit = ~p;
             if (Lit(lits[0]) == false_lit)
                 std::swap(lits[0], lits[1]);
@@ -215,7 +234,7 @@ CdclSolver::cancelUntil(size_t target_level)
 
 void
 CdclSolver::analyze(CRef confl, std::vector<Lit> *out_learnt,
-                    size_t *out_btlevel)
+                    size_t *out_btlevel, uint32_t *out_lbd)
 {
     out_learnt->clear();
     out_learnt->push_back(kLitUndef);  // slot for the asserting literal
@@ -227,7 +246,7 @@ CdclSolver::analyze(CRef confl, std::vector<Lit> *out_learnt,
     do {
         bespoke_assert(cr != kNoReason);
         uint32_t size = arena_[cr] >> 1;
-        const uint32_t *lits = &arena_[cr + 1];
+        const uint32_t *lits = &arena_[cr + 2];
         // For reason clauses, lits[0] is the implied literal (== p).
         for (uint32_t k = (p == kLitUndef) ? 0 : 1; k < size; k++) {
             Lit q(lits[k]);
@@ -261,7 +280,7 @@ CdclSolver::analyze(CRef confl, std::vector<Lit> *out_learnt,
         if (r != kNoReason) {
             removable = true;
             uint32_t size = arena_[r] >> 1;
-            const uint32_t *lits = &arena_[r + 1];
+            const uint32_t *lits = &arena_[r + 2];
             for (uint32_t m = 1; m < size; m++) {
                 Var v = Lit(lits[m]).var();
                 if (!seen_[v] && level_[v] > 0) {
@@ -276,6 +295,15 @@ CdclSolver::analyze(CRef confl, std::vector<Lit> *out_learnt,
     out_learnt->resize(w);
     for (Var v : to_clear)
         seen_[v] = 0;
+
+    // Literal block distance: distinct decision levels in the clause.
+    std::vector<uint32_t> levels;
+    levels.reserve(out_learnt->size());
+    for (Lit l : *out_learnt)
+        levels.push_back(level_[l.var()]);
+    std::sort(levels.begin(), levels.end());
+    *out_lbd = static_cast<uint32_t>(
+        std::unique(levels.begin(), levels.end()) - levels.begin());
 
     if (out_learnt->size() == 1) {
         *out_btlevel = 0;
@@ -313,7 +341,7 @@ CdclSolver::analyzeFinal(Lit p)
         } else {
             CRef r = reason_[x];
             uint32_t size = arena_[r] >> 1;
-            const uint32_t *lits = &arena_[r + 1];
+            const uint32_t *lits = &arena_[r + 2];
             for (uint32_t m = 1; m < size; m++) {
                 Var v = Lit(lits[m]).var();
                 if (level_[v] > 0 && !seen_[v]) {
@@ -359,7 +387,96 @@ CdclSolver::bumpVar(Var v)
 void
 CdclSolver::decayVarActivity()
 {
-    varInc_ /= kVarDecay;
+    varInc_ /= cfg_.varDecay;
+}
+
+void
+CdclSolver::reduceDB()
+{
+    bespoke_assert(decisionLevel() == 0,
+                   "database reduction requires a quiescent trail");
+    // A clause is locked while it is the reason of a trail assignment.
+    auto locked = [&](CRef cr) {
+        Var v = Lit(arena_[cr + 2]).var();
+        return assign_[v] != 2 && reason_[v] == cr;
+    };
+    // Glue (LBD <= 2) and locked clauses are always kept; the rest are
+    // ranked by (LBD, size, youth) and the worse half dropped. Every
+    // ordering key is deterministic, so the surviving database — and
+    // with it every later verdict — is reproducible.
+    std::vector<CRef> cand;
+    for (CRef cr : learned_) {
+        if (arena_[cr + 1] <= 2 || locked(cr))
+            continue;
+        cand.push_back(cr);
+    }
+    std::sort(cand.begin(), cand.end(), [&](CRef a, CRef b) {
+        uint32_t la = arena_[a + 1], lb = arena_[b + 1];
+        if (la != lb)
+            return la < lb;
+        uint32_t sa = arena_[a] >> 1, sb = arena_[b] >> 1;
+        if (sa != sb)
+            return sa < sb;
+        return a > b;  // prefer younger among equals
+    });
+    std::vector<CRef> dropped(cand.begin() + cand.size() / 2,
+                              cand.end());
+    reduceLimit_ += kReduceInc;
+    if (dropped.empty())
+        return;
+    std::sort(dropped.begin(), dropped.end());
+    removed_ += dropped.size();
+
+    // Compact the arena, remembering old->new positions of survivors.
+    std::vector<uint32_t> next;
+    next.reserve(arena_.size());
+    std::vector<std::pair<CRef, CRef>> remap;
+    learned_.clear();
+    size_t pos = 0, di = 0;
+    while (pos < arena_.size()) {
+        CRef old = static_cast<CRef>(pos);
+        uint32_t header = arena_[pos];
+        uint32_t size = header >> 1;
+        bool is_learned = (header & 1u) != 0;
+        size_t words = 2 + size;
+        while (di < dropped.size() && dropped[di] < old)
+            di++;
+        if (is_learned && di < dropped.size() && dropped[di] == old) {
+            pos += words;
+            continue;
+        }
+        CRef fresh = static_cast<CRef>(next.size());
+        for (size_t k = 0; k < words; k++)
+            next.push_back(arena_[pos + k]);
+        remap.emplace_back(old, fresh);
+        if (is_learned)
+            learned_.push_back(fresh);
+        pos += words;
+    }
+    arena_ = std::move(next);
+
+    auto relocate = [&](CRef old) {
+        auto it = std::lower_bound(
+            remap.begin(), remap.end(), std::make_pair(old, CRef(0)),
+            [](const std::pair<CRef, CRef> &x,
+               const std::pair<CRef, CRef> &y) { return x.first < y.first; });
+        bespoke_assert(it != remap.end() && it->first == old,
+                       "reason clause dropped by reduction");
+        return it->second;
+    };
+    for (Lit l : trail_) {
+        Var v = l.var();
+        if (reason_[v] != kNoReason)
+            reason_[v] = relocate(reason_[v]);
+    }
+    for (std::vector<Watch> &ws : watches_)
+        ws.clear();
+    pos = 0;
+    while (pos < arena_.size()) {
+        attachClause(static_cast<CRef>(pos));
+        pos += 2 + (arena_[pos] >> 1);
+    }
+    reductions_++;
 }
 
 bool
@@ -437,10 +554,22 @@ CdclSolver::solve(const std::vector<Lit> &assumptions,
 {
     core_.clear();
     model_.clear();
-    if (!ok_)
+    if (!ok_) {
+        invalidateSavedTrail();
         return SolveResult::Unsat;
+    }
     for (Lit a : assumptions)
         bespoke_assert(a.var() < nVars_, "assumption for unknown variable");
+    // Trail saving: the decision levels of the assumption prefix shared
+    // with the previous solve stay on the trail, their propagations
+    // intact; only the divergent suffix is re-decided.
+    size_t shared = 0;
+    while (shared < savedAssumptions_.size() &&
+           shared < assumptions.size() &&
+           savedAssumptions_[shared] == assumptions[shared]) {
+        shared++;
+    }
+    cancelUntil(shared);
     uint64_t budget_end =
         conflict_budget ? conflicts_ + conflict_budget : 0;
 
@@ -458,18 +587,23 @@ CdclSolver::solve(const std::vector<Lit> &assumptions,
                 }
                 std::vector<Lit> learnt;
                 size_t btlevel;
-                analyze(confl, &learnt, &btlevel);
+                uint32_t lbd = 0;
+                analyze(confl, &learnt, &btlevel, &lbd);
                 cancelUntil(btlevel);
+                learnedTotal_++;
                 if (learnt.size() == 1) {
                     uncheckedEnqueue(learnt[0], kNoReason);
                 } else {
-                    CRef cr = allocClause(learnt, true);
+                    CRef cr = allocClause(learnt, true, lbd);
                     attachClause(cr);
+                    learned_.push_back(cr);
                     uncheckedEnqueue(learnt[0], cr);
                 }
                 decayVarActivity();
             } else {
                 if (budget_end && conflicts_ >= budget_end)
+                    return kSearchBudget;
+                if (stop_ && stop_->load(std::memory_order_relaxed))
                     return kSearchBudget;
                 if (conflictc >= nof_conflicts) {
                     cancelUntil(0);
@@ -507,10 +641,14 @@ CdclSolver::solve(const std::vector<Lit> &assumptions,
     SolveResult result = SolveResult::Unknown;
     for (int restarts = 0;; restarts++) {
         int64_t nof = static_cast<int64_t>(luby(2.0, restarts) *
-                                           kRestartFirst);
+                                           cfg_.restartFirst);
         int r = search(nof);
-        if (r == kSearchRestart)
+        if (r == kSearchRestart) {
+            restarts_++;
+            if (learned_.size() >= reduceLimit_)
+                reduceDB();
             continue;
+        }
         if (r == kSearchSat)
             result = SolveResult::Sat;
         else if (r == kSearchUnsat)
@@ -519,7 +657,13 @@ CdclSolver::solve(const std::vector<Lit> &assumptions,
             result = SolveResult::Unknown;
         break;
     }
-    cancelUntil(0);
+    // Keep the assumption-prefix trail for the next solve. Invariant:
+    // at any exit point the first min(decisionLevel, |assumptions|)
+    // decision levels are exactly the leading assumptions.
+    size_t keep = std::min(decisionLevel(), assumptions.size());
+    cancelUntil(keep);
+    savedAssumptions_.assign(assumptions.begin(),
+                             assumptions.begin() + keep);
     return result;
 }
 

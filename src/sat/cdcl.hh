@@ -11,15 +11,27 @@
  * sequences produce identical verdicts, models, cores, and statistics
  * on any machine — the SAT pass's verdicts are checkpointed and diffed
  * bit-for-bit in CI, so this is a contract, not an aspiration.
+ * `CdclConfig` permutes the search (branching order, restart schedule,
+ * initial phase) for portfolio solving; every config is individually
+ * deterministic.
  *
- * Learned clauses are kept for the lifetime of the solver (no database
- * reduction); callers bound runaway queries with the per-solve conflict
- * budget instead, which returns Unknown rather than thrashing.
+ * Incrementality. Learned clauses, activities, and phases persist
+ * across solve() calls, so related queries get cheaper. Long sessions
+ * stay bounded by deterministic LBD-based clause-database reduction:
+ * once the live learned set passes a (growing) limit, the lowest-value
+ * half — ordered by (LBD, size, age), glue (LBD <= 2) and locked
+ * clauses always kept — is dropped and the arena compacted. Consecutive
+ * solves that share an assumption prefix keep the propagated trail of
+ * the shared prefix in place instead of re-propagating it (trail
+ * saving); adding a clause invalidates the saved prefix. Callers bound
+ * runaway queries with the per-solve conflict budget, which returns
+ * Unknown rather than thrashing.
  */
 
 #ifndef BESPOKE_SAT_CDCL_HH
 #define BESPOKE_SAT_CDCL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -32,13 +44,36 @@ enum class SolveResult : uint8_t
 {
     Sat,
     Unsat,
-    Unknown,  ///< conflict budget exhausted
+    Unknown,  ///< conflict budget exhausted (or externally stopped)
+};
+
+/**
+ * Deterministic search-permutation knobs for portfolio solving. The
+ * default config is the historical solver behaviour; any other config
+ * is an equally deterministic but differently-ordered search of the
+ * same space, so a portfolio member's verdict is a pure function of
+ * (clauses, assumptions, config).
+ */
+struct CdclConfig
+{
+    /** Base of the Luby restart schedule (conflicts). */
+    int restartFirst = 100;
+    /** Initial saved phase for fresh variables. */
+    bool initPhase = false;
+    /**
+     * 0 keeps the index-ordered initial branching order; any other
+     * value seeds a deterministic hash that perturbs initial variable
+     * activities, permuting the branching order.
+     */
+    uint32_t orderSeed = 0;
+    /** EVSIDS decay factor. */
+    double varDecay = 0.95;
 };
 
 class CdclSolver : public CnfSink
 {
   public:
-    CdclSolver();
+    explicit CdclSolver(const CdclConfig &config = CdclConfig());
 
     Var newVar() override;
     void addClause(const Lit *lits, size_t n) override;
@@ -50,8 +85,9 @@ class CdclSolver : public CnfSink
     /**
      * Solve under the given assumptions. conflict_budget 0 = no limit;
      * otherwise the solve returns Unknown after that many conflicts.
-     * The solver state (learned clauses, activities) persists across
-     * calls, so related queries get incrementally cheaper.
+     * The solver state (learned clauses, activities, saved trail)
+     * persists across calls, so related queries get incrementally
+     * cheaper.
      */
     SolveResult solve(const std::vector<Lit> &assumptions = {},
                       uint64_t conflict_budget = 0);
@@ -67,10 +103,27 @@ class CdclSolver : public CnfSink
      */
     const std::vector<Lit> &failedAssumptions() const { return core_; }
 
+    /**
+     * Cooperative cancellation for portfolio racing: when the pointed-to
+     * flag becomes true, in-flight solves return Unknown at the next
+     * conflict. A cancelled result must be discarded by the caller —
+     * determinism only covers uncancelled runs.
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stop_ = stop; }
+
     size_t numVars() const { return nVars_; }
     uint64_t conflicts() const { return conflicts_; }
     uint64_t decisions() const { return decisions_; }
     uint64_t propagations() const { return propagations_; }
+    uint64_t restarts() const { return restarts_; }
+    /** Learned clauses ever recorded (including unit learnts). */
+    uint64_t learnedClauses() const { return learnedTotal_; }
+    /** Learned clauses currently live in the database. */
+    uint64_t keptClauses() const { return learned_.size(); }
+    /** Clause-database reductions performed. */
+    uint64_t dbReductions() const { return reductions_; }
+    /** Learned clauses dropped by database reductions. */
+    uint64_t removedClauses() const { return removed_; }
 
   private:
     using CRef = uint32_t;
@@ -90,17 +143,20 @@ class CdclSolver : public CnfSink
     }
 
     size_t decisionLevel() const { return trailLim_.size(); }
-    CRef allocClause(const std::vector<Lit> &lits, bool learned);
+    CRef allocClause(const std::vector<Lit> &lits, bool learned,
+                     uint32_t lbd);
     void attachClause(CRef cref);
     void uncheckedEnqueue(Lit p, CRef from);
     CRef propagate();
     void cancelUntil(size_t level);
     void analyze(CRef confl, std::vector<Lit> *out_learnt,
-                 size_t *out_btlevel);
+                 size_t *out_btlevel, uint32_t *out_lbd);
     void analyzeFinal(Lit p);
     Lit pickBranchLit();
     void bumpVar(Var v);
     void decayVarActivity();
+    void reduceDB();
+    void invalidateSavedTrail();
 
     // Heap of unassigned decision candidates ordered by (activity
     // descending, index ascending).
@@ -110,10 +166,11 @@ class CdclSolver : public CnfSink
     void heapInsert(Var v);
     Var heapRemoveMin();
 
+    CdclConfig cfg_;
     bool ok_ = true;
     Var nVars_ = 0;
 
-    /** Clause arena: [size<<1 | learned][lits...]. */
+    /** Clause arena: [size<<1 | learned][lbd][lits...]. */
     std::vector<uint32_t> arena_;
     std::vector<std::vector<Watch>> watches_;  ///< by literal code
 
@@ -135,9 +192,27 @@ class CdclSolver : public CnfSink
     std::vector<uint8_t> model_;
     std::vector<Lit> core_;
 
+    /**
+     * Assumption prefix whose decision levels are still on the trail
+     * from the previous solve (trail saving). Invariant between
+     * solves: decisionLevel() == savedAssumptions_.size() and level
+     * i+1 is the propagated decision for savedAssumptions_[i].
+     */
+    std::vector<Lit> savedAssumptions_;
+
+    /** Live learned clauses, in arena order. */
+    std::vector<CRef> learned_;
+    size_t reduceLimit_ = 2000;
+
+    const std::atomic<bool> *stop_ = nullptr;
+
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    uint64_t restarts_ = 0;
+    uint64_t learnedTotal_ = 0;
+    uint64_t reductions_ = 0;
+    uint64_t removed_ = 0;
 };
 
 } // namespace bespoke::sat

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/sat/cdcl.hh"
+#include "src/sat/portfolio.hh"
 #include "src/sim/soc.hh"
 #include "src/util/logging.hh"
 
@@ -35,62 +36,104 @@ sharedOutputs(const Netlist &a, const Netlist &b,
     return out;
 }
 
-} // namespace
-
-Lit
-encodeMiter(SocUnroller &un, const Netlist &original,
-            const Netlist &bespoke_nl, int depth)
+/** Incremental deepening schedule: 8, 16, 32, ..., depth. */
+std::vector<int>
+miterChunks(int depth)
 {
-    bespoke_assert(depth >= 1);
-    auto ports = sharedOutputs(original, bespoke_nl);
-    Tseitin ts(un.sink());
-    std::vector<Lit> bad;
-    for (int f = 0; f < depth; f++) {
-        un.addFrame();
-        for (const auto &[ida, idb] : ports) {
-            Lit x = ts.xorL(un.gateAt(ida, f), un.followerGateAt(idb, f));
-            if (x != kFalse)
-                bad.push_back(x);
-        }
+    std::vector<int> out;
+    int d = std::min(depth, 8);
+    for (;;) {
+        out.push_back(d);
+        if (d >= depth)
+            break;
+        d = std::min(depth, d * 2);
     }
-    return ts.orL(std::move(bad));
+    return out;
 }
 
+/**
+ * One full bounded-miter session under one solver config: the frame
+ * chain is extended chunk by chunk on a single solver, each chunk's
+ * "some shared output differs in these frames" disjunction solved as
+ * an assumption (so an UNSAT chunk does not poison later ones). A SAT
+ * chunk short-circuits with a witness at the shallowest depth that has
+ * one — the common inequivalent case never pays for the full-depth
+ * encoding. `budget_out` reports whether the session died of conflict
+ * budget (or cancellation) rather than reaching a real verdict.
+ */
 SatEquivResult
-proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
-                   const AsmProgram &prog, const SatEquivOptions &opts)
+runMiterSession(const Netlist &original, const Netlist &bespoke_nl,
+                const AsmProgram &prog, const SatEquivOptions &opts,
+                const CdclConfig &config, const std::atomic<bool> *stop,
+                bool *budget_out)
 {
     SatEquivResult res;
     res.depth = opts.depth;
+    *budget_out = false;
 
-    CdclSolver solver;
+    CdclSolver solver(config);
+    solver.setStopFlag(stop);
     UnrollOptions uo;
     uo.fromReset = true;
     uo.romMux = opts.romMux;
     SocUnroller un(original, prog, solver, uo);
     un.attachFollower(bespoke_nl);
-    Lit bad = encodeMiter(un, original, bespoke_nl, opts.depth);
-    res.vars = solver.numVars();
+    auto ports = sharedOutputs(original, bespoke_nl);
+    Tseitin ts(solver);
 
-    if (bad == kFalse) {
-        res.verdict = SatEquivVerdict::Equivalent;
-        res.detail = "miter folded to constant-false at encode time";
-        return res;
+    auto finish_stats = [&] {
+        res.vars = solver.numVars();
+        res.conflicts = solver.conflicts();
+        res.propagations = solver.propagations();
+        res.learnedClauses = solver.learnedClauses();
+        res.keptClauses = solver.keptClauses();
+        res.dbReductions = solver.dbReductions();
+        res.restarts = solver.restarts();
+    };
+
+    int encoded = 0;
+    bool sat_at = false;
+    int sat_depth = 0;
+    for (int target : miterChunks(opts.depth)) {
+        std::vector<Lit> bad;
+        while (encoded < target) {
+            un.addFrame();
+            for (const auto &[ida, idb] : ports) {
+                Lit x = ts.xorL(un.gateAt(ida, encoded),
+                                un.followerGateAt(idb, encoded));
+                if (x != kFalse)
+                    bad.push_back(x);
+            }
+            encoded++;
+        }
+        Lit chunk_bad = ts.orL(std::move(bad));
+        if (chunk_bad == kFalse)
+            continue;  // these frames folded identical at encode time
+        res.queries++;
+        SolveResult r = solver.solve({chunk_bad}, opts.conflictBudget);
+        if (r == SolveResult::Unsat)
+            continue;
+        if (r == SolveResult::Unknown) {
+            finish_stats();
+            res.verdict = SatEquivVerdict::Unknown;
+            res.detail = "conflict budget exhausted";
+            *budget_out = true;
+            return res;
+        }
+        sat_at = true;
+        sat_depth = target;
+        break;
     }
-    solver.unit(bad);
-    SolveResult r = solver.solve({}, opts.conflictBudget);
-    res.conflicts = solver.conflicts();
-    if (r == SolveResult::Unsat) {
+    finish_stats();
+    if (!sat_at) {
         res.verdict = SatEquivVerdict::Equivalent;
         std::ostringstream os;
         os << "UNSAT: no output divergence within " << opts.depth
            << " cycles of reset";
-        res.detail = os.str();
-        return res;
-    }
-    if (r == SolveResult::Unknown) {
-        res.verdict = SatEquivVerdict::Unknown;
-        res.detail = "conflict budget exhausted";
+        if (res.queries == 0)
+            res.detail = "miter folded to constant-false at encode time";
+        else
+            res.detail = os.str();
         return res;
     }
 
@@ -132,7 +175,7 @@ proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
 
     // --- Confirm by concrete replay on the three-valued simulator. ---
     std::vector<std::string> names;
-    auto ports = sharedOutputs(original, bespoke_nl, &names);
+    auto named_ports = sharedOutputs(original, bespoke_nl, &names);
     Soc socA(original, prog, /*ram_unknown=*/true);
     Soc socB(bespoke_nl, prog, /*ram_unknown=*/true);
     socA.reset();
@@ -148,7 +191,7 @@ proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
         socA.restoreEnvState(ea);
         socB.restoreEnvState(eb);
     }
-    for (int f = 0; f < opts.depth && !res.witnessConfirmed; f++) {
+    for (int f = 0; f < sat_depth && !res.witnessConfirmed; f++) {
         socA.setGpioIn(SWord::of(res.witnessGpio[f]));
         socB.setGpioIn(SWord::of(res.witnessGpio[f]));
         Logic irq = res.witnessIrq[f] ? Logic::One : Logic::Zero;
@@ -156,9 +199,9 @@ proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
         socB.setIrqExt(irq);
         socA.evalOnly();
         socB.evalOnly();
-        for (size_t p = 0; p < ports.size(); p++) {
-            Logic va = socA.sim().value(ports[p].first);
-            Logic vb = socB.sim().value(ports[p].second);
+        for (size_t p = 0; p < named_ports.size(); p++) {
+            Logic va = socA.sim().value(named_ports[p].first);
+            Logic vb = socB.sim().value(named_ports[p].second);
             if (isKnown(va) && isKnown(vb) && va != vb) {
                 res.witnessConfirmed = true;
                 std::ostringstream os;
@@ -180,6 +223,60 @@ proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
         res.detail = "SAT under the abstract memory envelope, but the "
                      "witness did not reproduce on concrete replay";
     }
+    return res;
+}
+
+} // namespace
+
+Lit
+encodeMiter(SocUnroller &un, const Netlist &original,
+            const Netlist &bespoke_nl, int depth)
+{
+    bespoke_assert(depth >= 1);
+    auto ports = sharedOutputs(original, bespoke_nl);
+    Tseitin ts(un.sink());
+    std::vector<Lit> bad;
+    for (int f = 0; f < depth; f++) {
+        un.addFrame();
+        for (const auto &[ida, idb] : ports) {
+            Lit x = ts.xorL(un.gateAt(ida, f), un.followerGateAt(idb, f));
+            if (x != kFalse)
+                bad.push_back(x);
+        }
+    }
+    return ts.orL(std::move(bad));
+}
+
+SatEquivResult
+proveEquivalentSat(const Netlist &original, const Netlist &bespoke_nl,
+                   const AsmProgram &prog, const SatEquivOptions &opts)
+{
+    // A deterministic portfolio over permuted solver configs. An
+    // attempt is "decisive" unless it died of conflict budget (or was
+    // cancelled); the winner is the lowest-index decisive attempt, a
+    // pure function of the problem — identical at any thread count
+    // (see src/sat/portfolio.hh). With an unlimited budget config 0 is
+    // always decisive and the portfolio collapses to the single
+    // default-config session.
+    int attempts = std::max(1, opts.portfolio);
+    if (opts.conflictBudget == 0)
+        attempts = 1;
+    int threads = resolveSatThreads(opts.threads);
+    std::vector<SatEquivResult> results(attempts);
+    std::vector<uint8_t> budget_died(attempts, 0);
+    int winner = runPortfolio(
+        attempts, threads,
+        [&](int i, const std::atomic<bool> *stop) {
+            bool budget = false;
+            results[i] =
+                runMiterSession(original, bespoke_nl, prog, opts,
+                                portfolioConfig(i), stop, &budget);
+            budget_died[i] = budget ? 1 : 0;
+            return !budget;
+        });
+    SatEquivResult res =
+        winner >= 0 ? std::move(results[winner]) : std::move(results[0]);
+    res.config = winner >= 0 ? winner : 0;
     return res;
 }
 

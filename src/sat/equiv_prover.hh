@@ -19,6 +19,17 @@
  * because the abstraction (free RAM image, havocked words) may have
  * invented it.
  *
+ * Incrementality and the portfolio. The prover deepens ONE solver's
+ * frame chain chunk by chunk (8, 16, 32, ... frames); each chunk's
+ * divergence disjunction is solved as an assumption, so an UNSAT chunk
+ * leaves the solver (learned clauses, activities, phases) primed for
+ * the next, and a SAT chunk short-circuits with a witness at the
+ * shallowest depth that has one. When a conflict budget is set, a
+ * budget-exhausted session is retried under deterministically permuted
+ * solver configs (a fixed-priority portfolio — the winner is the
+ * lowest-index decisive attempt, identical at any thread count; see
+ * src/sat/portfolio.hh).
+ *
  * encodeMiter() is exposed separately so `bespoke_io export-cnf` can
  * dump the identical formula as DIMACS/SMT2 for third-party solvers.
  */
@@ -45,6 +56,13 @@ struct SatEquivOptions
     uint64_t conflictBudget = 0;
     /** Exact ROM mux for symbolic-address reads. */
     bool romMux = true;
+    /** Worker threads for racing portfolio attempts (1 = sequential
+     *  with first-decisive early exit, 0 = all hardware threads). The
+     *  verdict is identical at any value. */
+    int threads = 1;
+    /** Portfolio attempts when a conflict budget can exhaust (ignored
+     *  when conflictBudget == 0: config 0 is then always decisive). */
+    int portfolio = 4;
 };
 
 enum class SatEquivVerdict : uint8_t
@@ -61,6 +79,13 @@ struct SatEquivResult
     uint64_t conflicts = 0;
     uint64_t clauses = 0;
     uint64_t vars = 0;
+    uint64_t propagations = 0;
+    uint64_t learnedClauses = 0;  ///< learned clauses ever recorded
+    uint64_t keptClauses = 0;     ///< learned clauses live at the end
+    uint64_t dbReductions = 0;    ///< clause-database reductions
+    uint64_t restarts = 0;
+    uint64_t queries = 0;         ///< chunk queries issued
+    int config = 0;               ///< winning portfolio config index
     /** SAT only: per-frame gpio_in / irq_ext extracted from the model. */
     std::vector<uint16_t> witnessGpio;
     std::vector<bool> witnessIrq;

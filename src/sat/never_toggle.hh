@@ -29,6 +29,22 @@
  * reachability invariants (RAM contents, loaded registers) is not
  * inductive in the candidate set alone.
  *
+ * Incrementality and parallelism. The base case deepens one unrolling
+ * chunk by chunk (8, 16, 32, ... frames) on a single solver: shallow
+ * chunks refute cheap counterexamples on small formulas, and the final
+ * full-depth UNSAT reuses every learned clause, activity, and phase
+ * the shallow queries produced. The induction stage attaches its
+ * free-state unrolling to the SAME solver instead of rebuilding one at
+ * the stage boundary, and its per-candidate queries share an
+ * activation-literal assumption prefix the solver's saved trail skips
+ * re-propagating. With `threads` > 1 the candidate set is partitioned
+ * into contiguous shards (shard count a function of the candidate
+ * count only, never the thread count — see src/sat/portfolio.hh) that
+ * run as independent deterministic sessions on a WorkerPool, so
+ * verdicts are bit-identical at any thread count. Sharded induction is
+ * sound but weaker: each shard's mutual-assumption set is restricted
+ * to its own candidates.
+ *
  * Soundness notes: a candidate whose per-frame equality literal folds
  * to constant-false in the step case is dropped and never encoded —
  * emitting the then-unsatisfiable activation literal into the shared
@@ -75,6 +91,9 @@ struct NeverToggleOptions
     /** Model ROM reads at symbolic addresses exactly (mux over the
      *  image) instead of as free variables. */
     bool romMux = true;
+    /** Worker threads for the sharded candidate partition (1 = serial,
+     *  0 = all hardware threads). Verdicts are identical at any value. */
+    int threads = 1;
 };
 
 /** A net plus the constant value measurement says it is stuck at. */
@@ -89,7 +108,13 @@ struct NeverToggleStats
     uint64_t baseConflicts = 0;
     uint64_t stepConflicts = 0;
     uint64_t queries = 0;
-    int rounds = 0;  ///< fixpoint sweeps in the step case
+    int rounds = 0;  ///< fixpoint sweeps in the step case (summed over shards)
+    uint64_t propagations = 0;
+    uint64_t learnedClauses = 0;  ///< learned clauses ever recorded
+    uint64_t keptClauses = 0;     ///< learned clauses live at the end
+    uint64_t dbReductions = 0;    ///< clause-database reductions
+    uint64_t restarts = 0;
+    size_t shards = 0;  ///< candidate partition size (thread-independent)
 };
 
 struct NeverToggleResult

@@ -1,0 +1,117 @@
+#include "src/sat/portfolio.hh"
+
+#include <algorithm>
+
+#include "src/util/worker_pool.hh"
+
+namespace bespoke::sat
+{
+
+CdclConfig
+portfolioConfig(int index)
+{
+    CdclConfig cfg;
+    switch (index & 3) {
+    case 0:
+        break;  // the default search order
+    case 1:
+        cfg.restartFirst = 50;
+        cfg.initPhase = true;
+        cfg.orderSeed = 0x9e3779b9u;
+        break;
+    case 2:
+        cfg.restartFirst = 200;
+        cfg.orderSeed = 0x85ebca6bu;
+        cfg.varDecay = 0.85;
+        break;
+    default:
+        cfg.restartFirst = 150;
+        cfg.initPhase = true;
+        cfg.orderSeed = 0xc2b2ae35u;
+        cfg.varDecay = 0.99;
+        break;
+    }
+    // Indices past the base table keep permuting the branching order.
+    if (index >= 4)
+        cfg.orderSeed ^= 0x27d4eb2fu * static_cast<uint32_t>(index);
+    return cfg;
+}
+
+std::vector<std::pair<size_t, size_t>>
+shardRanges(size_t n, size_t min_per_shard, size_t max_shards)
+{
+    std::vector<std::pair<size_t, size_t>> out;
+    if (n == 0)
+        return out;
+    if (min_per_shard == 0)
+        min_per_shard = 1;
+    size_t shards = (n + min_per_shard - 1) / min_per_shard;
+    shards = std::max<size_t>(1, std::min(shards, max_shards));
+    size_t base = n / shards, extra = n % shards;
+    size_t begin = 0;
+    for (size_t s = 0; s < shards; s++) {
+        size_t len = base + (s < extra ? 1 : 0);
+        out.emplace_back(begin, begin + len);
+        begin += len;
+    }
+    return out;
+}
+
+int
+runPortfolio(
+    int attempts, int threads,
+    const std::function<bool(int, const std::atomic<bool> *)> &try_one)
+{
+    if (attempts <= 0)
+        return -1;
+    if (threads <= 1 || attempts == 1) {
+        // Sequential schedule: first decisive attempt in index order —
+        // by construction the same winner the parallel race picks.
+        for (int i = 0; i < attempts; i++) {
+            if (try_one(i, nullptr))
+                return i;
+        }
+        return -1;
+    }
+    std::vector<std::atomic<bool>> stops(attempts);
+    std::vector<uint8_t> decisive(attempts, 0);
+    for (auto &s : stops)
+        s.store(false, std::memory_order_relaxed);
+    // Lowest decisive index seen so far; attempts above it are
+    // cancelled, attempts below it still run to completion so the
+    // winner is the true index-order minimum.
+    std::atomic<int> best(attempts);
+    {
+        WorkerPool pool(std::min(threads, attempts));
+        for (int i = 0; i < attempts; i++) {
+            pool.post([&, i] {
+                if (best.load(std::memory_order_acquire) < i)
+                    return;  // a lower index already won
+                if (try_one(i, &stops[i])) {
+                    decisive[i] = 1;
+                    int cur = best.load(std::memory_order_acquire);
+                    while (i < cur &&
+                           !best.compare_exchange_weak(
+                               cur, i, std::memory_order_acq_rel)) {
+                    }
+                    for (int k = i + 1; k < attempts; k++)
+                        stops[k].store(true, std::memory_order_release);
+                }
+            });
+        }
+        pool.drain();
+    }
+    for (int i = 0; i < attempts; i++) {
+        if (decisive[i])
+            return i;
+    }
+    return -1;
+}
+
+int
+resolveSatThreads(int requested)
+{
+    return requested <= 0 ? WorkerPool::defaultThreadCount() : requested;
+}
+
+} // namespace bespoke::sat

@@ -230,6 +230,10 @@ parseJobSpec(const JsonValue &doc, JobSpec *out, std::string *err)
             if (!uintField(v, key, &u))
                 return false;
             spec.satDepth = static_cast<int>(u);
+        } else if (key == "sat_threads") {
+            if (!uintField(v, key, &u))
+                return false;
+            spec.satThreads = static_cast<int>(u);
         } else {
             *err = "unknown job key '" + key + "'";
             return false;
@@ -617,6 +621,13 @@ JobScheduler::runJob(const JobSpec &spec)
             }
             if (spec.satDepth > 0)
                 fopts.passes.sat.depth = spec.satDepth;
+            // SAT shard workers come out of the same lease as the
+            // analysis workers — a job never oversubscribes its grant,
+            // and the prover's verdicts don't depend on the count.
+            fopts.passes.sat.threads =
+                spec.satThreads > 0
+                    ? std::min(spec.satThreads, lease.threads())
+                    : lease.threads();
             fopts.stageCallback = addStage;
             BespokeFlow flow(fopts, std::move(baseline));
 
@@ -671,6 +682,27 @@ JobScheduler::runJob(const JobSpec &spec)
                     satj.set("unknown",
                              JsonValue::number(static_cast<double>(
                                  d.pipeline.satUnknown)));
+                    // Solver counters are shard-deterministic and
+                    // thread-count-independent, so they belong in the
+                    // bit-stable payload with the verdict counts.
+                    satj.set("shards",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satShards)));
+                    satj.set("conflicts",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satConflicts)));
+                    satj.set("propagations",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satPropagations)));
+                    satj.set("learned_clauses",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satLearned)));
+                    satj.set("kept_clauses",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satKept)));
+                    satj.set("db_reductions",
+                             JsonValue::number(static_cast<double>(
+                                 d.pipeline.satReductions)));
                     res.payload.set("sat_never_toggle",
                                     std::move(satj));
                 }

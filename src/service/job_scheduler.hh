@@ -82,6 +82,11 @@ struct JobSpec
     std::string passes;
     /** SAT never-toggle unrolling depth override (0 = keep base). */
     int satDepth = 0;
+    /** SAT prover worker threads (0 = the job's leased analysis
+     *  workers; explicit values are capped by the lease). Verdicts are
+     *  thread-count-independent, so this never affects the
+     *  deterministic payload. */
+    int satThreads = 0;
 };
 
 /**

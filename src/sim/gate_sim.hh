@@ -259,6 +259,20 @@ class ToggleCounter
     uint64_t count(GateId id) const { return counts_[id]; }
     uint64_t cycles() const { return cycles_; }
 
+    /**
+     * The gate's value at the most recent observe. For a gate with
+     * count() == 0 this is the ONE value it held across every observed
+     * cycle (within-run transitions and cross-run boundary transitions
+     * both bump count(), so zero means literally constant) — which is
+     * what the SAT never-toggle pass keys its candidate polarity on,
+     * replacing a whole duty-measuring replay. Meaningless before the
+     * first observe (all gates read as Zero).
+     */
+    Logic lastValue(GateId id) const
+    {
+        return static_cast<Logic>(last_[id]);
+    }
+
   private:
     std::vector<uint8_t> last_;
     std::vector<uint64_t> counts_;

@@ -316,6 +316,80 @@ dedupInstances(Netlist &nl)
     insts = std::move(kept);
 }
 
+/** The variants worth rebuilding for one recorded instance (empty =
+ *  the instance is not reconstructible under these options). */
+std::vector<uint8_t>
+variantsFor(const DatapathInstance &inst,
+            const RewriteSearchOptions &opts)
+{
+    if (inst.kind == InstanceKind::Adder) {
+        if (inst.shape.size() == 1 &&
+            inst.shape[0] >= opts.minAdderWidth) {
+            return {static_cast<uint8_t>(AdderKind::Ripple),
+                    static_cast<uint8_t>(AdderKind::CarryLookahead),
+                    static_cast<uint8_t>(AdderKind::CarrySelect)};
+        }
+    } else if (inst.shape.size() == 3 && inst.shape[0] >= 2 &&
+               inst.shape[0] < 32 &&
+               inst.shape[1] == (1ull << inst.shape[0])) {
+        return {kMuxLsbFirst, kMuxMsbFirst};
+    }
+    return {};
+}
+
+/**
+ * Rebuild `inst` as `variant` on a scratch copy of `base`, stitch,
+ * compact, and measure the λ-independent score pair: activity-weighted
+ * power at vmin (µW) and the critical path (ps). λ enters only at
+ * recombination time (rewriteCostAt), so a λ-sweep pays for this
+ * rebuild exactly once per (instance, variant).
+ */
+bool
+scoreVariant(const Netlist &base, const std::vector<double> &baseDensity,
+             const DatapathInstance &inst, uint8_t variant,
+             PassContext &ctx, double *power_term, double *critical_ps)
+{
+    Netlist work = base;
+    AliasPairs pairs;
+    if (!rebuildInstance(work, inst, variant, &pairs) || pairs.empty())
+        return false;
+    Rewriter rw(work);
+    std::set<GateId> seen;
+    for (auto [o, nn] : pairs) {
+        if (seen.insert(o).second)
+            rw.makeAlias(o, nn);
+    }
+    RewriteResult rr = rw.compact();
+    RewriteResult rr2 = sweepDead(rr.netlist);
+    Netlist cand = std::move(rr2.netlist);
+
+    std::vector<double> d(cand.size(), -1.0);
+    for (GateId i = 0; i < base.size(); i++) {
+        GateId m = rr.map[i];
+        if (m == kNoGate)
+            continue;
+        m = rr2.map[m];
+        if (m == kNoGate)
+            continue;
+        d[m] = baseDensity[i];
+    }
+    propagateDensities(cand, &d);
+    sizeForLoads(cand, ctx.timing());
+
+    double critical = 0.0;
+    double nominal_uw = powerFromDensities(cand, d, ctx.power(),
+                                           ctx.timing(), &critical);
+    double period = ctx.clockPeriodPs();
+    double vmin = critical > 0.0
+                      ? vminForPeriod(critical, period, ctx.timing())
+                      : ctx.timing().vMinFloor;
+    double v2 =
+        (vmin * vmin) / (ctx.power().voltage * ctx.power().voltage);
+    *power_term = nominal_uw * v2;
+    *critical_ps = critical;
+    return true;
+}
+
 /**
  * The cost-driven datapath rewrite search (pipeline tentpole). For
  * every reconstructible DatapathInstance, every applicable variant is
@@ -324,7 +398,9 @@ dedupInstances(Netlist &nl)
  *          + lambda x max(0, depth - budget)
  * with measured toggle densities for surviving gates and propagated
  * estimates for rebuilt ones. The argmin variant is committed only
- * when it strictly beats the rebuilt current shape.
+ * when it strictly beats the rebuilt current shape. Scoring and the
+ * λ-dependent decision are split (scoreRewriteCandidates /
+ * rewriteDecisionsAtLambda) so λ-sweeps reuse one scoring pass.
  */
 class RewriteSearchPass : public TransformPass
 {
@@ -339,74 +415,22 @@ class RewriteSearchPass : public TransformPass
     void
     prepare(Netlist &nl, PassContext &ctx) override
     {
-        const std::vector<double> &density = ctx.densities();
         double period = ctx.clockPeriodPs();
 
         // Decide on a frozen copy: every instance is scored against
         // the same base so decisions are order-independent.
         const Netlist base = nl;
-        struct Decision
-        {
-            size_t inst;
-            uint8_t variant;
-        };
-        std::vector<Decision> decisions;
-        for (size_t k = 0; k < base.instances().size(); k++) {
-            const DatapathInstance &inst = base.instances()[k];
-            std::vector<uint8_t> variants;
-            if (inst.kind == InstanceKind::Adder) {
-                if (inst.shape.size() == 1 &&
-                    inst.shape[0] >= opts_.minAdderWidth) {
-                    variants = {
-                        static_cast<uint8_t>(AdderKind::Ripple),
-                        static_cast<uint8_t>(AdderKind::CarryLookahead),
-                        static_cast<uint8_t>(AdderKind::CarrySelect)};
-                }
-            } else if (inst.shape.size() == 3 && inst.shape[0] >= 2 &&
-                       inst.shape[0] < 32 &&
-                       inst.shape[1] == (1ull << inst.shape[0])) {
-                variants = {kMuxLsbFirst, kMuxMsbFirst};
-            }
-            if (variants.empty())
-                continue;
-
-            double current_cost = 0.0;
-            bool have_current = false;
-            uint8_t best_variant = inst.variant;
-            double best_cost = 0.0;
-            bool have_best = false;
-            for (uint8_t v : variants) {
-                double cost;
-                if (!scoreCandidate(base, density, inst, v, period, ctx,
-                                    &cost)) {
-                    continue;
-                }
-                if (v == inst.variant) {
-                    current_cost = cost;
-                    have_current = true;
-                }
-                if (!have_best || cost < best_cost) {
-                    best_cost = cost;
-                    best_variant = v;
-                    have_best = true;
-                }
-            }
-            if (!have_current || !have_best ||
-                best_variant == inst.variant) {
-                continue;
-            }
-            if (best_cost <
-                current_cost * (1.0 - opts_.minGainFraction)) {
-                decisions.push_back({k, best_variant});
-            }
-        }
+        std::vector<RewriteVariantScore> scores =
+            scoreRewriteCandidates(base, ctx, opts_);
+        std::vector<std::pair<size_t, uint8_t>> decisions =
+            rewriteDecisionsAtLambda(scores, opts_, period);
 
         // Commit every winner on the real working netlist; the
         // pipeline compacts once after run() applies the stitches.
-        for (const Decision &d : decisions) {
+        for (auto [k, variant] : decisions) {
             AliasPairs pairs;
-            if (!rebuildInstance(nl, base.instances()[d.inst],
-                                 d.variant, &pairs)) {
+            if (!rebuildInstance(nl, base.instances()[k], variant,
+                                 &pairs)) {
                 continue;
             }
             bool any = false;
@@ -437,54 +461,6 @@ class RewriteSearchPass : public TransformPass
     }
 
   private:
-    bool
-    scoreCandidate(const Netlist &base,
-                   const std::vector<double> &baseDensity,
-                   const DatapathInstance &inst, uint8_t variant,
-                   double period, PassContext &ctx, double *cost)
-    {
-        Netlist work = base;
-        AliasPairs pairs;
-        if (!rebuildInstance(work, inst, variant, &pairs) ||
-            pairs.empty()) {
-            return false;
-        }
-        Rewriter rw(work);
-        std::set<GateId> seen;
-        for (auto [o, nn] : pairs) {
-            if (seen.insert(o).second)
-                rw.makeAlias(o, nn);
-        }
-        RewriteResult rr = rw.compact();
-        RewriteResult rr2 = sweepDead(rr.netlist);
-        Netlist cand = std::move(rr2.netlist);
-
-        std::vector<double> d(cand.size(), -1.0);
-        for (GateId i = 0; i < base.size(); i++) {
-            GateId m = rr.map[i];
-            if (m == kNoGate)
-                continue;
-            m = rr2.map[m];
-            if (m == kNoGate)
-                continue;
-            d[m] = baseDensity[i];
-        }
-        propagateDensities(cand, &d);
-        sizeForLoads(cand, ctx.timing());
-
-        double critical = 0.0;
-        double nominal_uw = powerFromDensities(cand, d, ctx.power(),
-                                               ctx.timing(), &critical);
-        double vmin = critical > 0.0
-                          ? vminForPeriod(critical, period, ctx.timing())
-                          : ctx.timing().vMinFloor;
-        double v2 = (vmin * vmin) /
-                    (ctx.power().voltage * ctx.power().voltage);
-        *cost = nominal_uw * v2 +
-                opts_.lambdaUWPerPs * std::max(0.0, critical - period);
-        return true;
-    }
-
     RewriteSearchOptions opts_;
     AliasPairs pending_;
     std::set<GateId> aliased_;
@@ -515,11 +491,8 @@ class SatNeverTogglePass : public TransformPass
     run(Rewriter &rw, PassContext &ctx) override
     {
         const PassEnv &env = ctx.env();
-        if (!env.program || !ctx.hasActivity() || !env.measureDuty ||
-            opts_.depth <= 0)
-        {
+        if (!env.program || !ctx.hasActivity() || opts_.depth <= 0)
             return 0;
-        }
         // Unrolling memory grows with the horizon; an analysis that
         // explored millions of cycles is out of the prover's reach.
         if (opts_.depth > kMaxSatFrames) {
@@ -544,27 +517,26 @@ class SatNeverTogglePass : public TransformPass
         }
         if (ids.empty())
             return 0;
-        // Observed constant value from duty. A zero-toggle gate held
-        // exactly one value for the whole replay: 0, 1, or X. Duty
-        // counts 1-or-X cycles as high, so high == 0 pins the value at
-        // 0, while high == cycles is ambiguous between always-1 and
+        // Observed constant value. A zero-toggle gate held exactly one
+        // value for the whole replay — the counter bumps on within-run
+        // transitions AND cross-run boundary transitions, so count == 0
+        // really means one value across every observed cycle, and that
+        // value is the counter's last observation. Zero pins the
+        // candidate at 0; One/X is ambiguous between always-1 and
         // always-X — an always-X gate may well be the X-pessimism
         // victim this pass exists for (really constant 0, but 3-valued
         // propagation can't see it), so try both polarities there. At
         // most one polarity survives the base stage; a wrong guess is
-        // simply refuted and costs one query.
-        std::vector<uint64_t> high;
-        uint64_t cycles = 0;
-        env.measureDuty(nl, ids, &high, &cycles);
-        if (cycles == 0)
-            return 0;
+        // simply refuted and costs one query. (Earlier revisions ran a
+        // second, duty-measuring replay to recover the same polarity —
+        // a full extra simulation of the workload per design.)
         std::vector<sat::NeverToggleCandidate> cands;
-        for (size_t k = 0; k < ids.size(); k++) {
-            if (high[k] == 0) {
-                cands.push_back({ids[k], false});
-            } else if (high[k] == cycles) {
-                cands.push_back({ids[k], true});
-                cands.push_back({ids[k], false});
+        for (GateId id : ids) {
+            if (tc.lastValue(id) == Logic::Zero) {
+                cands.push_back({id, false});
+            } else {
+                cands.push_back({id, true});
+                cands.push_back({id, false});
             }
         }
         if (cands.empty())
@@ -576,12 +548,14 @@ class SatNeverTogglePass : public TransformPass
         no.depth = opts_.depth;
         no.conflictBudget = opts_.conflictBudget;
         no.romMux = opts_.romMux;
+        no.threads = opts_.threads;
         candidates_ = cands.size();
         sat::NeverToggleResult res =
             sat::proveNeverToggling(nl, *env.program, cands, no);
         proven_ = res.proven.size();
         refuted_ = res.refuted.size();
         unknown_ = res.unknown.size();
+        stats_ = res.stats;
         for (const sat::NeverToggleCandidate &c : res.proven)
             rw.makeConstant(c.gate, c.value);
         return res.proven.size();
@@ -591,6 +565,7 @@ class SatNeverTogglePass : public TransformPass
     size_t proven() const { return proven_; }
     size_t refuted() const { return refuted_; }
     size_t unknown() const { return unknown_; }
+    const sat::NeverToggleStats &stats() const { return stats_; }
 
   private:
     SatNeverToggleOptions opts_;
@@ -598,6 +573,7 @@ class SatNeverTogglePass : public TransformPass
     size_t proven_ = 0;
     size_t refuted_ = 0;
     size_t unknown_ = 0;
+    sat::NeverToggleStats stats_;
 };
 
 void
@@ -617,6 +593,66 @@ snapshotMetrics(const Netlist &nl, const PassEnv &env,
 }
 
 } // namespace
+
+std::vector<RewriteVariantScore>
+scoreRewriteCandidates(const Netlist &nl, PassContext &ctx,
+                       const RewriteSearchOptions &opts)
+{
+    const std::vector<double> &density = ctx.densities();
+    std::vector<RewriteVariantScore> out;
+    for (size_t k = 0; k < nl.instances().size(); k++) {
+        const DatapathInstance &inst = nl.instances()[k];
+        for (uint8_t v : variantsFor(inst, opts)) {
+            RewriteVariantScore s;
+            s.inst = k;
+            s.variant = v;
+            s.isCurrent = v == inst.variant;
+            if (!scoreVariant(nl, density, inst, v, ctx, &s.powerTermUW,
+                              &s.criticalPs)) {
+                continue;
+            }
+            out.push_back(s);
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<size_t, uint8_t>>
+rewriteDecisionsAtLambda(const std::vector<RewriteVariantScore> &scores,
+                         const RewriteSearchOptions &opts,
+                         double period_ps)
+{
+    std::vector<std::pair<size_t, uint8_t>> out;
+    size_t i = 0;
+    while (i < scores.size()) {
+        // One instance's contiguous group of scored variants.
+        size_t j = i;
+        bool have_current = false, have_best = false;
+        double current_cost = 0.0, best_cost = 0.0;
+        size_t best_at = i;
+        for (; j < scores.size() && scores[j].inst == scores[i].inst;
+             j++) {
+            double cost =
+                rewriteCostAt(scores[j], opts.lambdaUWPerPs, period_ps);
+            if (scores[j].isCurrent) {
+                current_cost = cost;
+                have_current = true;
+            }
+            if (!have_best || cost < best_cost) {
+                best_cost = cost;
+                best_at = j;
+                have_best = true;
+            }
+        }
+        if (have_current && have_best && !scores[best_at].isCurrent &&
+            best_cost < current_cost * (1.0 - opts.minGainFraction)) {
+            out.emplace_back(scores[best_at].inst,
+                             scores[best_at].variant);
+        }
+        i = j;
+    }
+    return out;
+}
 
 size_t
 constantFoldOnce(Rewriter &rw)
@@ -892,6 +928,9 @@ hashPassPipelineOptions(const PassPipelineOptions &opts)
     h = fnv64(h, opts.sat.conflictBudget);
     h = fnv64(h, opts.sat.romMux);
     h = fnv64(h, opts.sat.induction);
+    // sat.threads is deliberately NOT hashed: the prover's verdicts
+    // are bit-identical at any thread count, so checkpoints produced
+    // at different --sat-threads values are interchangeable.
     return h;
 }
 
@@ -1071,6 +1110,14 @@ runTailorPipeline(const Netlist &src, const ActivityTracker *activity,
             report->satProven = pass.proven();
             report->satRefuted = pass.refuted();
             report->satUnknown = pass.unknown();
+            const sat::NeverToggleStats &st = pass.stats();
+            report->satConflicts = st.baseConflicts + st.stepConflicts;
+            report->satPropagations = st.propagations;
+            report->satLearned = st.learnedClauses;
+            report->satKept = st.keptClauses;
+            report->satReductions = st.dbReductions;
+            report->satRestarts = st.restarts;
+            report->satShards = st.shards;
         }
         // Promoted constants fold onward exactly like cut gates.
         if (opts.constantFold && n > 0)

@@ -36,7 +36,9 @@
 #ifndef BESPOKE_TRANSFORM_PASS_PIPELINE_HH
 #define BESPOKE_TRANSFORM_PASS_PIPELINE_HH
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "src/gating/clock_gating.hh"
 #include "src/transform/bespoke_transform.hh"
@@ -56,6 +58,55 @@ struct RewriteSearchOptions
     double minGainFraction = 1e-3;
 };
 
+/**
+ * One λ-independent (instance, variant) rewrite score. λ never enters
+ * the expensive scratch-netlist rebuild: the cost at any λ recombines
+ * from the cached pair as
+ *     cost(λ) = powerTermUW + λ x max(0, criticalPs - period)
+ * so a λ-sweep costs one scoring pass plus O(#entries) arithmetic per
+ * λ value (bench/resynth_cost was quadratic here before).
+ */
+struct RewriteVariantScore
+{
+    size_t inst = 0;         ///< index into netlist instances()
+    uint8_t variant = 0;
+    bool isCurrent = false;  ///< the instance's existing shape
+    /** Activity-weighted power of the rebuilt design at vmin, µW. */
+    double powerTermUW = 0.0;
+    /** Critical path of the rebuilt design, ps. */
+    double criticalPs = 0.0;
+};
+
+/** Cost of one cached entry at a given λ and clock budget. */
+inline double
+rewriteCostAt(const RewriteVariantScore &s, double lambda_uw_per_ps,
+              double period_ps)
+{
+    return s.powerTermUW +
+           lambda_uw_per_ps * std::max(0.0, s.criticalPs - period_ps);
+}
+
+/**
+ * Score every enumerable (instance, variant) pair of `nl` once.
+ * Entries come out grouped by instance in instance-table order. `ctx`
+ * must be bound to `nl` (densities and timing are read from it);
+ * opts.lambdaUWPerPs is ignored — λ only enters at recombination time.
+ */
+std::vector<RewriteVariantScore>
+scoreRewriteCandidates(const Netlist &nl, PassContext &ctx,
+                       const RewriteSearchOptions &opts);
+
+/**
+ * Re-combine cached scores at one λ: the (instance, variant) winners
+ * that strictly beat the instance's current shape by at least
+ * opts.minGainFraction — exactly the commit rule the rewrite-search
+ * pass applies.
+ */
+std::vector<std::pair<size_t, uint8_t>>
+rewriteDecisionsAtLambda(const std::vector<RewriteVariantScore> &scores,
+                         const RewriteSearchOptions &opts,
+                         double period_ps);
+
 /** Knobs of the SAT never-toggle proving pass. */
 struct SatNeverToggleOptions
 {
@@ -73,6 +124,10 @@ struct SatNeverToggleOptions
     /** Require an unbounded k-induction proof on top of the bounded
      *  envelope proof (rarely succeeds; see src/sat/never_toggle.hh). */
     bool induction = false;
+    /** Worker threads for the prover's sharded candidate partition
+     *  (1 = serial, 0 = all hardware threads). Verdicts are identical
+     *  at any value, so this is NOT part of the checkpoint hash. */
+    int threads = 1;
 };
 
 /** Which passes run, and their knobs. */
@@ -123,6 +178,15 @@ struct PipelineReport
     size_t satProven = 0;
     size_t satRefuted = 0;
     size_t satUnknown = 0;
+    /** Solver-side observability, summed over the prover's candidate
+     *  shards (thread-count-independent, like the verdicts). */
+    uint64_t satConflicts = 0;
+    uint64_t satPropagations = 0;
+    uint64_t satLearned = 0;      ///< learned clauses ever recorded
+    uint64_t satKept = 0;         ///< learned clauses live at the end
+    uint64_t satReductions = 0;   ///< clause-database reductions
+    uint64_t satRestarts = 0;
+    size_t satShards = 0;         ///< candidate partition size
 };
 
 /**

@@ -464,6 +464,72 @@ TEST(PassPipeline, RewriteSearchOutputStaysEquivalent)
     }
 }
 
+TEST(PassPipeline, LambdaSweepRecombinationMatchesFullPipeline)
+{
+    // One cached scoring pass, recombined per λ, must predict exactly
+    // what the rewrite-search pipeline commits at that λ — the
+    // contract bench/resynth_cost's λ-sweep relies on to avoid
+    // re-running the variant rebuild per λ point.
+    Netlist nl = twoAdderDesign();
+    PassEnv env;
+    env.clockPeriodPs = 1.0;
+    env.measureActivity = measureHotCold;
+
+    RewriteSearchOptions sopts;
+    sopts.minGainFraction = 0.0;
+
+    PassContext ctx(env);
+    ctx.bind(nl);
+    const std::vector<RewriteVariantScore> scores =
+        scoreRewriteCandidates(nl, ctx, sopts);
+    ASSERT_FALSE(scores.empty());
+
+    // Predicted final variant of the adder driving `port0`: the cached
+    // decision's variant if one exists for that instance, the existing
+    // shape otherwise.
+    auto predicted =
+        [&](const std::vector<std::pair<size_t, uint8_t>> &decisions,
+            const std::string &port0) {
+            GateId net = nl.gate(nl.port(port0)).in[0];
+            for (size_t k = 0; k < nl.instances().size(); k++) {
+                const DatapathInstance &inst = nl.instances()[k];
+                bool drives = false;
+                for (GateId o : inst.outputs)
+                    drives = drives || o == net;
+                if (!drives)
+                    continue;
+                for (auto [dk, dv] : decisions) {
+                    if (dk == k)
+                        return int(dv);
+                }
+                return int(inst.variant);
+            }
+            return -1;
+        };
+
+    for (double lambda : {1e-4, 1e-2, 1.0, 100.0}) {
+        RewriteSearchOptions lopts = sopts;
+        lopts.lambdaUWPerPs = lambda;
+        std::vector<std::pair<size_t, uint8_t>> decisions =
+            rewriteDecisionsAtLambda(scores, lopts, ctx.clockPeriodPs());
+
+        PassPipelineOptions popts;
+        popts.rewriteSearch = true;
+        popts.rewrite = lopts;
+        PipelineReport report;
+        Netlist out =
+            runTailorPipeline(nl, nullptr, popts, env, nullptr, &report);
+        EXPECT_EQ(report.rewrittenInstances, decisions.size())
+            << "lambda " << lambda;
+        EXPECT_EQ(adderVariantFor(out, "hsum[0]"),
+                  predicted(decisions, "hsum[0]"))
+            << "lambda " << lambda;
+        EXPECT_EQ(adderVariantFor(out, "csum[0]"),
+                  predicted(decisions, "csum[0]"))
+            << "lambda " << lambda;
+    }
+}
+
 TEST(ClockGating, EnumerateGroupsByEnableInAscendingOrder)
 {
     Netlist nl;

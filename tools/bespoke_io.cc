@@ -15,7 +15,7 @@
  *   bespoke_io tailor  -i FILE --app NAME -o FILE
  *                      [--checkpoint-dir DIR] [--verify] [--threads N]
  *                      [--passes LIST] [--status-json FILE]
- *                      [--sat-depth N]
+ *                      [--sat-depth N] [--sat-threads N]
  *       Import an external netlist, run activity analysis for the
  *       application on it, run the tailoring pass pipeline, re-size,
  *       and export the bespoke result, printing one summary line per
@@ -24,9 +24,13 @@
  *       "clock-gating", "sat-never-toggle", "all", comma-separated;
  *       "all" does NOT include the opt-in SAT pass); --status-json
  *       writes the per-pass stats, rewrite count, clock-gating plan,
- *       and SAT never-toggle verdict counts as JSON; --sat-depth
- *       bounds the SAT pass's unrolling envelope (0 = the analysis
- *       horizon). --verify additionally proves the result symbolically
+ *       and SAT never-toggle verdict counts plus solver counters
+ *       (conflicts, propagations, learned/kept clauses, DB
+ *       reductions) as JSON; --sat-depth bounds the SAT pass's
+ *       unrolling envelope (0 = the analysis horizon); --sat-threads
+ *       parallelizes the prover's candidate shards (0 = all hardware
+ *       threads) with verdicts identical at any thread count.
+ *       --verify additionally proves the result symbolically
  *       equivalent to the imported original for the application and
  *       cross-checks with a bounded CDCL miter (fixed shallow depth
  *       and conflict budget — use `prove` for deeper miters).
@@ -37,11 +41,16 @@
  *       built baseline core (or a second imported file) for one
  *       application.
  *   bespoke_io prove   -i FILE --app NAME [--against FILE]
- *                      [--sat-depth N]
+ *                      [--sat-depth N] [--sat-threads N]
  *       Independent SAT equivalence check (src/sat/): bounded miter
- *       over the CNF unrolling, CDCL-solved, with any witness
- *       confirmed by concrete 3-valued replay. Complements `check` —
- *       a completely separate prover over a different value domain.
+ *       over the CNF unrolling, incrementally deepened on one CDCL
+ *       solver, with any witness confirmed by concrete 3-valued
+ *       replay. Complements `check` — a completely separate prover
+ *       over a different value domain. --sat-threads races the
+ *       deterministic config portfolio (relevant only when the
+ *       conflict budget can exhaust); the verdict is identical at any
+ *       thread count. Prints solver counters (conflicts,
+ *       propagations, learned/kept clauses, DB reductions).
  *   bespoke_io export-cnf --app NAME -o FILE[.cnf|.smt2]
  *                      [-i FILE] [--miter [--against FILE]]
  *                      [--sat-depth N]
@@ -117,9 +126,11 @@ usage(const std::string &msg = "")
         " [--threads N]\n"
         "                     [--passes LIST] [--status-json FILE]"
         " [--sat-depth N]\n"
+        "                     [--sat-threads N]\n"
         "  bespoke_io check   -i FILE --app NAME [--against FILE]\n"
         "  bespoke_io prove   -i FILE --app NAME [--against FILE]"
         " [--sat-depth N]\n"
+        "                     [--sat-threads N]\n"
         "  bespoke_io export-cnf --app NAME -o FILE [-i FILE]"
         " [--miter]\n"
         "                     [--against FILE] [--sat-depth N]\n"
@@ -219,7 +230,8 @@ struct Args
     int threads = 1;
     int jobThreads = 1;
     int workerThreads = 0;
-    int satDepth = 0;  ///< 0 = per-command default
+    int satDepth = 0;    ///< 0 = per-command default
+    int satThreads = 1;  ///< 0 = all hardware threads
     size_t maxQueued = 0;
     uint64_t checkpointMaxBytes = 0;
 };
@@ -264,6 +276,8 @@ parseArgs(int argc, char **argv)
             a.miter = true;
         else if (arg == "--sat-depth")
             a.satDepth = std::atoi(value().c_str());
+        else if (arg == "--sat-threads")
+            a.satThreads = std::atoi(value().c_str());
         else if (arg == "--max-queued")
             a.maxQueued = std::strtoull(value().c_str(), nullptr, 10);
         else if (arg == "--threads")
@@ -425,6 +439,17 @@ printPassSummary(const PipelineReport &report)
                     " %zu refuted, %zu undecided\n",
                     report.satCandidates, report.satProven,
                     report.satRefuted, report.satUnknown);
+        std::printf("sat never-toggle: %zu shard(s), %llu conflicts,"
+                    " %llu propagations, %llu learned (%llu kept),"
+                    " %llu db reduction(s)\n",
+                    report.satShards,
+                    static_cast<unsigned long long>(report.satConflicts),
+                    static_cast<unsigned long long>(
+                        report.satPropagations),
+                    static_cast<unsigned long long>(report.satLearned),
+                    static_cast<unsigned long long>(report.satKept),
+                    static_cast<unsigned long long>(
+                        report.satReductions));
     }
 }
 
@@ -487,6 +512,22 @@ tailorStatusJson(const Args &a, const CutStats &cut,
            JsonValue::number(static_cast<double>(report.satRefuted)));
     js.set("unknown",
            JsonValue::number(static_cast<double>(report.satUnknown)));
+    js.set("shards",
+           JsonValue::number(static_cast<double>(report.satShards)));
+    js.set("conflicts",
+           JsonValue::number(static_cast<double>(report.satConflicts)));
+    js.set("propagations",
+           JsonValue::number(
+               static_cast<double>(report.satPropagations)));
+    js.set("learned_clauses",
+           JsonValue::number(static_cast<double>(report.satLearned)));
+    js.set("kept_clauses",
+           JsonValue::number(static_cast<double>(report.satKept)));
+    js.set("db_reductions",
+           JsonValue::number(
+               static_cast<double>(report.satReductions)));
+    js.set("restarts",
+           JsonValue::number(static_cast<double>(report.satRestarts)));
     doc.set("sat_never_toggle", std::move(js));
     doc.set("verified", JsonValue::boolean(verified));
     return doc;
@@ -504,6 +545,7 @@ cmdTailor(const Args &a)
     popts.collectMetrics = true;
     if (a.satDepth > 0)
         popts.sat.depth = a.satDepth;
+    popts.sat.threads = a.satThreads;
     Netlist original = importFile(a.in);
     printStats("imported", original);
 
@@ -624,11 +666,23 @@ cmdProve(const Args &a)
     // Finite (if generous) budget so a pathological miter fails with
     // an "undecided" diagnosis instead of spinning forever.
     so.conflictBudget = 5000000;
+    so.threads = a.satThreads;
     sat::SatEquivResult sr =
         sat::proveEquivalentSat(reference, candidate, prog, so);
     std::printf("sat prove (depth %d): %llu vars, %llu conflicts\n",
                 sr.depth, static_cast<unsigned long long>(sr.vars),
                 static_cast<unsigned long long>(sr.conflicts));
+    std::printf("sat prove: %llu chunk quer%s, %llu propagations,"
+                " %llu learned (%llu kept), %llu db reduction(s),"
+                " %llu restarts, config %d\n",
+                static_cast<unsigned long long>(sr.queries),
+                sr.queries == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(sr.propagations),
+                static_cast<unsigned long long>(sr.learnedClauses),
+                static_cast<unsigned long long>(sr.keptClauses),
+                static_cast<unsigned long long>(sr.dbReductions),
+                static_cast<unsigned long long>(sr.restarts),
+                sr.config);
     if (sr.verdict == sat::SatEquivVerdict::Equivalent) {
         std::printf("equivalent for '%s': %s\n", a.app.c_str(),
                     sr.detail.c_str());
